@@ -1,0 +1,68 @@
+"""Extension: sensitivity to network bandwidth (paper Section II-A).
+
+"10 Gbps network still remains as the mainstream ... and 10~25 Gbps will
+continue to dominate the market in the near future."  This sweep varies
+the per-NIC line rate (1 / 10 / 25 / 40 Gbps) on fixed K40c GPUs.  On
+slow fabrics Fela's communication frugality towers over DP; on very fast
+ones both converge toward the pure-compute bound and the gap narrows —
+the decision boundary the paper's motivation paints.
+"""
+
+from repro.baselines import DataParallel
+from repro.core import FelaRuntime
+from repro.harness import render_table
+from repro.hardware import Cluster, ClusterSpec
+from repro.models import get_model
+from repro.partition import paper_partition
+from repro.tuning import ConfigurationTuner
+
+GBPS = (1, 10, 25, 40)
+BATCH = 256
+
+
+def _sweep():
+    model = get_model("vgg19")
+    partition = paper_partition(model)
+    rows = {}
+    for gbps in GBPS:
+        spec = ClusterSpec(
+            num_nodes=8, link_bandwidth=gbps * 0.125e9
+        )
+        dp = DataParallel(
+            model, BATCH, 8, iterations=4, cluster=Cluster(spec)
+        ).run()
+        # Fela re-tunes per environment — on a fast fabric the tuner
+        # widens the conditional subset; on a slow one it shrinks it.
+        tuner = ConfigurationTuner(
+            partition, BATCH, 8, cluster_spec=spec,
+            profile_iterations=2,
+        )
+        config = tuner.tuned_config(iterations=4)
+        fela = FelaRuntime(config, Cluster(spec)).run()
+        rows[gbps] = (fela.average_throughput, dp.average_throughput)
+    return rows
+
+
+def test_bandwidth_sensitivity(benchmark, record_output):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table_rows = [
+        [f"{gbps} Gbps", fela, dp, fela / dp]
+        for gbps, (fela, dp) in rows.items()
+    ]
+    record_output(
+        render_table(
+            ["Fabric", "Fela AT", "DP AT", "Fela/DP"],
+            table_rows,
+            title=f"VGG19 batch {BATCH}, bandwidth sweep",
+        ),
+        "ext_bandwidth",
+    )
+
+    # Everyone benefits from more bandwidth (weakly).
+    dp_ats = [rows[g][1] for g in GBPS]
+    assert dp_ats == sorted(dp_ats)
+    # Fela wins at every point, most at 1 Gbps, least at 40 Gbps.
+    ratios = [rows[g][0] / rows[g][1] for g in GBPS]
+    assert all(r > 1.0 for r in ratios)
+    assert ratios[0] == max(ratios)
+    assert ratios[-1] == min(ratios)

@@ -1,0 +1,105 @@
+"""Extension: the compute/network trend of paper Section II-A.
+
+"The computation power has been increased by 35x [in 5 years].  By
+contrast, the communication capability ... cannot match the development
+speed ... such a mismatch will intensify the communication bottleneck."
+
+This benchmark sweeps GPU generations (1x .. 32x the K40c's sustained
+FLOP/s) on a fixed 10 Gbps fabric and measures how much of DP's and
+Fela's iteration goes to communication.  On faster GPUs, DP's
+constant-size full-model synchronization swallows the iteration while
+Fela's CTD-restricted sync degrades far more slowly — the structural
+reason the paper builds a hybrid-parallel, communication-frugal system.
+"""
+
+import dataclasses
+
+from repro.baselines import DataParallel
+from repro.core import FelaConfig, FelaRuntime
+from repro.harness import render_table
+from repro.hardware import Cluster, ClusterSpec, GpuSpec
+from repro.models import get_model
+from repro.partition import paper_partition
+
+SPEEDUPS = (1, 4, 8, 32)
+BATCH = 256
+
+
+def _sweep():
+    model = get_model("vgg19")
+    partition = paper_partition(model)
+    rows = {}
+    for speedup in SPEEDUPS:
+        gpu = GpuSpec(
+            peak_flops=1.5e12 * speedup,
+            saturation_flops=60e9 * speedup,
+        )
+        spec = ClusterSpec(num_nodes=8, gpu=gpu)
+
+        dp = DataParallel(
+            model, BATCH, 8, iterations=4, cluster=Cluster(spec)
+        ).run()
+        config = FelaConfig(
+            partition=partition,
+            total_batch=BATCH,
+            num_workers=8,
+            weights=(1, 2, 8),
+            conditional_subset_size=1,
+            iterations=4,
+        )
+        fela = FelaRuntime(config, Cluster(spec)).run()
+
+        # Communication share: whatever the iteration spends beyond the
+        # per-worker GPU busy time.
+        def comm_share(result):
+            busy = max(result.stats["compute_seconds_by_worker"])
+            return max(0.0, 1.0 - busy / result.total_time)
+
+        rows[speedup] = {
+            "dp_at": dp.average_throughput,
+            "fela_at": fela.average_throughput,
+            "dp_comm": comm_share(dp),
+            "fela_comm": comm_share(fela),
+        }
+    return rows
+
+
+def test_network_bound_trend(benchmark, record_output):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table_rows = [
+        [
+            f"x{speedup}",
+            data["dp_at"],
+            f"{data['dp_comm'] * 100:.1f}%",
+            data["fela_at"],
+            f"{data['fela_comm'] * 100:.1f}%",
+            data["fela_at"] / data["dp_at"],
+        ]
+        for speedup, data in rows.items()
+    ]
+    record_output(
+        render_table(
+            [
+                "GPU gen",
+                "DP AT",
+                "DP comm share",
+                "Fela AT",
+                "Fela comm share",
+                "Fela/DP",
+            ],
+            table_rows,
+            title="VGG19 batch 256 on 10 Gbps as GPUs get faster (II-A)",
+        ),
+        "ext_network_trend",
+    )
+
+    # DP's communication share grows monotonically with GPU speed.
+    dp_shares = [rows[s]["dp_comm"] for s in SPEEDUPS]
+    assert dp_shares == sorted(dp_shares)
+    # On 32x GPUs, DP is communication-dominated ...
+    assert rows[32]["dp_comm"] > 0.5
+    # ... and Fela's advantage has widened, not narrowed.
+    assert (
+        rows[32]["fela_at"] / rows[32]["dp_at"]
+        > rows[1]["fela_at"] / rows[1]["dp_at"]
+    )

@@ -1,0 +1,63 @@
+"""Extension: cluster-size scaling of Fela vs the DP baseline.
+
+The paper fixes N = 8; this sweep varies the worker count at constant
+total batch (strong scaling).  Fela's advantage compounds with N: DP's
+ring all-reduce cost approaches 2x the model size per link regardless of
+N while its per-worker batch shrinks below the saturation knees, whereas
+Fela keeps token batches at the thresholds and keeps FC synchronization
+inside the conditional subset.
+"""
+
+from repro.baselines import DataParallel
+from repro.core import FelaConfig, FelaRuntime
+from repro.harness import render_table
+from repro.hardware import Cluster, ClusterSpec
+from repro.models import get_model
+from repro.partition import paper_partition
+from repro.tuning import ConfigurationTuner
+
+WORKER_COUNTS = (2, 4, 8, 16)
+BATCH = 512
+
+
+def _sweep():
+    model = get_model("vgg19")
+    partition = paper_partition(model)
+    rows = {}
+    for workers in WORKER_COUNTS:
+        spec = ClusterSpec(num_nodes=workers)
+        tuner = ConfigurationTuner(
+            partition, BATCH, workers, cluster_spec=spec,
+            profile_iterations=2,
+        )
+        config = tuner.tuned_config(iterations=4)
+        fela = FelaRuntime(config, Cluster(spec)).run()
+        dp = DataParallel(
+            model, BATCH, workers, iterations=4, cluster=Cluster(spec)
+        ).run()
+        rows[workers] = (fela.average_throughput, dp.average_throughput)
+    return rows
+
+
+def test_strong_scaling(benchmark, record_output):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table_rows = [
+        [n, fela, dp, fela / dp] for n, (fela, dp) in rows.items()
+    ]
+    record_output(
+        render_table(
+            ["Workers", "Fela AT", "DP AT", "Fela/DP"],
+            table_rows,
+            title=f"Strong scaling, VGG19 total batch {BATCH}",
+        ),
+        "ext_scalability",
+    )
+
+    # Both runtimes benefit from more workers on this workload ...
+    fela_ats = [rows[n][0] for n in WORKER_COUNTS]
+    assert fela_ats == sorted(fela_ats)
+    # ... Fela wins at every size, and by more at 16 than at 2.
+    for n in WORKER_COUNTS:
+        fela, dp = rows[n]
+        assert fela > dp, f"Fela must win at N={n}"
+    assert rows[16][0] / rows[16][1] > rows[2][0] / rows[2][1]

@@ -1,0 +1,48 @@
+"""Extension: reactive pull vs proactive re-partitioning (Section III-C).
+
+Not a published figure — the paper *argues* that proactive schedulers
+(FlexRR/ElasticPipe-style periodic re-distribution) misfire under
+transient stragglers; this benchmark measures the claim by pitting Fela's
+reactive token pull against :class:`ProactiveElastic` (and static DP as
+the do-nothing control) under rapidly switching stragglers.
+"""
+
+from repro.harness import ExperimentSpec, render_table
+from repro.metrics import per_iteration_delay
+from repro.stragglers import TransientStraggler
+
+
+def _pids(runner):
+    spec = ExperimentSpec(
+        model_name="vgg19", total_batch=256, iterations=12
+    )
+    injector = TransientStraggler(6.0, hits=2, persistence=1, seed=0)
+    pids = {}
+    for kind in ("fela", "dp", "proactive"):
+        base = runner.run(kind, spec)
+        slow = runner.run(kind, spec, injector)
+        pids[kind] = per_iteration_delay(slow, base)
+    return pids
+
+
+def test_transient_stragglers_reward_reactive_scheduling(
+    benchmark, runner, record_output
+):
+    pids = benchmark.pedantic(_pids, args=(runner,), rounds=1, iterations=1)
+    rows = [[kind, pid] for kind, pid in pids.items()]
+    record_output(
+        render_table(
+            ["Scheduler", "PID (s)"],
+            rows,
+            title="Transient stragglers (2 workers hit, re-drawn every "
+            "iteration, d=6 s)",
+        ),
+        "ext_transient",
+    )
+
+    # Fela's reactive pull wins by a wide margin.
+    assert pids["fela"] < 0.6 * pids["dp"]
+    # The proactive scheduler is no better than doing nothing — the
+    # paper's claim that delayed re-distribution "can even worsen the
+    # straggler problem".
+    assert pids["proactive"] >= 0.95 * pids["dp"]

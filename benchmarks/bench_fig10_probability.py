@@ -1,0 +1,59 @@
+"""Figure 10: probability-based straggler scenario (AT and PID).
+
+Paper: each worker straggles with probability p in {0.1..0.5} per
+iteration; d = 6 s (VGG19) / 3 s (GoogLeNet).  Fela improves AT by
+19.58-33.91% vs DP (VGG19) / 22.94-43.73% (GoogLeNet) and reduces PID by
+23.23-51.36% vs DP (VGG19) / 27.62-46.22% (GoogLeNet).
+"""
+
+from repro.harness import fig10
+
+
+def test_fig10_vgg19(benchmark, runner, record_output):
+    result = benchmark.pedantic(
+        fig10,
+        kwargs=dict(
+            model_name="vgg19",
+            probabilities=(0.1, 0.3, 0.5),
+            iterations=8,
+            runner=runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(result.render(), "fig10_vgg19")
+
+    for p in result.axis:
+        fela_at = result.throughput("fela", p)
+        for kind in ("dp", "mp", "hp"):
+            assert fela_at > result.throughput(kind, p), (kind, p)
+        assert result.pid("fela", p) < result.pid("dp", p)
+        assert result.pid("fela", p) < result.pid("hp", p)
+
+    # Fela's PID grows with p (more afflicted workers per iteration).
+    fela_pids = [result.pid("fela", p) for p in result.axis]
+    assert fela_pids == sorted(fela_pids)
+
+    # PID reduction vs DP in a band consistent with the paper's
+    # 23.23-51.36%.
+    lo, hi = result.pid_reduction_range("dp")
+    assert lo > 0.15
+    assert hi < 0.95
+
+
+def test_fig10_googlenet(benchmark, runner, record_output):
+    result = benchmark.pedantic(
+        fig10,
+        kwargs=dict(
+            model_name="googlenet",
+            probabilities=(0.1, 0.3, 0.5),
+            iterations=8,
+            runner=runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(result.render(), "fig10_googlenet")
+    for p in result.axis:
+        assert result.throughput("fela", p) > result.throughput("dp", p)
+        assert result.pid("fela", p) < result.pid("dp", p)

@@ -1,0 +1,41 @@
+"""Figure 1: training throughput vs batch size for three layer shapes.
+
+Paper anchors: the throughput knee sits at batch 16 for
+CONV (64,64,224,224), 64 for CONV (512,512,14,14), and ~2048 for
+FC (4096,4096) on a Tesla K40c.
+"""
+
+import pytest
+
+from repro.harness import fig1
+
+
+def test_fig1_layer_throughput(benchmark, record_output):
+    result = benchmark.pedantic(fig1, rounds=1, iterations=1)
+    record_output(result.render(), "fig1_layer_throughput")
+
+    # The paper's knees, exactly.
+    assert result.thresholds["CONV (64,64,224,224)"] == 16
+    assert result.thresholds["CONV (512,512,14,14)"] == 64
+    assert result.thresholds["FC (4096,4096)"] == 2048
+
+    for label, xs, ys in result.series:
+        knee = result.thresholds[label]
+        by_batch = dict(zip(xs, ys))
+        max_tp = max(ys)
+        # Below the knee: far from max; at the knee: saturated.
+        if knee > min(xs):
+            assert by_batch[knee // 2] < 0.95 * max_tp
+        assert by_batch[knee] >= 0.95 * max_tp
+        # Rising then flat: monotone non-decreasing.
+        assert list(ys) == sorted(ys)
+
+
+def test_fig1_fc_needs_far_larger_batches_than_conv(benchmark):
+    result = benchmark.pedantic(fig1, rounds=1, iterations=1)
+    conv_knees = [
+        result.thresholds["CONV (64,64,224,224)"],
+        result.thresholds["CONV (512,512,14,14)"],
+    ]
+    fc_knee = result.thresholds["FC (4096,4096)"]
+    assert fc_knee >= 16 * max(conv_knees)

@@ -1,0 +1,37 @@
+"""Figure 5: threshold batch sizes of VGG19 layers + the bin partition.
+
+Paper result: VGG19 splits into three sub-models — front CONV block, back
+CONV block, FC block — with strictly increasing threshold batch sizes.
+"""
+
+from repro.harness import fig5
+from repro.models import get_model
+from repro.partition import paper_partition
+
+
+def test_fig5_partition(benchmark, record_output):
+    result = benchmark.pedantic(fig5, rounds=1, iterations=1)
+    record_output(result.render(), "fig5_partition")
+
+    thresholds = dict(zip(result.layer_names, result.thresholds))
+    # Fig. 5's structure: conv thresholds sit orders of magnitude below
+    # FC thresholds, and the back conv block needs more than the front.
+    conv_thresholds = [
+        t for name, t in thresholds.items() if name.startswith("conv")
+    ]
+    fc_thresholds = [
+        t for name, t in thresholds.items() if name.startswith("fc")
+    ]
+    assert max(conv_thresholds) < min(fc_thresholds)
+    assert thresholds["conv16"] > thresholds["conv2"]
+
+    partition = paper_partition(get_model("vgg19"))
+    assert [len(sm.trainable_layers) for sm in partition] == [8, 8, 3]
+    assert partition.thresholds == sorted(partition.thresholds)
+
+
+def test_fig5_bin_method_separates_conv_from_fc(benchmark):
+    result = benchmark.pedantic(fig5, rounds=1, iterations=1)
+    # The automatic bin partition puts all FC layers after all convs and
+    # produces at least the paper's 3 groups.
+    assert "SM-3" in result.bin_partition_desc

@@ -1,0 +1,74 @@
+"""Figure 7 / Table III: ablation of the scheduling policies.
+
+Paper ranges (across batch sizes): parallelism-degree tuning 8.51-51.69%,
+ADS 1.64-8.21%, HF 44.80-96.30%, CTD 5.31-41.25%.
+
+What the simulator reproduces, and what it does not (see EXPERIMENTS.md):
+
+* **HF** is the dominant policy once there is more than one token per
+  sub-token-bucket: +25-35% on VGG19 at batch >= 512, driven by the same
+  mechanism the paper names (without STBs, dependency activations
+  scatter — our no-HF runs move ~12x more remote bytes).  It approaches
+  the paper's 44.8% lower bound but not its 96.3% peak, because the fluid
+  network prices the scattered transfers at max-min fair rates and the
+  simulator's lock conflicts cost sub-millisecond penalties.
+* **ADS** lands at ~0% rather than the paper's 1.64-8.21%: with HF
+  enabled, a worker's candidate pool is its own STB, where selection
+  order barely changes completion time in a deterministic simulator.
+* The two tuning rows of Table III are the Fig. 6 phase gaps, reproduced
+  in-band.
+"""
+
+from repro.harness import fig7_ablation
+
+
+def test_fig7_ablation_vgg19(benchmark, runner, record_output):
+    result = benchmark.pedantic(
+        fig7_ablation,
+        kwargs=dict(
+            model_name="vgg19",
+            batches=(128, 512, 1024),
+            iterations=6,
+            runner=runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(result.render(), "fig7_ablation_vgg19")
+
+    # HF: the heavyweight policy (paper: 44.80-96.30%).
+    hf_lo, hf_hi = result.improvement_range("hf")
+    assert hf_lo > -0.02, "HF must not hurt without stragglers"
+    assert hf_hi > 0.20, "HF must be a major win at large batches"
+
+    # ADS: small and sign-stable (paper: 1.64-8.21%; simulator: ~0).
+    ads_lo, ads_hi = result.improvement_range("ads")
+    assert -0.05 < ads_lo
+    assert ads_hi < 0.10
+
+    # Ordering: HF dominates ADS, as in Table III.
+    assert hf_hi > ads_hi
+
+    # The tuning gaps (Table III's other two rows) are material.
+    p1_gaps = [result.tuning_gaps[b][0] for b in result.batches]
+    assert max(p1_gaps) > 0.0851
+
+
+def test_fig7_ablation_googlenet(benchmark, runner, record_output):
+    result = benchmark.pedantic(
+        fig7_ablation,
+        kwargs=dict(
+            model_name="googlenet",
+            batches=(256, 1024),
+            iterations=6,
+            runner=runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(result.render(), "fig7_ablation_googlenet")
+    # GoogLeNet at 32x32 is saturation-floor-bound: every policy is
+    # direction-correct but magnitudes compress (documented gap).
+    for policy in ("ads", "hf"):
+        lo, _ = result.improvement_range(policy)
+        assert lo > -0.02

@@ -1,0 +1,77 @@
+"""Figure 8: average-throughput comparison, non-straggler scenario.
+
+Paper results (equal-iteration AT, 8-node cluster):
+
+* VGG19 — Fela beats DP by 9.98%-3.23x, MP by 5.18-8.12x, HP by
+  15.77-49.65%;
+* GoogLeNet — Fela beats DP by 13.25%-2.15x, MP by 3.63-12.22x, HP by
+  19.01%-1.85x;
+* MP is the worst runtime everywhere; HP beats DP at small batches and
+  falls behind as the batch grows.
+"""
+
+from repro.harness import fig8
+
+
+def test_fig8_vgg19(benchmark, runner, record_output):
+    result = benchmark.pedantic(
+        fig8,
+        kwargs=dict(
+            model_name="vgg19",
+            batches=(64, 128, 256, 512, 1024),
+            iterations=8,
+            runner=runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(result.render(), "fig8_vgg19")
+
+    for batch in result.batches:
+        fela = result.throughput("fela", batch)
+        # Fela wins against every baseline at every batch size.
+        for kind in ("dp", "mp", "hp"):
+            assert fela > result.throughput(kind, batch), (kind, batch)
+        # MP is the worst everywhere.
+        mp = result.throughput("mp", batch)
+        for kind in ("fela", "dp", "hp"):
+            assert result.throughput(kind, batch) > mp
+
+    # Speedup magnitudes in the paper's ballpark.
+    dp_lo, dp_hi = result.speedup_range("dp")
+    assert 1.0 < dp_lo and dp_hi < 4.0  # paper max 3.23x
+    mp_lo, mp_hi = result.speedup_range("mp")
+    assert 2.5 < mp_lo and mp_hi < 15.0  # paper 5.18-8.12x
+    hp_lo, hp_hi = result.speedup_range("hp")
+    assert 1.0 < hp_lo and hp_hi < 2.0  # paper 15.77-49.65%
+
+    # The HP/DP crossover: HP's advantage over DP shrinks with batch.
+    hp_over_dp = [
+        result.throughput("hp", b) / result.throughput("dp", b)
+        for b in result.batches
+    ]
+    assert hp_over_dp[0] > 1.0  # HP wins at the small end
+    assert hp_over_dp[-1] < hp_over_dp[0]
+
+
+def test_fig8_googlenet(benchmark, runner, record_output):
+    result = benchmark.pedantic(
+        fig8,
+        kwargs=dict(
+            model_name="googlenet",
+            batches=(64, 256, 1024),
+            iterations=8,
+            runner=runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_output(result.render(), "fig8_googlenet")
+
+    for batch in result.batches:
+        fela = result.throughput("fela", batch)
+        for kind in ("dp", "mp", "hp"):
+            assert fela >= 0.99 * result.throughput(kind, batch)
+    # MP collapses hardest on GoogLeNet (paper: up to 12.22x).
+    _, mp_hi = result.speedup_range("mp")
+    assert mp_hi > 4.0

@@ -1,0 +1,28 @@
+"""Table I: Growing Neural Network Layer Numbers.
+
+Regenerates the paper's Table I from the model zoo and cross-checks the
+quoted layer counts against the built cost models.
+"""
+
+from repro.harness import table1
+
+
+def test_table1_model_zoo(benchmark, record_output):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    text = result.render()
+    record_output(text, "table1_model_zoo")
+
+    rows = {name: (year, layers, zoo) for name, year, layers, zoo in result.rows}
+    # Paper rows, verbatim.
+    assert rows["LeNet-5"] == (1998, 5, 5)
+    assert rows["VGG19"] == (2014, 19, 19)
+    assert rows["ResNet-152"] == (2015, 152, 152)
+    assert rows["CUImage"][:2] == (2016, 1207)
+    assert rows["SENet"][:2] == (2017, 154)
+    # Every buildable model's zoo count matches the quoted layer number,
+    # except GoogLeNet which we deliberately model at the paper's 12-unit
+    # partition granularity.
+    for name, (year, layers, zoo) in rows.items():
+        if zoo == "-" or name == "GoogleNet":
+            continue
+        assert zoo == layers, name

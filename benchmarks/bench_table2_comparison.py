@@ -1,0 +1,26 @@
+"""Table II: qualitative comparison of representative DML solutions."""
+
+from repro.harness import TABLE_II, render_table_ii
+
+
+def test_table2_comparison(benchmark, record_output):
+    text = benchmark.pedantic(render_table_ii, rounds=1, iterations=1)
+    record_output(text, "table2_comparison")
+
+    fela = TABLE_II[-1]
+    assert fela.solution == "Fela"
+    # Fela is the only row with every dimension covered.
+    full_rows = [
+        row
+        for row in TABLE_II
+        if all(
+            (
+                row.flexible_parallelism,
+                row.straggler_mitigation,
+                row.communication_efficiency,
+                row.work_conservation,
+                row.algorithm_reproducibility,
+            )
+        )
+    ]
+    assert full_rows == [fela]

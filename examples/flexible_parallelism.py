@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Flexible parallelism, end to end (paper Sections II-B, III-B, IV-A).
+
+Walks the chain the paper's motivation builds:
+
+1. profile throughput-vs-batch for the three layer shapes of Fig. 1 and
+   find each one's *threshold batch size* (16 / 64 / ~2048);
+2. profile every VGG19 layer and show the threshold ladder of Fig. 5;
+3. partition the model with the bin-partitioned method and with the
+   paper's published split;
+4. show the per-sub-model token batch sizes a Fela configuration derives
+   — the "flexible parallel degrees" of the title.
+
+Run:
+    python examples/flexible_parallelism.py
+"""
+
+from repro import FelaConfig, ThroughputProfiler, get_model
+from repro.harness import fig1, fig5
+from repro.partition import bin_partition, paper_partition
+
+
+def main() -> None:
+    profiler = ThroughputProfiler()
+
+    print(fig1(profiler).render())
+    print()
+    print(fig5(profiler).render())
+    print()
+
+    model = get_model("vgg19")
+    partition = paper_partition(model, profiler)
+    config = FelaConfig(
+        partition=partition,
+        total_batch=512,
+        num_workers=8,
+        weights=(1, 2, 8),
+    )
+    print("Flexible parallel degrees for total batch 512, weights (1,2,8):")
+    for submodel, count, batch in zip(
+        partition, config.token_counts(), config.token_batches()
+    ):
+        print(
+            f"  {submodel.name}: {count} tokens x batch {batch} "
+            f"(threshold {submodel.threshold_batch}, "
+            f"comm-intensive={submodel.communication_intensive})"
+        )
+    print()
+
+    print("Bin-partitioned method on a model the paper does not cover:")
+    print(bin_partition(get_model("vgg16"), profiler).describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Beyond CNNs: Fela training matrix factorization (paper Section II-B).
+
+"More than deep neural networks, the heterogeneity of parallelism degree
+is also very common for other DML tasks, such as matrix factorization
+and PageRank."
+
+The block API (:class:`repro.models.BlockSpec`) lets any staged workload
+ride the same machinery: profiling, partitioning, the Token Server, the
+policies, and the baselines.  For matrix factorization the interesting
+axis is *communication*: the factor matrices dwarf the per-rating
+compute, so CTD — restricting their synchronization to a small worker
+subset — is where the wins come from.
+
+Run:
+    python examples/matrix_factorization.py
+"""
+
+from repro import Cluster, ClusterSpec, DataParallel, FelaConfig, FelaRuntime
+from repro.harness import render_table
+from repro.models import build_matrix_factorization
+from repro.partition import partition_by_counts
+
+
+def main() -> None:
+    mf = build_matrix_factorization(
+        users=1_000_000, items=100_000, rank=128
+    )
+    print(
+        f"Workload: {mf.name}, {mf.param_count / 1e6:.0f}M parameters, "
+        f"{mf.forward_flops:.0f} FLOPs per rating — the parameter state "
+        "dwarfs the compute."
+    )
+    partition = partition_by_counts(mf, [1, 1])
+    for submodel in partition:
+        print(
+            f"  {submodel.name}: {submodel.param_count / 1e6:.0f}M params, "
+            f"comm-intensive={submodel.communication_intensive}"
+        )
+    print()
+
+    batch = 65536  # ratings per iteration
+    rows = []
+    for subset in (8, 2, 1):
+        config = FelaConfig(
+            partition=partition,
+            total_batch=batch,
+            num_workers=8,
+            weights=(1, 1),
+            conditional_subset_size=subset,
+            iterations=5,
+        )
+        result = FelaRuntime(config, Cluster(ClusterSpec(num_nodes=8))).run()
+        rows.append(
+            [
+                f"Fela, subset={subset}",
+                result.average_throughput,
+                result.stats["network_bytes"] / 1e9,
+            ]
+        )
+    dp = DataParallel(mf, batch, 8, iterations=5).run()
+    rows.append(
+        ["DP (full sync)", dp.average_throughput, dp.stats["network_bytes"] / 1e9]
+    )
+    print(
+        render_table(
+            ["Runtime", "AT (ratings/s)", "network GB (5 iters)"],
+            rows,
+            title=f"Matrix factorization, {batch} ratings/iteration",
+        )
+    )
+    print(
+        "\nShrinking the conditional subset slashes factor-matrix "
+        "synchronization,\nwhich is nearly all this workload's cost — "
+        "the CTD policy generalizes beyond FC layers."
+    )
+
+
+if __name__ == "__main__":
+    main()

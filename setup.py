@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``) on
+offline machines whose setuptools lacks the ``wheel`` package required by
+PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

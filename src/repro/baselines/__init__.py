@@ -1,0 +1,25 @@
+"""Baseline runtimes: data-parallel, model-parallel, hybrid-parallel."""
+
+from repro.baselines.base import BaselineRuntime
+from repro.baselines.data_parallel import DataParallel
+from repro.baselines.hybrid_parallel import HybridParallel
+from repro.baselines.proactive import ProactiveElastic
+from repro.baselines.model_parallel import (
+    CHUNKS_PER_STAGE,
+    DEFAULT_MICRO_BATCH,
+    ModelParallel,
+    balance_stages,
+    default_micro_batch,
+)
+
+__all__ = [
+    "BaselineRuntime",
+    "CHUNKS_PER_STAGE",
+    "DEFAULT_MICRO_BATCH",
+    "DataParallel",
+    "HybridParallel",
+    "ModelParallel",
+    "ProactiveElastic",
+    "balance_stages",
+    "default_micro_batch",
+]

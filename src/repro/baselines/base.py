@@ -1,0 +1,108 @@
+"""Shared machinery for the baseline runtimes (DP / MP / HP).
+
+Each baseline drives the same simulated cluster and straggler injector as
+Fela and produces the same :class:`~repro.metrics.RunResult`, so the
+harness can compare average throughput (Equation 3) and per-iteration
+delay (Equation 4) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster, ClusterSpec
+from repro.metrics import IterationRecord, RunResult
+from repro.models import ModelGraph
+from repro.stragglers import NoStraggler, StragglerInjector
+
+
+class BaselineRuntime(abc.ABC):
+    """Template for a BSP baseline: per-iteration process + bookkeeping."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        total_batch: int,
+        num_workers: int,
+        iterations: int = 100,
+        cluster: Cluster | None = None,
+        straggler: StragglerInjector | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigurationError(f"need >= 1 worker: {num_workers}")
+        if total_batch < num_workers:
+            raise ConfigurationError(
+                f"total batch {total_batch} < {num_workers} workers"
+            )
+        if iterations < 1:
+            raise ConfigurationError(f"need >= 1 iteration: {iterations}")
+        self.model = model
+        self.total_batch = total_batch
+        self.num_workers = num_workers
+        self.iterations = iterations
+        self.cluster = cluster or Cluster(ClusterSpec(num_nodes=num_workers))
+        if self.cluster.num_nodes < num_workers:
+            raise ConfigurationError(
+                f"cluster has {self.cluster.num_nodes} nodes for "
+                f"{num_workers} workers"
+            )
+        self.straggler = straggler or NoStraggler()
+        self._records: list[IterationRecord] = []
+        self._validate()
+
+    def _validate(self) -> None:
+        """Hook: check memory feasibility etc. before running."""
+
+    @abc.abstractmethod
+    def _iteration(self, iteration: int, delays: _t.Sequence[float]):
+        """Process generator for one BSP iteration.
+
+        May return a per-worker work tuple for the iteration record.
+        """
+
+    def run(self) -> RunResult:
+        env = self.cluster.env
+        main = env.process(self._main())
+        env.run(main)
+        return RunResult(
+            runtime_name=self.name,
+            model_name=self.model.name,
+            total_batch=self.total_batch,
+            iterations=self.iterations,
+            total_time=env.now,
+            records=tuple(self._records),
+            stats=self._stats(),
+        )
+
+    def _stats(self) -> dict[str, _t.Any]:
+        return {
+            "network_bytes": self.cluster.fabric.stats.bytes_transferred,
+            "compute_seconds_by_worker": [
+                node.busy_time for node in self.cluster
+            ][: self.num_workers],
+        }
+
+    def _main(self):
+        env = self.cluster.env
+        for iteration in range(self.iterations):
+            start = env.now
+            delays = self.straggler.delays(iteration, self.num_workers)
+            work = yield from self._iteration(iteration, delays)
+            self._records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    start=start,
+                    end=env.now,
+                    work_by_worker=tuple(work or ()),
+                )
+            )
+
+    @staticmethod
+    def split_batch(total: int, parts: int) -> list[int]:
+        """Near-even batch shares (first shards take the remainder)."""
+        base, extra = divmod(total, parts)
+        return [base + (1 if i < extra else 0) for i in range(parts)]

@@ -1,0 +1,116 @@
+"""The data-parallel (DP) baseline.
+
+Every worker holds a complete model replica and trains
+``total_batch / N`` samples per iteration on its local shard of the
+training data, then all workers ring-all-reduce the full parameter set
+(Gloo-style, as in the paper's PyTorch prototype).  Properties the paper's
+evaluation leans on:
+
+* communication volume is the whole model, **independent of batch size** —
+  which is why DP eventually overtakes HP as the batch grows;
+* when the per-worker batch exceeds GPU memory (VGG19 beyond ~32 samples
+  on a 12 GB K40c, footnote 3), the worker falls back to **gradient
+  accumulation**: it trains in the largest micro-batches that fit, paying
+  the saturation floor repeatedly;
+* under BSP every worker waits for the slowest one, so a straggler's delay
+  lands on the iteration in full.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.baselines.base import BaselineRuntime
+from repro.core.collectives import (
+    hierarchical_allreduce,
+    parameter_server_sync,
+    ring_allreduce,
+    tree_allreduce,
+)
+from repro.errors import CapacityError, ConfigurationError
+
+#: Synchronization strategies selectable on the DP baseline.  The paper's
+#: prototype uses Gloo's ring; the others exist for the design-choice
+#: ablation (and "ps" reproduces the FlexPS-style centralized bottleneck
+#: of Table II).
+SYNC_STRATEGIES: tuple[str, ...] = ("ring", "tree", "ps", "hierarchical")
+
+
+class DataParallel(BaselineRuntime):
+    """BSP data parallelism with configurable gradient synchronization."""
+
+    name = "dp"
+
+    def __init__(self, *args, sync_strategy: str = "ring", **kwargs) -> None:
+        if sync_strategy not in SYNC_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown sync strategy {sync_strategy!r}; expected one "
+                f"of {SYNC_STRATEGIES}"
+            )
+        self.sync_strategy = sync_strategy
+        super().__init__(*args, **kwargs)
+
+    def _sync(self):
+        """Process generator for one gradient synchronization."""
+        workers = list(range(self.num_workers))
+        size = self.model.param_bytes
+        if self.sync_strategy == "ring":
+            yield from ring_allreduce(self.cluster, workers, size)
+        elif self.sync_strategy == "tree":
+            yield from tree_allreduce(self.cluster, workers, size)
+        elif self.sync_strategy == "ps":
+            yield from parameter_server_sync(
+                self.cluster, workers, server=0, size_bytes=size
+            )
+        else:  # hierarchical: split the cluster into two halves
+            half = max(1, self.num_workers // 2)
+            groups = [workers[:half], workers[half:]]
+            groups = [group for group in groups if group]
+            yield from hierarchical_allreduce(self.cluster, groups, size)
+
+    def _validate(self) -> None:
+        gpu = self.cluster.spec.gpu
+        if gpu.max_batch(self.model.layers, self.model.input_floats) < 1:
+            raise CapacityError(
+                f"model {self.model.name!r} does not fit on the GPU even "
+                "at batch 1; data parallelism is infeasible"
+            )
+
+    def accumulation_chunks(self, worker_batch: int) -> list[int]:
+        """Micro-batches used to train ``worker_batch`` samples.
+
+        One chunk if it fits; otherwise the largest fitting power-of-two
+        micro-batch, repeated (gradient accumulation).
+        """
+        gpu = self.cluster.spec.gpu
+        if gpu.fits(self.model.layers, worker_batch, self.model.input_floats):
+            return [worker_batch]
+        max_fit = gpu.max_batch(self.model.layers, self.model.input_floats)
+        chunk = 1
+        while chunk * 2 <= max_fit:
+            chunk *= 2
+        chunks = [chunk] * (worker_batch // chunk)
+        remainder = worker_batch % chunk
+        if remainder:
+            chunks.append(remainder)
+        return chunks
+
+    def _iteration(self, iteration: int, delays: _t.Sequence[float]):
+        env = self.cluster.env
+        shares = self.split_batch(self.total_batch, self.num_workers)
+
+        def train(wid: int):
+            if delays[wid] > 0:
+                yield env.timeout(delays[wid])
+            seconds = sum(
+                self.cluster.spec.gpu.train_time(self.model.layers, chunk)
+                for chunk in self.accumulation_chunks(shares[wid])
+            )
+            yield from self.cluster[wid].compute(seconds)
+
+        workers = [
+            env.process(train(wid)) for wid in range(self.num_workers)
+        ]
+        yield env.all_of(workers)  # BSP: wait for the slowest worker
+        yield from self._sync()
+        return shares

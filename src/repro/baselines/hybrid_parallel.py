@@ -1,0 +1,132 @@
+"""The hybrid-parallel (HP) baseline, after Stanza (paper's reference [6]).
+
+Layer separation: ``N - 1`` *CONV workers* run the convolutional front of
+the model data-parallel on their own sample shards; one *FC worker* holds
+the fully connected back.  Per iteration:
+
+1. CONV workers forward their shard and ship the boundary activations to
+   the FC worker (which is idle until they arrive — the paper's
+   work-conservation critique);
+2. the FC worker runs forward+backward of the FC part over the whole
+   batch, then ships activation gradients back to every CONV worker;
+3. CONV workers run their backward pass;
+4. CONV parameters ring-all-reduce among the ``N - 1`` CONV workers; FC
+   parameters never cross the network (Stanza's communication saving).
+
+The FC worker's NIC receives/sends ``batch x boundary_bytes`` each
+iteration, so it becomes a centralized bottleneck as the batch grows —
+exactly why HP loses to DP at large batch sizes in Fig. 8.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.baselines.base import BaselineRuntime
+from repro.core.collectives import ring_allreduce
+from repro.errors import ConfigurationError
+from repro.models import LayerProfile
+from repro.models.layers import LinearSpec
+
+
+class HybridParallel(BaselineRuntime):
+    """Stanza-style layer separation: N-1 CONV workers + 1 FC worker."""
+
+    name = "hp"
+
+    def _validate(self) -> None:
+        if self.num_workers < 2:
+            raise ConfigurationError(
+                "hybrid parallelism needs at least 2 workers "
+                "(N-1 CONV + 1 FC)"
+            )
+        split = self._split_index()
+        if split == 0 or split == len(self.model):
+            raise ConfigurationError(
+                f"model {self.model.name!r} has no CONV/FC boundary; "
+                "hybrid parallelism does not apply"
+            )
+
+    def _split_index(self) -> int:
+        """Index of the first FC layer (the CONV/FC boundary)."""
+        for profile in self.model.layers:
+            if isinstance(profile.layer, LinearSpec):
+                return profile.index
+        return len(self.model)
+
+    @property
+    def conv_layers(self) -> list[LayerProfile]:
+        return self.model.layers[: self._split_index()]
+
+    @property
+    def fc_layers(self) -> list[LayerProfile]:
+        return self.model.layers[self._split_index():]
+
+    @property
+    def conv_workers(self) -> list[int]:
+        return list(range(self.num_workers - 1))
+
+    @property
+    def fc_worker(self) -> int:
+        return self.num_workers - 1
+
+    @property
+    def boundary_bytes_per_sample(self) -> int:
+        """Bytes of boundary activation per sample (CONV out -> FC in)."""
+        return self.conv_layers[-1].activation_bytes
+
+    def _iteration(self, iteration: int, delays: _t.Sequence[float]):
+        env = self.cluster.env
+        gpu = self.cluster.spec.gpu
+        conv_ids = self.conv_workers
+        fc_id = self.fc_worker
+        shares = self.split_batch(self.total_batch, len(conv_ids))
+
+        #: Fired per CONV worker once its activations reached the FC node.
+        activations_in = [env.event() for _ in conv_ids]
+        #: Fired per CONV worker once its gradients arrived back.
+        gradients_back = [env.event() for _ in conv_ids]
+
+        def conv_proc(slot: int):
+            wid = conv_ids[slot]
+            if delays[wid] > 0:
+                yield env.timeout(delays[wid])
+            batch = shares[slot]
+            yield from self.cluster[wid].compute(
+                gpu.forward_time(self.conv_layers, batch)
+            )
+            yield self.cluster.fabric.transfer(
+                wid, fc_id, batch * self.boundary_bytes_per_sample
+            )
+            activations_in[slot].succeed()
+            # Idle until the FC worker returns the activation gradients —
+            # the "bad work conservation" the paper measures.
+            yield gradients_back[slot]
+            yield from self.cluster[wid].compute(
+                gpu.backward_time(self.conv_layers, batch)
+            )
+
+        def fc_proc():
+            if delays[fc_id] > 0:
+                yield env.timeout(delays[fc_id])
+            yield env.all_of(activations_in)
+            yield from self.cluster[fc_id].compute(
+                gpu.train_time(self.fc_layers, self.total_batch)
+            )
+            returns = []
+            for slot, wid in enumerate(conv_ids):
+                transfer = self.cluster.fabric.transfer(
+                    fc_id, wid, shares[slot] * self.boundary_bytes_per_sample
+                )
+                transfer.callbacks.append(
+                    lambda _event, s=slot: gradients_back[s].succeed()
+                )
+                returns.append(transfer)
+            yield env.all_of(returns)
+
+        procs = [env.process(conv_proc(s)) for s in range(len(conv_ids))]
+        procs.append(env.process(fc_proc()))
+        yield env.all_of(procs)
+        conv_param_bytes = sum(p.param_bytes for p in self.conv_layers)
+        yield from ring_allreduce(self.cluster, conv_ids, conv_param_bytes)
+        return shares + [self.total_batch]

@@ -1,0 +1,185 @@
+"""The model-parallel (MP) pipeline baseline (PipeDream/GPipe-style).
+
+The model is split into ``N`` contiguous stages balanced by training
+FLOPs, one stage per worker.  Each iteration is a synchronous (BSP) flush:
+all micro-batches flow forward through the pipeline, then backward in
+reverse; weights update locally at the end of the flush — no cross-worker
+parameter synchronization at all (each worker owns distinct layers).
+
+The two pathologies the paper attributes to MP are both structural here:
+
+* **bubbles / bad work conservation** — during fill and drain, most of the
+  ``N`` stages are idle; with 8 workers, the majority of GPU time is idle
+  time ("the majority of workers remain idle during one iteration");
+* **under-saturation** — micro-batches are "small and fixed" (paper
+  Section V-C1, citing GPipe), far below the per-layer threshold batch
+  sizes, so every stage pays the kernel saturation floor.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.baselines.base import BaselineRuntime
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster
+from repro.models import LayerProfile, ModelGraph
+from repro.sim import Store
+from repro.stragglers import StragglerInjector
+
+#: The paper's MP baseline uses "small and fixed micro-batches" (citing
+#: GPipe).  GPipe's guidance is ~4 micro-batches per stage, i.e. 32 chunks
+#: on an 8-way pipeline; the micro-batch is the total batch over that
+#: chunk count, floored at this minimum size.
+DEFAULT_MICRO_BATCH: int = 4
+
+#: GPipe's recommended chunks-per-stage factor.
+CHUNKS_PER_STAGE: int = 4
+
+
+def default_micro_batch(total_batch: int, num_stages: int) -> int:
+    """The fixed micro-batch size the MP baseline uses by default."""
+    chunks = max(1, num_stages * CHUNKS_PER_STAGE)
+    return max(DEFAULT_MICRO_BATCH, total_batch // chunks)
+
+
+def balance_stages(
+    model: ModelGraph,
+    num_stages: int,
+    cost: _t.Callable[[LayerProfile], float] | None = None,
+) -> list[list[LayerProfile]]:
+    """Split layers into contiguous stages of near-equal ``cost``.
+
+    Greedy cut: walk the layers accumulating cost and close a stage once
+    it reaches the ideal share (total / num_stages), keeping at least one
+    layer per stage and leaving enough layers for the remaining stages.
+    The default cost is training FLOPs; the MP runtime balances by
+    simulated per-layer *time* at its micro-batch instead, because
+    saturation floors make small layers far more expensive than their
+    FLOPs suggest.  The paper notes "model partition can hardly be
+    balanced" — the residual imbalance of the greedy scheme is part of
+    what the evaluation measures.
+    """
+    layers = model.layers
+    if num_stages < 1:
+        raise ConfigurationError(f"need >= 1 stage: {num_stages}")
+    if num_stages > len(layers):
+        raise ConfigurationError(
+            f"{num_stages} stages exceed the {len(layers)} layers of "
+            f"{model.name!r}"
+        )
+    if cost is None:
+        cost = lambda profile: profile.train_flops  # noqa: E731
+    total = sum(cost(p) for p in layers)
+    ideal = total / num_stages
+    stages: list[list[LayerProfile]] = []
+    current: list[LayerProfile] = []
+    acc = 0.0
+    remaining = num_stages
+    for index, profile in enumerate(layers):
+        current.append(profile)
+        acc += cost(profile)
+        layers_left = len(layers) - index - 1
+        stages_left = remaining - 1
+        must_close = layers_left == stages_left
+        may_close = acc >= ideal and stages_left > 0
+        if stages_left > 0 and (must_close or may_close):
+            stages.append(current)
+            current = []
+            acc = 0.0
+            remaining -= 1
+    if current:
+        stages.append(current)
+    return stages
+
+
+class ModelParallel(BaselineRuntime):
+    """BSP pipeline model parallelism with fixed micro-batches."""
+
+    name = "mp"
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        total_batch: int,
+        num_workers: int,
+        iterations: int = 100,
+        cluster: Cluster | None = None,
+        straggler: StragglerInjector | None = None,
+        micro_batch: int | None = None,
+    ) -> None:
+        if micro_batch is None:
+            micro_batch = default_micro_batch(total_batch, num_workers)
+        if micro_batch < 1:
+            raise ConfigurationError(f"micro batch must be >= 1: {micro_batch}")
+        self.micro_batch = micro_batch
+        super().__init__(
+            model, total_batch, num_workers, iterations, cluster, straggler
+        )
+        gpu = self.cluster.spec.gpu
+        self.stages = balance_stages(
+            model,
+            num_workers,
+            cost=lambda p: gpu.layer_train_time(p, self.micro_batch),
+        )
+
+    def micro_batches(self) -> list[int]:
+        """Sizes of the iteration's micro-batches (last may be smaller)."""
+        full, remainder = divmod(self.total_batch, self.micro_batch)
+        sizes = [self.micro_batch] * full
+        if remainder:
+            sizes.append(remainder)
+        return sizes
+
+    def _stage_io_bytes(self, stage: int, batch: int) -> float:
+        """Bytes a stage sends downstream (fwd) per micro-batch."""
+        boundary = self.stages[stage][-1]
+        return batch * boundary.activation_bytes
+
+    def _iteration(self, iteration: int, delays: _t.Sequence[float]):
+        env = self.cluster.env
+        gpu = self.cluster.spec.gpu
+        sizes = self.micro_batches()
+        num = self.num_workers
+        # Per-stage inbound queues; items are (micro_index, batch).
+        fwd_in: list[Store] = [Store(env) for _ in range(num)]
+        bwd_in: list[Store] = [Store(env) for _ in range(num)]
+
+        def stage_proc(stage: int):
+            if delays[stage] > 0:
+                yield env.timeout(delays[stage])
+            layers = self.stages[stage]
+            # Forward phase: process micro-batches in arrival order.
+            for micro, batch in enumerate(sizes):
+                if stage > 0:
+                    yield fwd_in[stage].get()
+                yield from self.cluster[stage].compute(
+                    gpu.forward_time(layers, batch)
+                )
+                if stage < num - 1:
+                    yield self.cluster.fabric.transfer(
+                        stage, stage + 1, self._stage_io_bytes(stage, batch)
+                    )
+                    yield fwd_in[stage + 1].put((micro, batch))
+                else:
+                    # The last stage turns straight around into backward.
+                    yield bwd_in[stage].put((micro, batch))
+            # Backward phase: drain in re-arrival order (GPipe flush).
+            for _ in sizes:
+                micro, batch = yield bwd_in[stage].get()
+                yield from self.cluster[stage].compute(
+                    gpu.backward_time(layers, batch)
+                )
+                if stage > 0:
+                    # Gradient w.r.t. the stage input, same size as the
+                    # upstream boundary activation.
+                    yield self.cluster.fabric.transfer(
+                        stage,
+                        stage - 1,
+                        self._stage_io_bytes(stage - 1, batch),
+                    )
+                    yield bwd_in[stage - 1].put((micro, batch))
+
+        procs = [env.process(stage_proc(s)) for s in range(num)]
+        yield env.all_of(procs)
+        return [len(sizes)] * num

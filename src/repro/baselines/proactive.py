@@ -1,0 +1,132 @@
+"""A proactive, periodically re-partitioning scheduler (ElasticPipe-like).
+
+Section III-C argues that *proactive* straggler mitigation — a scheduler
+that periodically profiles worker speeds and re-distributes workload —
+reacts too late when stragglers are transient: it takes work away from
+workers that have already recovered and piles it onto workers that just
+became slow.  Fela's *reactive* token pull avoids this by letting workers
+set their own pace.
+
+:class:`ProactiveElastic` implements the proactive side of that argument
+so it can be measured: workers get per-iteration sample quotas
+proportional to the throughput the scheduler *believes* they have, and
+that belief is only refreshed every ``profile_period`` iterations from
+the observed durations of the previous period (exactly the
+profiling-window design of FlexRR/ElasticPipe).  Everything else (model,
+cluster, BSP all-reduce) matches the data-parallel baseline, so the only
+difference under test is the scheduling strategy.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.baselines.base import BaselineRuntime
+from repro.core.collectives import ring_allreduce
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster
+from repro.models import ModelGraph
+from repro.stragglers import StragglerInjector
+
+
+class ProactiveElastic(BaselineRuntime):
+    """BSP data-parallel training with periodic proactive re-balancing."""
+
+    name = "proactive"
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        total_batch: int,
+        num_workers: int,
+        iterations: int = 100,
+        cluster: Cluster | None = None,
+        straggler: StragglerInjector | None = None,
+        profile_period: int = 5,
+    ) -> None:
+        if profile_period < 1:
+            raise ConfigurationError(
+                f"profile period must be >= 1: {profile_period}"
+            )
+        self.profile_period = profile_period
+        super().__init__(
+            model, total_batch, num_workers, iterations, cluster, straggler
+        )
+        #: The scheduler's current belief: relative worker speeds.
+        self._believed_speed = [1.0] * num_workers
+        #: Observations accumulated during the current profiling window:
+        #: (samples, seconds) per worker.
+        self._observations = [
+            (0, 0.0) for _ in range(num_workers)
+        ]
+
+    # -- quota computation -------------------------------------------------------
+
+    def quotas(self) -> list[int]:
+        """Per-worker sample quotas proportional to believed speed."""
+        total_speed = sum(self._believed_speed)
+        raw = [
+            self.total_batch * speed / total_speed
+            for speed in self._believed_speed
+        ]
+        quotas = [int(q) for q in raw]
+        # Distribute the rounding remainder to the largest fractional
+        # parts, deterministically.
+        remainder = self.total_batch - sum(quotas)
+        order = sorted(
+            range(self.num_workers),
+            key=lambda w: (raw[w] - quotas[w], -w),
+            reverse=True,
+        )
+        for w in order[:remainder]:
+            quotas[w] += 1
+        return quotas
+
+    def _refresh_beliefs(self) -> None:
+        """Adopt the previous window's observed speeds (the re-partition)."""
+        speeds = []
+        for samples, seconds in self._observations:
+            if samples > 0 and seconds > 0:
+                speeds.append(samples / seconds)
+            else:
+                speeds.append(0.0)
+        if any(speed > 0 for speed in speeds):
+            fallback = max(speeds)
+            self._believed_speed = [
+                speed if speed > 0 else fallback for speed in speeds
+            ]
+        self._observations = [(0, 0.0) for _ in range(self.num_workers)]
+
+    # -- iteration ------------------------------------------------------------------
+
+    def _iteration(self, iteration: int, delays: _t.Sequence[float]):
+        env = self.cluster.env
+        gpu = self.cluster.spec.gpu
+        if iteration > 0 and iteration % self.profile_period == 0:
+            self._refresh_beliefs()
+        quotas = self.quotas()
+
+        def train(wid: int):
+            began = env.now
+            if delays[wid] > 0:
+                yield env.timeout(delays[wid])
+            quota = quotas[wid]
+            if quota > 0:
+                seconds = gpu.train_time(self.model.layers, quota)
+                yield from self.cluster[wid].compute(seconds)
+            samples, seconds_seen = self._observations[wid]
+            self._observations[wid] = (
+                samples + quota,
+                seconds_seen + (env.now - began),
+            )
+
+        workers = [
+            env.process(train(wid)) for wid in range(self.num_workers)
+        ]
+        yield env.all_of(workers)
+        yield from ring_allreduce(
+            self.cluster,
+            list(range(self.num_workers)),
+            self.model.param_bytes,
+        )
+        return quotas

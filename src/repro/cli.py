@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands map onto the library's public API:
+
+``list-models``
+    Models available in the zoo.
+``profile MODEL``
+    Per-layer threshold batch sizes (Fig. 5 for any model).
+``partition MODEL [--bin-width W]``
+    Offline bin-partitioned method output (and the paper's published
+    partition when one exists).
+``run MODEL --runtime {fela,dp,mp,hp,proactive}``
+    One training run; optional straggler injection.
+``compare MODEL --batches 64,128,...``
+    Fig. 8-style comparison across all runtimes.
+``tune MODEL --batch B``
+    The two-phase configuration tuning (Fig. 6 diagnostics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.errors import ConfigurationError, ReproError
+from repro.harness import (
+    ExperimentRunner,
+    ExperimentSpec,
+    fig8,
+    render_table,
+)
+from repro.models import available_models, get_model
+from repro.partition import bin_partition, paper_partition
+from repro.profiling import ThroughputProfiler
+from repro.stragglers import (
+    NoStraggler,
+    ProbabilityStraggler,
+    RoundRobinStraggler,
+    StragglerInjector,
+)
+
+
+def parse_straggler(text: str | None) -> StragglerInjector:
+    """Parse ``--straggler`` values: ``none``, ``rr:D``, or ``prob:P:D``.
+
+    >>> parse_straggler("rr:6").delay
+    6.0
+    """
+    if not text or text == "none":
+        return NoStraggler()
+    parts = text.split(":")
+    try:
+        if parts[0] == "rr" and len(parts) == 2:
+            return RoundRobinStraggler(float(parts[1]))
+        if parts[0] == "prob" and len(parts) == 3:
+            return ProbabilityStraggler(float(parts[1]), float(parts[2]))
+    except ValueError:
+        pass
+    raise ConfigurationError(
+        f"cannot parse straggler spec {text!r}; expected 'none', 'rr:D', "
+        "or 'prob:P:D'"
+    )
+
+
+def parse_batches(text: str) -> list[int]:
+    """Parse a comma-separated batch list ("64,128,256")."""
+    try:
+        batches = [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise ConfigurationError(
+            f"cannot parse batch list {text!r}"
+        ) from None
+    if not batches:
+        raise ConfigurationError("empty batch list")
+    return batches
+
+
+def _cmd_list_models(_args: argparse.Namespace) -> str:
+    return "\n".join(available_models())
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    profiler = ThroughputProfiler()
+    rows = [
+        [profile.name, str(profile.shape_signature), threshold]
+        for profile, threshold in profiler.model_thresholds(model)
+    ]
+    return render_table(
+        ["Layer", "Shape", "Threshold batch"],
+        rows,
+        title=f"Threshold batch sizes for {model.name}",
+    )
+
+
+def _cmd_partition(args: argparse.Namespace) -> str:
+    model = get_model(args.model)
+    lines = []
+    try:
+        lines.append("Paper partition:")
+        lines.append(paper_partition(model).describe())
+    except ReproError:
+        lines.append(f"(no published partition for {model.name})")
+    lines.append("")
+    lines.append(f"Bin-partitioned method (bin width {args.bin_width}):")
+    lines.append(bin_partition(model, bin_width=args.bin_width).describe())
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    runner = ExperimentRunner()
+    spec = ExperimentSpec(
+        model_name=args.model,
+        total_batch=args.batch,
+        num_workers=args.workers,
+        iterations=args.iterations,
+    )
+    result = runner.run(
+        args.runtime, spec, parse_straggler(args.straggler)
+    )
+    rows = [
+        ["runtime", result.runtime_name],
+        ["model", result.model_name],
+        ["total batch", result.total_batch],
+        ["iterations", result.iterations],
+        ["total time (s)", result.total_time],
+        ["AT (samples/s)", result.average_throughput],
+        ["s/iteration", result.mean_iteration_time],
+    ]
+    return render_table(["Metric", "Value"], rows)
+
+
+def _cmd_compare(args: argparse.Namespace) -> str:
+    runner = ExperimentRunner()
+    result = fig8(
+        args.model,
+        batches=parse_batches(args.batches),
+        iterations=args.iterations,
+        runner=runner,
+    )
+    return result.render()
+
+
+def _cmd_figures(args: argparse.Namespace) -> str:
+    from repro.harness.registry import (
+        REGISTRY,
+        generate_artifact,
+        get_artifact,
+    )
+
+    if args.list:
+        rows = [
+            [a.artifact_id, "paper" if a.from_paper else "extension",
+             a.title, a.benchmark]
+            for a in REGISTRY
+        ]
+        return render_table(
+            ["Id", "Source", "Title", "Benchmark"], rows
+        )
+    if not args.ids:
+        raise ConfigurationError(
+            "pass artifact ids (see --list) or --list"
+        )
+    chunks = []
+    runner = ExperimentRunner()
+    for artifact_id in args.ids:
+        get_artifact(artifact_id)  # fail fast on typos
+        chunks.append(
+            generate_artifact(
+                artifact_id, runner=runner, iterations=args.iterations
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+def _cmd_tune(args: argparse.Namespace) -> str:
+    from repro.tuning import ConfigurationTuner
+
+    partition = ExperimentRunner().partition(args.model)
+    tuner = ConfigurationTuner(
+        partition,
+        total_batch=args.batch,
+        num_workers=args.workers,
+        profile_iterations=args.profile_iterations,
+    )
+    result = tuner.tune()
+    rows = [
+        [case.index, case.phase, str(case.weights), case.subset_size,
+         case.per_iteration_time]
+        for case in result.cases
+    ]
+    table = render_table(
+        ["Case", "Phase", "Weights", "Subset", "s/iter"],
+        rows,
+        title=f"Tuning {args.model} at batch {args.batch}",
+    )
+    summary = (
+        f"best: weights={result.best_weights} "
+        f"subset={result.best_subset_size}; gaps: "
+        f"phase1={result.phase1_gap() * 100:.2f}% "
+        f"phase2={result.phase2_gap() * 100:.2f}% "
+        f"overall={result.overall_gap() * 100:.2f}%"
+    )
+    return f"{table}\n{summary}"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fela (ICDE 2020) reproduction on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="models available in the zoo")
+
+    profile = sub.add_parser("profile", help="per-layer threshold batches")
+    profile.add_argument("model")
+
+    partition = sub.add_parser("partition", help="offline model partition")
+    partition.add_argument("model")
+    partition.add_argument("--bin-width", type=int, default=16)
+
+    run = sub.add_parser("run", help="one training run")
+    run.add_argument("model")
+    run.add_argument(
+        "--runtime",
+        default="fela",
+        choices=("fela", "dp", "mp", "hp", "proactive"),
+    )
+    run.add_argument("--batch", type=int, default=256)
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument("--iterations", type=int, default=10)
+    run.add_argument(
+        "--straggler",
+        default="none",
+        help="'none', 'rr:D' (round-robin, D s) or 'prob:P:D'",
+    )
+
+    compare = sub.add_parser("compare", help="compare all runtimes")
+    compare.add_argument("model")
+    compare.add_argument("--batches", default="64,128,256,512,1024")
+    compare.add_argument("--iterations", type=int, default=10)
+
+    tune = sub.add_parser("tune", help="two-phase configuration tuning")
+    tune.add_argument("model")
+    tune.add_argument("--batch", type=int, default=256)
+    tune.add_argument("--workers", type=int, default=8)
+    tune.add_argument("--profile-iterations", type=int, default=5)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's tables/figures"
+    )
+    figures.add_argument("ids", nargs="*", help="artifact ids (see --list)")
+    figures.add_argument("--list", action="store_true")
+    figures.add_argument("--iterations", type=int, default=8)
+
+    return parser
+
+
+_COMMANDS: dict[str, _t.Callable[[argparse.Namespace], str]] = {
+    "list-models": _cmd_list_models,
+    "profile": _cmd_profile,
+    "partition": _cmd_partition,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "tune": _cmd_tune,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. `repro figures --list | head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Iteration-quality (convergence) modelling for the BSP/SSP/ASP trade-off."""
+
+from repro.convergence.model import ConvergenceModel
+
+__all__ = ["ConvergenceModel"]

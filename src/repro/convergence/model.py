@@ -1,0 +1,119 @@
+"""Iteration-quality model: why the paper stays with BSP.
+
+The paper's central argument for BSP (Sections II-C, V-A footnote 18) is
+that Fela "makes no changes to the training algorithm and does not affect
+the iteration quality", whereas ASP "spoils the iteration quality and may
+cause convergence failure" and SSP "makes some trade-off between
+iteration speed and iteration quality".  The throughput experiments
+deliberately hold iteration count fixed; this module supplies the other
+axis so the trade-off can be *measured* end-to-end: simulated time to a
+target loss = (seconds per iteration) x (iterations to target under the
+staleness in use).
+
+The model is the standard one from the SSP literature (Ho et al.,
+NeurIPS'13; Cui et al., ATC'14): SGD on a smooth convex objective with
+gradients delayed by up to ``s`` iterations behaves like gradient descent
+whose effective progress per step shrinks with the staleness-induced
+gradient error.  We model per-iteration loss contraction as
+
+    L_{t+1} - L* = rho(s) * (L_t - L*),
+    rho(s) = rho_bsp ** (1 / (1 + beta * E[age]))
+
+where ``E[age]`` is the mean effective gradient age and ``beta`` the
+staleness sensitivity (workload-dependent; default calibrated so that
+s = 4 roughly halves per-iteration progress, the regime LazyTable
+reports).  BSP has age 0, SSP with bound ``s`` has mean age ``s/2`` under
+steady pipelining, ASP's age is unbounded — modelled by its runtime lead
+over the slowest synchronization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvergenceModel:
+    """Loss-trajectory model for stale-gradient SGD."""
+
+    #: Per-iteration contraction of the excess loss under BSP (0 < rho < 1).
+    rho_bsp: float = 0.97
+    #: Sensitivity of the contraction to mean gradient age.
+    staleness_beta: float = 0.5
+    #: Initial excess loss L_0 - L*.
+    initial_excess: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.rho_bsp < 1:
+            raise ConfigurationError(
+                f"rho_bsp must be in (0, 1): {self.rho_bsp}"
+            )
+        if self.staleness_beta < 0:
+            raise ConfigurationError(
+                f"staleness_beta must be >= 0: {self.staleness_beta}"
+            )
+        if self.initial_excess <= 0:
+            raise ConfigurationError(
+                f"initial excess loss must be > 0: {self.initial_excess}"
+            )
+
+    # -- per-mode contraction ----------------------------------------------------
+
+    def mean_age(self, staleness_bound: int) -> float:
+        """Mean effective gradient age under an SSP bound (BSP = 0)."""
+        if staleness_bound < 0:
+            raise ConfigurationError(
+                f"staleness bound must be >= 0: {staleness_bound}"
+            )
+        return staleness_bound / 2.0
+
+    def contraction(self, mean_age: float) -> float:
+        """rho(s): per-iteration excess-loss contraction factor."""
+        if mean_age < 0:
+            raise ConfigurationError(f"mean age must be >= 0: {mean_age}")
+        exponent = 1.0 / (1.0 + self.staleness_beta * mean_age)
+        return self.rho_bsp**exponent
+
+    # -- trajectories ---------------------------------------------------------------
+
+    def excess_loss(self, iterations: int, mean_age: float = 0.0) -> float:
+        """Excess loss after ``iterations`` steps at constant ``mean_age``."""
+        if iterations < 0:
+            raise ConfigurationError(
+                f"iterations must be >= 0: {iterations}"
+            )
+        return self.initial_excess * self.contraction(mean_age) ** iterations
+
+    def iterations_to_target(
+        self, target_excess: float, mean_age: float = 0.0
+    ) -> int:
+        """Iterations needed to bring the excess loss to ``target_excess``."""
+        if not 0 < target_excess < self.initial_excess:
+            raise ConfigurationError(
+                f"target excess must be in (0, {self.initial_excess}): "
+                f"{target_excess}"
+            )
+        rho = self.contraction(mean_age)
+        needed = math.log(target_excess / self.initial_excess) / math.log(rho)
+        return int(math.ceil(needed))
+
+    def time_to_target(
+        self,
+        target_excess: float,
+        seconds_per_iteration: float,
+        mean_age: float = 0.0,
+    ) -> float:
+        """Wall-clock seconds to the target: the speed-quality product.
+
+        This is the quantity that decides whether SSP's faster iterations
+        pay for their degraded quality on a given cluster.
+        """
+        if seconds_per_iteration <= 0:
+            raise ConfigurationError(
+                f"seconds/iteration must be > 0: {seconds_per_iteration}"
+            )
+        iterations = self.iterations_to_target(target_excess, mean_age)
+        return iterations * seconds_per_iteration

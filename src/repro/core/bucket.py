@@ -1,0 +1,83 @@
+"""The Token Bucket, partitioned into per-worker sub-token-buckets (STBs).
+
+With the HF policy enabled (paper Section III-E), every token lives in the
+STB of its ``home_worker``; a worker first consumes its own STB, then
+*helps* the straggler with the fewest helpers and the slowest progress.
+With HF disabled, the bucket degenerates into one shared pool (the STB
+structure is retained internally, but candidate selection spans all STBs
+and every request contends on the shared lock).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.tokens import Token, TokenId
+from repro.errors import SchedulingError
+
+
+class TokenBucket:
+    """Holds the available (generated, not yet distributed) tokens."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise SchedulingError(f"need >= 1 worker: {num_workers}")
+        self.num_workers = num_workers
+        self._stbs: list[dict[TokenId, Token]] = [
+            {} for _ in range(num_workers)
+        ]
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        sizes = [len(stb) for stb in self._stbs]
+        return f"<TokenBucket total={self._size} stbs={sizes}>"
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, token: Token) -> None:
+        """Insert a freshly generated token into its home STB."""
+        if not 0 <= token.home_worker < self.num_workers:
+            raise SchedulingError(
+                f"token {token.tid} has home worker {token.home_worker} "
+                f"outside the {self.num_workers}-worker cluster"
+            )
+        stb = self._stbs[token.home_worker]
+        if token.tid in stb:
+            raise SchedulingError(f"token {token.tid} added twice")
+        stb[token.tid] = token
+        self._size += 1
+
+    def remove(self, token: Token) -> None:
+        """Take a token out of the bucket (it is being distributed)."""
+        stb = self._stbs[token.home_worker]
+        if token.tid not in stb:
+            raise SchedulingError(
+                f"token {token.tid} is not in worker "
+                f"{token.home_worker}'s STB"
+            )
+        del stb[token.tid]
+        self._size -= 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def stb_tokens(self, wid: int) -> list[Token]:
+        """Tokens currently in worker ``wid``'s STB."""
+        return list(self._stbs[wid].values())
+
+    def stb_size(self, wid: int) -> int:
+        return len(self._stbs[wid])
+
+    def all_tokens(self) -> list[Token]:
+        """Every available token, across all STBs."""
+        return [token for stb in self._stbs for token in stb.values()]
+
+    def nonempty_stbs(self, exclude: int | None = None) -> list[int]:
+        """Workers whose STBs still hold tokens."""
+        return [
+            wid
+            for wid, stb in enumerate(self._stbs)
+            if stb and wid != exclude
+        ]

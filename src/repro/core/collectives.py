@@ -1,0 +1,190 @@
+"""Collective communication primitives over the simulated fabric.
+
+All runtimes synchronize parameters with these generators.  They are
+written as process functions: ``yield from ring_allreduce(...)`` inside a
+simulation process pays the full communication cost on the fabric (and
+therefore contends with any concurrent activation transfers — a contention
+the paper's evaluation leans on).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster
+
+
+def ring_allreduce(
+    cluster: Cluster, workers: _t.Sequence[int], size_bytes: float
+):
+    """Bandwidth-optimal ring all-reduce among ``workers``.
+
+    Each participant sends and receives ``2 * (k-1)/k * size`` bytes in
+    ``2 * (k-1)`` rounds of ``size / k`` chunks (reduce-scatter followed by
+    all-gather).  A single participant (or an empty payload) is free.
+    """
+    workers = list(workers)
+    if not workers:
+        raise ConfigurationError("allreduce needs at least one worker")
+    if len(set(workers)) != len(workers):
+        raise ConfigurationError(f"duplicate workers in allreduce: {workers}")
+    k = len(workers)
+    if k == 1 or size_bytes <= 0:
+        return
+    env = cluster.env
+    chunk = size_bytes / k
+    for _round in range(2 * (k - 1)):
+        transfers = [
+            cluster.fabric.transfer(
+                workers[i], workers[(i + 1) % k], chunk
+            )
+            for i in range(k)
+        ]
+        yield env.all_of(transfers)
+
+
+def tree_allreduce(
+    cluster: Cluster, workers: _t.Sequence[int], size_bytes: float
+):
+    """Binary-tree all-reduce: reduce up the tree, broadcast back down.
+
+    Latency-friendly (O(log k) rounds) but moves the full payload on
+    every edge, so it loses to the ring on bandwidth for large models —
+    the trade-off the collectives ablation benchmark measures.
+    """
+    workers = list(workers)
+    if not workers:
+        raise ConfigurationError("allreduce needs at least one worker")
+    if len(set(workers)) != len(workers):
+        raise ConfigurationError(f"duplicate workers in allreduce: {workers}")
+    k = len(workers)
+    if k == 1 or size_bytes <= 0:
+        return
+    env = cluster.env
+
+    # Reduce phase: children send to parents, level by level.
+    stride = 1
+    while stride < k:
+        transfers = []
+        for left in range(0, k - stride, stride * 2):
+            child = workers[left + stride]
+            parent = workers[left]
+            transfers.append(
+                cluster.fabric.transfer(child, parent, size_bytes)
+            )
+        if transfers:
+            yield env.all_of(transfers)
+        stride *= 2
+
+    # Broadcast phase: parents send the reduced payload back down.
+    stride //= 2
+    while stride >= 1:
+        transfers = []
+        for left in range(0, k - stride, stride * 2):
+            parent = workers[left]
+            child = workers[left + stride]
+            transfers.append(
+                cluster.fabric.transfer(parent, child, size_bytes)
+            )
+        if transfers:
+            yield env.all_of(transfers)
+        stride //= 2
+
+
+def hierarchical_allreduce(
+    cluster: Cluster,
+    groups: _t.Sequence[_t.Sequence[int]],
+    size_bytes: float,
+):
+    """Two-level all-reduce (BML/HiPS-style, the paper's refs [4], [5]).
+
+    Phase 1: each group ring-all-reduces internally (concurrently).
+    Phase 2: the group leaders (first member of each group) ring-all-reduce
+    across groups.  Phase 3: leaders broadcast the result inside their
+    group.  With bandwidth-sharing this beats one flat ring when groups
+    map to locality domains.
+    """
+    groups = [list(group) for group in groups if group]
+    if not groups:
+        raise ConfigurationError("hierarchical allreduce needs >= 1 group")
+    flat = [w for group in groups for w in group]
+    if len(set(flat)) != len(flat):
+        raise ConfigurationError(f"duplicate workers across groups: {groups}")
+    env = cluster.env
+
+    def group_ring(group: _t.Sequence[int]):
+        yield from ring_allreduce(cluster, group, size_bytes)
+
+    phase1 = [env.process(group_ring(group)) for group in groups]
+    yield env.all_of(phase1)
+
+    leaders = [group[0] for group in groups]
+    yield from ring_allreduce(cluster, leaders, size_bytes)
+
+    phase3 = [
+        env.process(broadcast(cluster, group[0], group[1:], size_bytes))
+        for group in groups
+        if len(group) > 1
+    ]
+    if phase3:
+        yield env.all_of(phase3)
+
+
+def parameter_server_sync(
+    cluster: Cluster,
+    workers: _t.Sequence[int],
+    server: int,
+    size_bytes: float,
+):
+    """PS-style sync: all workers push to ``server``, then pull back.
+
+    Models the centralized bottleneck the paper attributes to PS-based
+    data-parallel systems (FlexPS discussion): ``k`` full-size flows into
+    one NIC, then ``k`` flows out.
+    """
+    if size_bytes < 0:
+        raise ConfigurationError(f"negative payload: {size_bytes}")
+    env = cluster.env
+    senders = [w for w in workers if w != server]
+    if not senders or size_bytes == 0:
+        return
+    pushes = [cluster.fabric.transfer(w, server, size_bytes) for w in senders]
+    yield env.all_of(pushes)
+    pulls = [cluster.fabric.transfer(server, w, size_bytes) for w in senders]
+    yield env.all_of(pulls)
+
+
+def broadcast(
+    cluster: Cluster,
+    source: int,
+    destinations: _t.Sequence[int],
+    size_bytes: float,
+):
+    """Send ``size_bytes`` from ``source`` to every destination in parallel."""
+    env = cluster.env
+    targets = [d for d in destinations if d != source]
+    if not targets or size_bytes <= 0:
+        return
+    transfers = [
+        cluster.fabric.transfer(source, d, size_bytes) for d in targets
+    ]
+    yield env.all_of(transfers)
+
+
+def gather(
+    cluster: Cluster,
+    sources: _t.Sequence[int],
+    destination: int,
+    size_bytes_per_source: float,
+):
+    """Each source sends its payload to ``destination`` in parallel."""
+    env = cluster.env
+    senders = [s for s in sources if s != destination]
+    if not senders or size_bytes_per_source <= 0:
+        return
+    transfers = [
+        cluster.fabric.transfer(s, destination, size_bytes_per_source)
+        for s in senders
+    ]
+    yield env.all_of(transfers)

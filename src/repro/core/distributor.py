@@ -1,0 +1,189 @@
+"""The Token Distributor: ADS + HF + CTD policies (paper III-D..III-F).
+
+Selection pipeline for a requesting worker:
+
+1. **HF** (Section III-E) decides *where to look*: the worker's own STB
+   first; once empty, the worker becomes a *helper* and draws from the STB
+   of the straggler with the fewest helpers and the slowest progress.
+   With HF off, the candidate pool is the whole bucket and every request
+   contends on the shared lock.
+2. **CTD** (Section III-F) filters and re-prioritizes *what may be taken*:
+   workers outside the conditional subset S never receive tokens of
+   communication-intensive sub-models; workers inside S take them first
+   (priority T-2 > T-3 > T-1 in the paper's example).
+3. **ADS** (Section III-D) ranks the remainder: highest level first
+   (Principle 1), then highest locality score (Principle 2, Equation 1),
+   then lowest token id.  With ADS off, tokens are handed out in
+   generation (FIFO) order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core.bucket import TokenBucket
+from repro.core.config import FelaConfig
+from repro.core.tokens import InfoMapping, Token
+
+
+@dataclasses.dataclass(frozen=True)
+class Selection:
+    """Outcome of one distribution decision."""
+
+    token: Token | None
+    #: The token came from the requester's own STB (no lock required).
+    from_own_stb: bool
+    #: The request contended with other in-flight requests on a shared
+    #: pool (costs a conflict penalty, Section III-E).
+    contended: bool
+
+
+class TokenDistributor:
+    """Stateful policy engine choosing tokens for requesting workers."""
+
+    def __init__(self, config: FelaConfig) -> None:
+        self.config = config
+        self.comm_levels = frozenset(
+            level
+            for level, submodel in enumerate(config.partition)
+            if submodel.communication_intensive
+        )
+        self.subset = config.conditional_subset
+        #: helper wid -> straggler wid currently being helped.
+        self._helping: dict[int, int] = {}
+        #: straggler wid -> set of current helper wids.
+        self._helpers: dict[int, set[int]] = {}
+        #: Requests currently being serviced (for conflict detection).
+        self._in_flight_requests: int = 0
+
+    # -- CTD ------------------------------------------------------------------
+
+    def may_take(self, wid: int, level: int) -> bool:
+        """CTD filter: may ``wid`` train tokens of ``level``?"""
+        if not self.config.ctd_enabled:
+            return True
+        if level in self.comm_levels and wid not in self.subset:
+            return False
+        return True
+
+    def takeable_levels(self, wid: int) -> frozenset[int]:
+        """All levels worker ``wid`` may draw tokens from."""
+        return frozenset(
+            level
+            for level in range(self.config.levels)
+            if self.may_take(wid, level)
+        )
+
+    # -- selection -----------------------------------------------------------------
+
+    def select(
+        self, wid: int, bucket: TokenBucket, info: InfoMapping
+    ) -> Selection:
+        """Choose a token for worker ``wid`` (or none, if it must wait)."""
+        # The requester itself is registered in-flight by the server, so
+        # contention means *someone else* is mid-request too.  Of two
+        # colliding requests, the one that resolves first sees the other
+        # still in flight and pays the conflict — "at least one worker
+        # will encounter fetching failure" (Section III-E).
+        contended = self._in_flight_requests > 1
+        if self.config.hf_enabled:
+            own = self._takeable(wid, bucket.stb_tokens(wid))
+            if own:
+                self._stop_helping(wid)
+                token = self._rank_and_pick(wid, own, info)
+                return Selection(token=token, from_own_stb=True,
+                                 contended=False)
+            pool = self._helper_pool(wid, bucket)
+        else:
+            pool = self._takeable(wid, bucket.all_tokens())
+        if not pool:
+            return Selection(token=None, from_own_stb=False,
+                             contended=False)
+        token = self._rank_and_pick(wid, pool, info)
+        return Selection(token=token, from_own_stb=False, contended=contended)
+
+    def _takeable(self, wid: int, tokens: _t.Iterable[Token]) -> list[Token]:
+        return [t for t in tokens if self.may_take(wid, t.level)]
+
+    def _rank_and_pick(
+        self, wid: int, pool: list[Token], info: InfoMapping
+    ) -> Token:
+        def rank(token: Token) -> tuple:
+            ctd_first = (
+                1
+                if (
+                    self.config.ctd_enabled
+                    and wid in self.subset
+                    and token.level in self.comm_levels
+                )
+                else 0
+            )
+            # When several iterations' tokens coexist (pipelined SSP/ASP),
+            # the *oldest* iteration wins first — the token "age"
+            # distribution rule of the paper's Section VI sketch.
+            if self.config.ads_enabled:
+                return (
+                    -ctd_first,
+                    token.iteration,
+                    -token.level,
+                    -info.locality_score(wid, token),
+                    token.tid,
+                )
+            return (-ctd_first, token.iteration, token.tid)
+
+        return min(pool, key=rank)
+
+    # -- HF helper election --------------------------------------------------------
+
+    def _helper_pool(self, wid: int, bucket: TokenBucket) -> list[Token]:
+        """Pool for a worker whose own STB is empty (it becomes a helper).
+
+        Prefer the straggler this worker is already helping (sticky
+        assignment); otherwise elect the straggler with the fewest current
+        helpers, then the slowest progress (largest STB backlog), then the
+        lowest id.
+        """
+        current = self._helping.get(wid)
+        if current is not None:
+            pool = self._takeable(wid, bucket.stb_tokens(current))
+            if pool:
+                return pool
+            self._stop_helping(wid)
+
+        candidates = []
+        for straggler in bucket.nonempty_stbs(exclude=wid):
+            pool = self._takeable(wid, bucket.stb_tokens(straggler))
+            if pool:
+                helpers = len(self._helpers.get(straggler, ()))
+                backlog = bucket.stb_size(straggler)
+                candidates.append((helpers, -backlog, straggler, pool))
+        if not candidates:
+            return []
+        candidates.sort(key=lambda item: item[:3])
+        _, _, straggler, pool = candidates[0]
+        self._helping[wid] = straggler
+        self._helpers.setdefault(straggler, set()).add(wid)
+        return pool
+
+    def _stop_helping(self, wid: int) -> None:
+        straggler = self._helping.pop(wid, None)
+        if straggler is not None:
+            self._helpers.get(straggler, set()).discard(wid)
+
+    def helper_of(self, wid: int) -> int | None:
+        """The straggler ``wid`` currently helps, if any (for tests)."""
+        return self._helping.get(wid)
+
+    # -- conflict accounting ---------------------------------------------------------
+
+    def request_started(self) -> None:
+        self._in_flight_requests += 1
+
+    def request_finished(self) -> None:
+        self._in_flight_requests = max(0, self._in_flight_requests - 1)
+
+    def reset_iteration(self) -> None:
+        """Clear helper relationships at an iteration boundary."""
+        self._helping.clear()
+        self._helpers.clear()

@@ -1,0 +1,176 @@
+"""The Token Generator (paper Section III-A / III-B).
+
+Responsibilities:
+
+* at the start of an iteration, mint all T-1 tokens (one per
+  ``batch_1``-sized slice of the iteration batch, homed at the worker that
+  stores those training samples);
+* whenever a group of ``ratio(level)`` consecutive level-*l* tokens has
+  been reported complete, mint the level-*l+1* token that consumes their
+  outputs ("Only when 2 T-1 Tokens have been completed, can 1 T-2 Token be
+  generated").
+
+The generator is pure bookkeeping — it owns no simulation time.  The
+:class:`~repro.core.server.TokenServer` charges the (tiny) scheduling
+costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.core.config import FelaConfig
+from repro.core.tokens import SampleRange, Token, TokenId
+from repro.errors import SchedulingError
+
+
+def split_samples(total: int, parts: int) -> list[SampleRange]:
+    """Split ``total`` samples into ``parts`` near-even contiguous ranges."""
+    if parts < 1 or total < 1:
+        raise SchedulingError(f"cannot split {total} samples into {parts}")
+    if parts > total:
+        raise SchedulingError(
+            f"cannot split {total} samples into {parts} non-empty ranges"
+        )
+    base, extra = divmod(total, parts)
+    ranges = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        ranges.append(SampleRange(start, start + size))
+        start += size
+    return ranges
+
+
+class TokenGenerator:
+    """Mints tokens for one Fela run."""
+
+    def __init__(self, config: FelaConfig) -> None:
+        self.config = config
+        self.counts = config.token_counts()
+        self._tid_counter = itertools.count()
+        #: All tokens ever minted, by id (the TS token registry).
+        self.registry: dict[TokenId, Token] = {}
+        #: (iteration, level, group) -> list of (ordinal, tid, completing worker).
+        self._groups: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
+        #: Completed token count per (iteration, level).
+        self._completed: dict[tuple[int, int], int] = {}
+        #: Sample ownership: worker holding each T-1 slice.  Samples are
+        #: range-partitioned evenly across workers' local storage.
+        self._sample_owner = self._assign_sample_owners()
+
+    def _assign_sample_owners(self) -> list[int]:
+        """Owner worker of each T-1 token ordinal."""
+        n_1 = self.counts[0]
+        workers = self.config.num_workers
+        # Contiguous blocks: worker w owns T-1 ordinals [w*n_1/N, ...).
+        owners = []
+        for ordinal in range(n_1):
+            owners.append(min(ordinal * workers // n_1, workers - 1))
+        return owners
+
+    # -- minting ------------------------------------------------------------------
+
+    def start_iteration(self, iteration: int) -> list[Token]:
+        """Mint the T-1 tokens for ``iteration``."""
+        n_1 = self.counts[0]
+        ranges = split_samples(self.config.total_batch, n_1)
+        tokens = []
+        for ordinal, samples in enumerate(ranges):
+            token = Token(
+                tid=next(self._tid_counter),
+                level=0,
+                iteration=iteration,
+                ordinal=ordinal,
+                samples=samples,
+                deps=(),
+                home_worker=self._sample_owner[ordinal],
+            )
+            self.registry[token.tid] = token
+            tokens.append(token)
+        return tokens
+
+    def on_completion(self, tid: TokenId, wid: int) -> list[Token]:
+        """Record a completed token; return any newly mintable tokens."""
+        token = self.registry.get(tid)
+        if token is None:
+            raise SchedulingError(f"unknown token {tid}")
+        key = (token.iteration, token.level)
+        self._completed[key] = self._completed.get(key, 0) + 1
+
+        if token.level >= self.config.levels - 1:
+            return []  # top level: nothing to generate
+
+        ratio = self.config.generation_ratio(token.level)
+        group_index = token.ordinal // ratio
+        group_key = (token.iteration, token.level, group_index)
+        group = self._groups.setdefault(group_key, [])
+        group.append((token.ordinal, tid, wid))
+        if len(group) < ratio:
+            return []
+
+        # The group is complete: mint the next-level token.
+        del self._groups[group_key]
+        group.sort()
+        members = [self.registry[member_tid] for _, member_tid, _ in group]
+        samples = members[0].samples
+        for member in members[1:]:
+            samples = samples.merge(member.samples)
+        fresh = Token(
+            tid=next(self._tid_counter),
+            level=token.level + 1,
+            iteration=token.iteration,
+            ordinal=group_index,
+            samples=samples,
+            deps=tuple(member_tid for _, member_tid, _ in group),
+            home_worker=self._majority_worker(group),
+        )
+        self.registry[fresh.tid] = fresh
+        return [fresh]
+
+    @staticmethod
+    def _majority_worker(group: list[tuple[int, int, int]]) -> int:
+        """Home a fresh token at the worker that completed most of its deps.
+
+        Ties go to the lowest worker id, keeping the schedule deterministic.
+        """
+        votes: dict[int, int] = {}
+        for _, _, wid in group:
+            votes[wid] = votes.get(wid, 0) + 1
+        best = max(votes.items(), key=lambda item: (item[1], -item[0]))
+        return best[0]
+
+    # -- progress queries -----------------------------------------------------------
+
+    def completed_count(self, iteration: int, level: int) -> int:
+        return self._completed.get((iteration, level), 0)
+
+    def level_complete(self, iteration: int, level: int) -> bool:
+        """Whether all tokens of ``level`` in ``iteration`` are done."""
+        return self.completed_count(iteration, level) >= self.counts[level]
+
+    def iteration_complete(self, iteration: int) -> bool:
+        """Whether every token of every level is done for ``iteration``."""
+        return all(
+            self.level_complete(iteration, level)
+            for level in range(self.config.levels)
+        )
+
+    def total_tokens_per_iteration(self) -> int:
+        return sum(self.counts)
+
+    def forget_iteration(self, iteration: int) -> list[TokenId]:
+        """Drop registry entries of a finished iteration; return their ids."""
+        stale = [
+            tid
+            for tid, token in self.registry.items()
+            if token.iteration == iteration
+        ]
+        for tid in stale:
+            del self.registry[tid]
+        for key in [k for k in self._completed if k[0] == iteration]:
+            del self._completed[key]
+        for key in [k for k in self._groups if k[0] == iteration]:
+            del self._groups[key]
+        return stale

@@ -1,0 +1,296 @@
+"""The Fela runtime: BSP/SSP/ASP iteration loop over the token machinery.
+
+One iteration:
+
+1. the TS mints the T-1 tokens into the sub-token-buckets;
+2. every worker (optionally delayed by the straggler injector) pulls,
+   trains, and reports tokens until the iteration can give it no more;
+3. as each level's tokens all complete, that sub-model's gradient
+   synchronization (ring all-reduce among the workers that trained it —
+   under CTD this is the conditional subset for communication-intensive
+   sub-models) starts immediately and overlaps with remaining training,
+   matching "While the worker is synchronizing ... its Trainer is not
+   blocked";
+4. under BSP the next iteration starts once all levels are trained *and*
+   synchronized; under SSP, training may run ahead of outstanding
+   synchronizations by up to ``staleness`` iterations (token ``age``);
+   under ASP it never waits.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.collectives import ring_allreduce
+from repro.core.config import FelaConfig, SyncMode
+from repro.core.server import TokenServer
+from repro.core.worker import Worker
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster, ClusterSpec
+from repro.metrics import IterationRecord, RunResult
+from repro.sim import Event
+from repro.stragglers import NoStraggler, StragglerInjector
+
+
+class FelaRuntime:
+    """Drives one complete Fela training run on a simulated cluster."""
+
+    name = "fela"
+
+    def __init__(
+        self,
+        config: FelaConfig,
+        cluster: Cluster | None = None,
+        straggler: StragglerInjector | None = None,
+        recorder: _t.Any | None = None,
+    ) -> None:
+        self.config = config
+        self.cluster = cluster or Cluster(
+            ClusterSpec(num_nodes=config.num_workers)
+        )
+        self.straggler = straggler or NoStraggler()
+        self.server = TokenServer(config, self.cluster)
+        #: Optional :class:`~repro.metrics.timeline.TimelineRecorder`.
+        self.recorder = recorder
+        self.workers = [
+            Worker(self.server, self.cluster[wid], wid, recorder=recorder)
+            for wid in range(config.num_workers)
+        ]
+        self._validate_memory()
+        self._records: list[IterationRecord] = []
+        #: iteration -> AllOf event of that iteration's level syncs.
+        self._sync_done: dict[int, Event] = {}
+        #: iteration -> event fired when the iteration's tokens are minted.
+        self._opened: dict[int, Event] = {}
+        #: iteration -> per-worker start delays from the injector.
+        self._delays: dict[int, list[float]] = {}
+
+    def _validate_memory(self) -> None:
+        """Every (sub-model, token batch) pair must fit in GPU memory."""
+        gpu = self.cluster.spec.gpu
+        batches = self.config.token_batches()
+        for level, submodel in enumerate(self.config.partition):
+            input_floats = (
+                self.config.partition.model.input_floats
+                if level == 0
+                else submodel.input_floats
+            )
+            gpu.require_fits(submodel.layers, batches[level], input_floats)
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the configured number of iterations; return the result."""
+        env = self.cluster.env
+        main = env.process(self._main())
+        env.run(main)
+        total_time = env.now
+        stats = {
+            "ts_requests": self.server.requests,
+            "ts_conflicts": self.server.conflicts,
+            "tokens_by_worker": dict(self.server.tokens_by_worker),
+            "bytes_fetched": sum(w.bytes_fetched for w in self.workers),
+            "network_bytes": self.cluster.fabric.stats.bytes_transferred,
+            "compute_seconds_by_worker": [
+                w.compute_seconds for w in self.workers
+            ],
+            "weights": self.config.weights,
+            "subset_size": self.config.subset_size,
+        }
+        return RunResult(
+            runtime_name=self.name,
+            model_name=self.config.partition.model.name,
+            total_batch=self.config.total_batch,
+            iterations=self.config.iterations,
+            total_time=total_time,
+            records=tuple(self._records),
+            stats=stats,
+        )
+
+    # -- worker-facing coordination ----------------------------------------------------
+
+    def iteration_opened(self, iteration: int) -> Event:
+        """Event fired when ``iteration``'s tokens become available."""
+        event = self._opened.get(iteration)
+        if event is None:
+            event = self.cluster.env.event()
+            self._opened[iteration] = event
+        return event
+
+    def start_delay(self, iteration: int, wid: int) -> float:
+        """The straggler injector's start delay for a worker/iteration."""
+        return self._delays[iteration][wid]
+
+    # -- iteration machinery ------------------------------------------------------------
+
+    def _main(self):
+        env = self.cluster.env
+        for worker in self.workers:
+            env.process(worker.run_loop(self))
+        previous_counts = dict(self.server.tokens_by_worker)
+        for iteration in range(self.config.iterations):
+            yield from self._await_staleness_bound(iteration)
+            start = env.now
+            delays = self.straggler.delays(
+                iteration, self.config.num_workers
+            )
+            if len(delays) != self.config.num_workers:
+                raise ConfigurationError(
+                    f"straggler injector returned {len(delays)} delays "
+                    f"for {self.config.num_workers} workers"
+                )
+            self._delays[iteration] = list(delays)
+            self.server.begin_iteration(iteration)
+            sync_events = [
+                env.process(self._sync_level(iteration, level))
+                for level in range(self.config.levels)
+            ]
+            self._sync_done[iteration] = env.all_of(sync_events)
+            level_events = [
+                self.server.level_done_event(level)
+                for level in range(self.config.levels)
+            ]
+            self.iteration_opened(iteration).succeed()
+
+            # The iteration's training is over when every token of every
+            # level is complete — not when every worker wakes up: a worker
+            # still serving a straggler delay whose tokens were taken over
+            # by helpers does not hold the cluster back.
+            yield env.all_of(level_events)
+            if self.config.sync_mode == SyncMode.BSP:
+                yield self._sync_done.pop(iteration)
+            counts = dict(self.server.tokens_by_worker)
+            self._records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    start=start,
+                    end=env.now,
+                    work_by_worker=tuple(
+                        counts[wid] - previous_counts[wid]
+                        for wid in range(self.config.num_workers)
+                    ),
+                )
+            )
+            previous_counts = counts
+            self.server.end_iteration()
+        # Outstanding SSP/ASP synchronizations must land before the run
+        # is considered finished.
+        for event in list(self._sync_done.values()):
+            yield event
+        self._sync_done.clear()
+
+    def _await_staleness_bound(self, iteration: int):
+        """SSP gate: stay within ``staleness`` of the oldest unsynced iter."""
+        if self.config.sync_mode == SyncMode.BSP:
+            return
+        if self.config.sync_mode == SyncMode.ASP:
+            return
+        while self._sync_done:
+            oldest = min(self._sync_done)
+            if iteration - oldest <= self.config.staleness:
+                break
+            yield self._sync_done.pop(oldest)
+
+    def _sync_level(self, iteration: int, level: int):
+        """Wait for a level to complete, then all-reduce its gradients."""
+        yield self.server.level_done_event(level, iteration)
+        participants = self.server.participants(level, iteration)
+        submodel = self.config.partition[level]
+        yield from ring_allreduce(
+            self.cluster, participants, submodel.param_bytes
+        )
+
+
+class PipelinedFelaRuntime(FelaRuntime):
+    """Token-level iteration pipelining: the full Section-VI extension.
+
+    The base runtime relaxes only the *synchronization* barrier under
+    SSP/ASP; successive iterations' tokens never coexist.  This variant
+    opens iteration *k+1*'s tokens as soon as iteration *k*'s are all
+    assigned (there is idle demand) and the staleness bound permits, so
+    fast workers flow straight into the next iteration while stragglers
+    finish the previous one.  Tokens carry their iteration, and the
+    distributor hands out the *oldest* iteration's work first — the
+    paper's "distribute the tokens according to the predefined staleness
+    bound" by token age.
+
+    Requires SSP or ASP: pipelining iterations under BSP would contradict
+    the barrier it relaxes.
+    """
+
+    name = "fela-pipelined"
+
+    def __init__(self, *args: _t.Any, **kwargs: _t.Any) -> None:
+        super().__init__(*args, **kwargs)
+        if self.config.sync_mode == SyncMode.BSP:
+            raise ConfigurationError(
+                "PipelinedFelaRuntime requires SSP or ASP; BSP's barrier "
+                "forbids iteration overlap"
+            )
+
+    def _main(self):
+        env = self.cluster.env
+        for worker in self.workers:
+            env.process(worker.run_loop(self))
+        finish_events = []
+        for iteration in range(self.config.iterations):
+            yield from self._await_staleness_bound(iteration)
+            if iteration > 0:
+                # Demand gate: open the next iteration only once every
+                # token of the previous one has been handed out (workers
+                # would otherwise idle at the tail).
+                yield from self._wait_all_assigned(iteration - 1)
+            delays = self.straggler.delays(
+                iteration, self.config.num_workers
+            )
+            if len(delays) != self.config.num_workers:
+                raise ConfigurationError(
+                    f"straggler injector returned {len(delays)} delays "
+                    f"for {self.config.num_workers} workers"
+                )
+            self._delays[iteration] = list(delays)
+            start = env.now
+            self.server.begin_iteration(iteration)
+            sync_events = [
+                env.process(self._sync_level(iteration, level))
+                for level in range(self.config.levels)
+            ]
+            self._sync_done[iteration] = env.all_of(sync_events)
+            self.iteration_opened(iteration).succeed()
+            finish_events.append(
+                env.process(self._finish_iteration(iteration, start))
+            )
+        # All iterations recorded, all synchronizations landed.
+        yield env.all_of(finish_events)
+        for event in list(self._sync_done.values()):
+            yield event
+        self._sync_done.clear()
+        self._records.sort(key=lambda record: record.iteration)
+
+    def _wait_all_assigned(self, iteration: int):
+        while not self.server.all_assigned(iteration):
+            yield self.server.bucket_changed_event()
+
+    def _finish_iteration(self, iteration: int, start: float):
+        """Record the iteration once every one of its tokens completes."""
+        env = self.cluster.env
+        level_events = [
+            self.server.level_done_event(level, iteration)
+            for level in range(self.config.levels)
+        ]
+        yield env.all_of(level_events)
+        work = self.server.tokens_by_worker_per_iteration.get(
+            iteration, {}
+        )
+        self._records.append(
+            IterationRecord(
+                iteration=iteration,
+                start=start,
+                end=env.now,
+                work_by_worker=tuple(
+                    work.get(wid, 0)
+                    for wid in range(self.config.num_workers)
+                ),
+            )
+        )
+        self.server.end_iteration(iteration)

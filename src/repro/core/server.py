@@ -1,0 +1,253 @@
+"""The Token Server (TS): Fela's lightweight scheduler (paper Fig. 2).
+
+The TS bundles the Token Generator, Token Bucket (with STBs), Token
+Distributor, and Info Mapping.  It holds no model parameters: every
+interaction moves at most hundreds of bytes, so TS traffic is modelled as
+fixed latency + a tiny service time instead of fabric flows ("causes no
+centralized bottleneck").
+
+Workers interact through two process generators:
+
+* :meth:`request_token` — blocks (in simulated time) until a token is
+  available for this worker or the iteration can provably never give it
+  one more (all tokens of every level it may take are already assigned);
+* :meth:`report_completion` — records the result, mints any next-level
+  tokens that became generatable, and fires level-completion events the
+  runtime uses to kick off parameter synchronization.
+
+Timing model per interaction: one-way latency, then service time, then
+(on contended shared-pool requests) the conflict penalty of the locking
+mechanism described in Section III-E, then one-way latency back.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.bucket import TokenBucket
+from repro.core.config import FelaConfig
+from repro.core.distributor import TokenDistributor
+from repro.core.generator import TokenGenerator
+from repro.core.tokens import InfoMapping, Token
+from repro.errors import SchedulingError
+from repro.hardware import Cluster
+from repro.sim import Event
+
+
+class TokenServer:
+    """Scheduler state shared by all workers of one Fela run."""
+
+    def __init__(self, config: FelaConfig, cluster: Cluster) -> None:
+        if config.num_workers > cluster.num_nodes:
+            raise SchedulingError(
+                f"{config.num_workers} workers exceed the "
+                f"{cluster.num_nodes}-node cluster"
+            )
+        self.config = config
+        self.cluster = cluster
+        self.env = cluster.env
+        self.generator = TokenGenerator(config)
+        self.bucket = TokenBucket(config.num_workers)
+        self.distributor = TokenDistributor(config)
+        self.info = InfoMapping()
+        self.counts = config.token_counts()
+        self.current_iteration: int = -1
+        #: Per-iteration assignment counters: iteration -> [per level].
+        #: Under the BSP runtime only one iteration is ever active; the
+        #: pipelined runtime keeps several open at once.
+        self._assigned: dict[int, list[int]] = {}
+        #: (iteration, level) -> completion event.
+        self._level_done: dict[tuple[int, int], Event] = {}
+        self._bucket_changed: Event = self.env.event()
+        # Statistics.
+        self.conflicts: int = 0
+        self.requests: int = 0
+        self.tokens_by_worker: dict[int, int] = {
+            wid: 0 for wid in range(config.num_workers)
+        }
+        #: iteration -> wid -> tokens assigned (per-iteration attribution,
+        #: needed when iterations overlap).
+        self.tokens_by_worker_per_iteration: dict[int, dict[int, int]] = {}
+
+    # -- iteration lifecycle ------------------------------------------------------
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Mint the iteration's T-1 tokens and open its bookkeeping.
+
+        Iterations must be *opened* in order, but an iteration may be
+        opened while earlier ones are still training (the pipelined
+        SSP/ASP runtime does this); each stays active until its own
+        :meth:`end_iteration`.
+        """
+        if iteration != self.current_iteration + 1:
+            raise SchedulingError(
+                f"iterations must advance one at a time: "
+                f"{self.current_iteration} -> {iteration}"
+            )
+        self.current_iteration = iteration
+        self._assigned[iteration] = [0] * self.config.levels
+        self.tokens_by_worker_per_iteration[iteration] = {
+            wid: 0 for wid in range(self.config.num_workers)
+        }
+        for level in range(self.config.levels):
+            self._level_done[(iteration, level)] = self.env.event()
+        self.distributor.reset_iteration()
+        for token in self.generator.start_iteration(iteration):
+            self.bucket.add(token)
+        self._broadcast()
+
+    def end_iteration(self, iteration: int | None = None) -> None:
+        """Drop bookkeeping for one finished iteration (default: latest)."""
+        if iteration is None:
+            iteration = self.current_iteration
+        if iteration not in self._assigned:
+            raise SchedulingError(f"iteration {iteration} is not active")
+        if not self.generator.iteration_complete(iteration):
+            raise SchedulingError(
+                f"iteration {iteration} ended before all tokens completed"
+            )
+        del self._assigned[iteration]
+        self.tokens_by_worker_per_iteration.pop(iteration, None)
+        for level in range(self.config.levels):
+            self._level_done.pop((iteration, level), None)
+        stale = self.generator.forget_iteration(iteration)
+        self.info.forget_iteration(stale)
+
+    @property
+    def active_iterations(self) -> list[int]:
+        """Iterations currently open (begun, not yet ended)."""
+        return sorted(self._assigned)
+
+    def level_done_event(
+        self, level: int, iteration: int | None = None
+    ) -> Event:
+        """Event fired when every token of a level completes.
+
+        Defaults to the most recently opened iteration.
+        """
+        if iteration is None:
+            iteration = self.current_iteration
+        return self._level_done[(iteration, level)]
+
+    # -- worker-facing RPC generators ------------------------------------------------
+
+    def request_token(self, wid: int):
+        """Process generator: obtain a token for ``wid`` (or ``None``).
+
+        ``yield from`` this inside a worker process.
+        """
+        latency = self.cluster.spec.latency
+        while True:
+            yield self.env.timeout(latency)  # request travels to TS
+
+            own_stb_first = (
+                self.config.hf_enabled and self.bucket.stb_size(wid) > 0
+            )
+            if not own_stb_first:
+                self.distributor.request_started()
+            yield self.env.timeout(self.config.ts_service_time)
+            selection = self.distributor.select(wid, self.bucket, self.info)
+            if not own_stb_first:
+                self.distributor.request_finished()
+            self.requests += 1
+
+            if selection.token is not None:
+                # Selection and removal are atomic (no simulated time may
+                # pass in between, or two overlapping requests would win
+                # the same token).
+                token = selection.token
+                self.bucket.remove(token)
+                self.info.record_assignment(token.tid, wid)
+                self._assigned[token.iteration][token.level] += 1
+                self.tokens_by_worker[wid] += 1
+                per_iteration = self.tokens_by_worker_per_iteration.get(
+                    token.iteration
+                )
+                if per_iteration is not None:
+                    per_iteration[wid] += 1
+                self._broadcast()
+                if selection.contended and not selection.from_own_stb:
+                    # Locking: this request raced others on the shared pool
+                    # and pays the serialization/retry cost (Section III-E).
+                    self.conflicts += 1
+                    yield self.env.timeout(self.config.conflict_overhead)
+                yield self.env.timeout(latency)  # reply travels back
+                return token
+
+            if self._exhausted_for(wid):
+                yield self.env.timeout(latency)
+                return None
+
+            # Tokens may still be generated: wait for bucket activity.
+            yield self._bucket_changed
+
+    def report_completion(self, wid: int, token: Token):
+        """Process generator: report ``token`` complete; mint successors."""
+        latency = self.cluster.spec.latency
+        yield self.env.timeout(latency)
+        yield self.env.timeout(self.config.ts_service_time)
+        self.info.record_completion(token.tid, wid)
+        for fresh in self.generator.on_completion(token.tid, wid):
+            self.bucket.add(fresh)
+        if self.generator.level_complete(token.iteration, token.level):
+            done = self._level_done.get((token.iteration, token.level))
+            if done is not None and not done.triggered:
+                done.succeed(token.level)
+        self._broadcast()
+        # No return latency: the paper combines report+request, so the
+        # follow-up request_token call pays the next leg.
+
+    # -- queries ---------------------------------------------------------------------
+
+    def holder_of_token(self, tid: int) -> int | None:
+        return self.info.holder_of(tid)
+
+    def token_by_id(self, tid: int) -> Token:
+        return self.generator.registry[tid]
+
+    def participants(
+        self, level: int, iteration: int | None = None
+    ) -> list[int]:
+        """Workers holding completed tokens of a level in one iteration.
+
+        These are the workers that must synchronize the sub-model's
+        parameters at the end of the level.  Defaults to the most
+        recently opened iteration.
+        """
+        if iteration is None:
+            iteration = self.current_iteration
+        workers = set()
+        for tid, token in self.generator.registry.items():
+            if token.iteration == iteration and token.level == level:
+                holder = self.info.holder_of(tid)
+                if holder is not None:
+                    workers.add(holder)
+        return sorted(workers)
+
+    def _exhausted_for(self, wid: int) -> bool:
+        """``wid`` can never receive another token from any active
+        iteration."""
+        for assigned in self._assigned.values():
+            for level in self.distributor.takeable_levels(wid):
+                if assigned[level] < self.counts[level]:
+                    return False
+        return True
+
+    def all_assigned(self, iteration: int) -> bool:
+        """Whether every token of ``iteration`` has been handed out."""
+        assigned = self._assigned.get(iteration)
+        if assigned is None:
+            # Already ended: everything was assigned and completed.
+            return iteration <= self.current_iteration
+        return all(
+            assigned[level] >= self.counts[level]
+            for level in range(self.config.levels)
+        )
+
+    def bucket_changed_event(self) -> Event:
+        """The event fired at the next bucket/assignment change."""
+        return self._bucket_changed
+
+    def _broadcast(self) -> None:
+        event, self._bucket_changed = self._bucket_changed, self.env.event()
+        event.succeed()

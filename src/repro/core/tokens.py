@@ -1,0 +1,185 @@
+"""Tokens: the unit of schedulable work in Fela.
+
+One token represents "train sub-model ``level`` on the sample range
+``samples`` (batch size ``batch``)".  Tokens of level 0 (the paper's T-1
+tokens) consume raw training samples; a token of level *i* > 0 consumes the
+boundary activations produced by the level *i-1* tokens listed in ``deps``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import SchedulingError
+
+#: Unique token identifier.
+TokenId = int
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleRange:
+    """Half-open range of sample indices within one iteration's batch."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise SchedulingError(
+                f"invalid sample range [{self.start}, {self.stop})"
+            )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+    def merge(self, other: "SampleRange") -> "SampleRange":
+        """Union of two adjacent ranges (must be contiguous)."""
+        if self.stop == other.start:
+            return SampleRange(self.start, other.stop)
+        if other.stop == self.start:
+            return SampleRange(other.start, self.stop)
+        raise SchedulingError(
+            f"ranges [{self.start},{self.stop}) and "
+            f"[{other.start},{other.stop}) are not adjacent"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One schedulable unit of training work."""
+
+    tid: TokenId
+    level: int
+    iteration: int
+    #: Position of this token within its level (0 .. n_level - 1); used to
+    #: group consecutive tokens when generating the next level.
+    ordinal: int
+    samples: SampleRange
+    #: Tokens (one level down) whose outputs are this token's input.
+    deps: tuple[TokenId, ...]
+    #: Worker whose sub-token-bucket (STB) this token initially belongs to.
+    home_worker: int
+    #: Iteration distance allowed by SSP (0 under BSP).  The extension the
+    #: paper sketches in Section VI.
+    age: int = 0
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise SchedulingError(f"token level must be >= 0: {self.level}")
+        if self.iteration < 0:
+            raise SchedulingError(
+                f"token iteration must be >= 0: {self.iteration}"
+            )
+        if self.home_worker < 0:
+            raise SchedulingError(
+                f"token home worker must be >= 0: {self.home_worker}"
+            )
+        if self.level == 0 and self.deps:
+            raise SchedulingError("level-0 tokens cannot have dependencies")
+        if self.level > 0 and not self.deps:
+            raise SchedulingError(
+                f"level-{self.level} token needs dependencies"
+            )
+
+    @property
+    def batch(self) -> int:
+        """Batch size this token trains with."""
+        return len(self.samples)
+
+    @property
+    def type_name(self) -> str:
+        """The paper's token naming: level 0 is "T-1"."""
+        return f"T-{self.level + 1}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<Token {self.tid} {self.type_name} it={self.iteration} "
+            f"samples=[{self.samples.start},{self.samples.stop}) "
+            f"home=W{self.home_worker}>"
+        )
+
+
+class InfoMapping:
+    """The TS-side (worker, token) bookkeeping (paper Fig. 2).
+
+    Tracks, per token: which worker is currently *training* it (assignment)
+    and which worker *holds its output* (completion).  The distributor's
+    locality scoring and the coordinator notifications both read this.
+    """
+
+    def __init__(self) -> None:
+        self._assigned: dict[TokenId, int] = {}
+        self._completed: dict[TokenId, int] = {}
+        #: Tokens completed per worker — the H_wid set of Equation 1.
+        self._held: dict[int, set[TokenId]] = {}
+
+    # -- writes ---------------------------------------------------------------
+
+    def record_assignment(self, tid: TokenId, wid: int) -> None:
+        """Register that ``wid`` is now training ``tid``."""
+        if tid in self._completed:
+            raise SchedulingError(f"token {tid} was already completed")
+        if tid in self._assigned:
+            raise SchedulingError(
+                f"token {tid} is already assigned to "
+                f"worker {self._assigned[tid]}"
+            )
+        self._assigned[tid] = wid
+
+    def record_completion(self, tid: TokenId, wid: int) -> None:
+        """Register that ``wid`` finished ``tid`` and holds its output."""
+        assigned = self._assigned.pop(tid, None)
+        if assigned is not None and assigned != wid:
+            raise SchedulingError(
+                f"token {tid} was assigned to worker {assigned} but "
+                f"completed by worker {wid}"
+            )
+        if tid in self._completed:
+            raise SchedulingError(f"token {tid} completed twice")
+        self._completed[tid] = wid
+        self._held.setdefault(wid, set()).add(tid)
+
+    def forget_iteration(self, tids: _t.Iterable[TokenId]) -> None:
+        """Drop bookkeeping for an iteration's tokens after its sync."""
+        for tid in tids:
+            wid = self._completed.pop(tid, None)
+            if wid is not None:
+                self._held[wid].discard(tid)
+            self._assigned.pop(tid, None)
+
+    # -- reads --------------------------------------------------------------------
+
+    def holder_of(self, tid: TokenId) -> int | None:
+        """Worker holding the completed output of ``tid`` (None if absent)."""
+        return self._completed.get(tid)
+
+    def assignee_of(self, tid: TokenId) -> int | None:
+        """Worker currently training ``tid`` (None if not assigned)."""
+        return self._assigned.get(tid)
+
+    def held_by(self, wid: int) -> frozenset[TokenId]:
+        """Tokens whose outputs worker ``wid`` holds (Equation 1's H_wid)."""
+        return frozenset(self._held.get(wid, ()))
+
+    def is_completed(self, tid: TokenId) -> bool:
+        return tid in self._completed
+
+    def locality_score(self, wid: int, token: Token) -> float:
+        """Equation 1: |H_wid ∩ D_tid| / |D_tid|.
+
+        Level-0 tokens have no dependencies and score 0 for everyone: the
+        paper distributes T-1 tokens "randomly (or sequentially)" — sample
+        locality is the job of the HF policy's sub-token-buckets, not of
+        ADS.
+        """
+        if token.level == 0:
+            return 0.0
+        held = self._held.get(wid)
+        if not held:
+            return 0.0
+        hits = sum(1 for dep in token.deps if dep in held)
+        return hits / len(token.deps)

@@ -1,0 +1,165 @@
+"""The Fela worker: Trainer + Coordinator + Parameter Chunks (paper Fig. 2).
+
+Per token, the worker:
+
+1. fetches its inputs — raw samples from the sample owner's storage for
+   T-1 tokens, or the dependency tokens' boundary activations from the
+   workers holding them (remote fetches go over the fabric; local reads
+   are free);
+2. computes the sub-model's forward+backward pass on its GPU (any
+   injected straggler delay prolongs this, per the paper's methodology);
+3. stores the output activation in its local Parameter Chunks;
+4. reports completion to the TS and immediately requests the next token
+   (the paper combines report and request).
+
+The Coordinator is modelled implicitly: remote parameter fetches are
+pull-based fabric transfers from the holder recorded in Info Mapping —
+byte-for-byte what the paper's push-based notification achieves.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.server import TokenServer
+from repro.core.tokens import Token
+from repro.errors import SchedulingError
+from repro.hardware import Node
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Event
+
+    class _RuntimeProtocol(_t.Protocol):
+        """What a worker needs from its runtime."""
+
+        def iteration_opened(self, iteration: int) -> "Event": ...
+
+        def start_delay(self, iteration: int, wid: int) -> float: ...
+
+    class _RecorderProtocol(_t.Protocol):
+        """What a worker needs from a timeline recorder."""
+
+        def record(
+            self,
+            worker: int,
+            kind: str,
+            start: float,
+            end: float,
+            label: str = "",
+        ) -> None: ...
+
+
+class Worker:
+    """One Fela worker bound to a cluster node."""
+
+    def __init__(
+        self,
+        server: TokenServer,
+        node: Node,
+        wid: int,
+        recorder: "_RecorderProtocol | None" = None,
+    ) -> None:
+        self.server = server
+        self.node = node
+        self.wid = wid
+        self.config = server.config
+        #: Optional timeline recorder (fetch/compute spans per token).
+        self.recorder = recorder
+        #: Parameter Chunks: token ids whose output activations are stored
+        #: locally (authoritative or fetched copies).
+        self.chunks: set[int] = set()
+        # Statistics.
+        self.tokens_trained: int = 0
+        self.bytes_fetched: float = 0.0
+        self.compute_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Worker {self.wid}>"
+
+    # -- iteration driver -----------------------------------------------------
+
+    def run_loop(self, runtime: "_RuntimeProtocol"):
+        """Process generator: the worker's whole-run training loop.
+
+        For every iteration: wait for the runtime to open it, serve the
+        straggler injector's start delay, then pull-train-report tokens
+        until the iteration can give this worker no more work.  A worker
+        still sleeping when its iteration ends simply joins the next one
+        late — the cluster does not wait for it (that elasticity is the
+        point of token-based scheduling).
+        """
+        env = self.server.env
+        for iteration in range(self.config.iterations):
+            yield runtime.iteration_opened(iteration)
+            start_delay = runtime.start_delay(iteration, self.wid)
+            if start_delay > 0:
+                # Straggler injection: the worker may not start work until
+                # ``start_delay`` seconds into the iteration.
+                yield env.timeout(start_delay)
+            while True:
+                token = yield from self.server.request_token(self.wid)
+                if token is None:
+                    break
+                yield from self._train_token(token)
+            self.chunks.clear()  # Parameter Chunks are per-iteration
+
+    # -- token execution ----------------------------------------------------------
+
+    def _train_token(self, token: Token):
+        env = self.server.env
+        fetch_start = env.now
+        yield from self._fetch_inputs(token)
+        if self.recorder is not None and env.now > fetch_start:
+            self.recorder.record(
+                self.wid, "fetch", fetch_start, env.now, token.type_name
+            )
+        submodel = self.config.partition[token.level]
+        duration = self.node.gpu_spec.train_time(
+            submodel.layers, token.batch
+        )
+        before = env.now
+        yield from self.node.compute(duration)
+        self.compute_seconds += env.now - before
+        if self.recorder is not None:
+            self.recorder.record(
+                self.wid, "compute", before, env.now, token.type_name
+            )
+        self.chunks.add(token.tid)
+        self.tokens_trained += 1
+        yield from self.server.report_completion(self.wid, token)
+
+    def _fetch_inputs(self, token: Token):
+        env = self.server.env
+        if token.level == 0:
+            # Raw training samples live on the home worker's local storage.
+            owner = token.home_worker
+            if owner != self.wid:
+                size = token.batch * self.config.partition.model.input_bytes
+                yield self.node.cluster.fabric.transfer(
+                    owner, self.wid, size
+                )
+                self.bytes_fetched += size
+            return
+
+        upstream = self.config.partition[token.level - 1]
+        transfers = []
+        for dep_tid in token.deps:
+            if dep_tid in self.chunks:
+                continue  # already local (we trained or fetched it)
+            holder = self.server.holder_of_token(dep_tid)
+            if holder is None:
+                raise SchedulingError(
+                    f"token {token.tid} scheduled before dependency "
+                    f"{dep_tid} completed"
+                )
+            if holder == self.wid:
+                continue
+            dep = self.server.token_by_id(dep_tid)
+            size = dep.batch * upstream.output_bytes
+            transfers.append(
+                self.node.cluster.fabric.transfer(holder, self.wid, size)
+            )
+            self.bytes_fetched += size
+            self.chunks.add(dep_tid)
+        if transfers:
+            yield env.all_of(transfers)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Fela reproduction library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly.
+
+    Examples: running a finished environment until a never-triggered event,
+    yielding a non-event from a process, or triggering an event twice.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment, runtime, or hardware model was configured incorrectly."""
+
+
+class CapacityError(ReproError):
+    """A hardware capacity constraint was violated.
+
+    Raised, for example, when a sub-model plus its activations for the
+    requested batch size cannot fit into the simulated GPU memory.
+    """
+
+
+class SchedulingError(ReproError):
+    """The token server or a scheduling policy reached an invalid state."""
+
+
+class PartitionError(ReproError):
+    """A model could not be partitioned as requested."""
+
+
+class TuningError(ReproError):
+    """The runtime configuration tuner was given an infeasible search space."""

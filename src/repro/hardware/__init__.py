@@ -1,0 +1,6 @@
+"""Hardware models: GPU saturation/memory model, nodes, clusters."""
+
+from repro.hardware.cluster import Cluster, ClusterSpec, Node
+from repro.hardware.gpu import GpuSpec
+
+__all__ = ["Cluster", "ClusterSpec", "GpuSpec", "Node"]

@@ -1,0 +1,132 @@
+"""Plain-text charts: render figure series without a plotting stack.
+
+The benchmarks print the paper's figures as data series; these helpers
+additionally draw them as ASCII charts so a terminal run of the harness
+shows the curve *shapes* (the reproduction target) at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to series, in order.
+_SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.4g}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: _t.Mapping[str, _t.Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a glyph; overlapping points show the later series.
+    ``log_x`` plots the x axis in log2 (batch-size sweeps).
+    """
+    if width < 16 or height < 4:
+        raise ConfigurationError(
+            f"chart too small: {width}x{height}"
+        )
+    if not series:
+        raise ConfigurationError("chart needs at least one series")
+    if len(series) > len(_SERIES_GLYPHS):
+        raise ConfigurationError(
+            f"too many series ({len(series)}); max {len(_SERIES_GLYPHS)}"
+        )
+
+    def x_of(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ConfigurationError(
+                    f"log_x chart requires positive x values: {value}"
+                )
+            return math.log2(value)
+        return value
+
+    points = [
+        (x_of(x), y)
+        for data in series.values()
+        for x, y in data
+    ]
+    if not points:
+        raise ConfigurationError("chart needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, data) in zip(_SERIES_GLYPHS, series.items()):
+        for x, y in data:
+            col = int((x_of(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top, y_bottom = _format_tick(y_hi), _format_tick(y_lo)
+    margin = max(len(y_top), len(y_bottom))
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = y_top.rjust(margin)
+        elif index == height - 1:
+            label = y_bottom.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_left = _format_tick(2**x_lo if log_x else x_lo)
+    x_right = _format_tick(2**x_hi if log_x else x_hi)
+    axis = " " * margin + "  " + x_left
+    axis += " " * max(1, width - len(x_left) - len(x_right)) + x_right
+    lines.append(axis)
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for glyph, name in zip(_SERIES_GLYPHS, series)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: _t.Mapping[str, float],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        raise ConfigurationError("bar chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ConfigurationError("bar chart values must be >= 0")
+    peak = max(values.values()) or 1.0
+    margin = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, int(value / peak * width))
+        lines.append(
+            f"{label.rjust(margin)} |{bar.ljust(width)} "
+            f"{_format_tick(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Paper Table II: qualitative comparison of representative DML solutions.
+
+The rows are the paper's claims; the Fela row is additionally
+cross-checkable against this reproduction's actual capabilities (see
+``tests/harness/test_comparison_matrix.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.harness.report import render_table
+
+
+@dataclasses.dataclass(frozen=True)
+class SolutionRow:
+    """One row of Table II."""
+
+    solution: str
+    parallel_mode: str
+    flexible_parallelism: bool
+    straggler_mitigation: bool
+    communication_efficiency: bool
+    work_conservation: bool
+    algorithm_reproducibility: bool
+    note: str = ""
+
+
+TABLE_II: tuple[SolutionRow, ...] = (
+    SolutionRow(
+        "LazyTable", "Model-Parallel", False, True, True, True, False,
+        note="SSP staleness sacrifices reproducibility",
+    ),
+    SolutionRow(
+        "FlexRR", "Data-Parallel", False, True, False, True, False,
+        note="expensive sample migration for straggler mitigation",
+    ),
+    SolutionRow(
+        "FlexPS", "Data-Parallel", True, False, False, True, True,
+        note="flexible parallelism across stages only; PS bottleneck",
+    ),
+    SolutionRow(
+        "PipeDream", "Model-Parallel", False, False, True, False, False,
+        note="pipeline bubbles; SSP variant spoils reproducibility",
+    ),
+    SolutionRow(
+        "ElasticPipe", "Model-Parallel", False, True, True, False, True,
+        note="periodic proactive re-partitioning lags transients",
+    ),
+    SolutionRow(
+        "Stanza", "Hybrid-Parallel", False, False, True, False, True,
+        note="FC worker idles at FP start / BP end",
+    ),
+    SolutionRow(
+        "Fela", "Hybrid-Parallel", True, True, True, True, True,
+        note="this reproduction",
+    ),
+)
+
+
+def _mark(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def render_table_ii() -> str:
+    """Table II as printable text."""
+    headers = [
+        "Solution",
+        "Parallel Mode",
+        "Flexible Parallelism",
+        "Straggler Mitigation",
+        "Comm. Efficiency",
+        "Work Conservation",
+        "Reproducibility",
+    ]
+    rows = [
+        [
+            row.solution,
+            row.parallel_mode,
+            _mark(row.flexible_parallelism),
+            _mark(row.straggler_mitigation),
+            _mark(row.communication_efficiency),
+            _mark(row.work_conservation),
+            _mark(row.algorithm_reproducibility),
+        ]
+        for row in TABLE_II
+    ]
+    return render_table(
+        headers, rows, title="Table II: Comparison of DML Solutions"
+    )

@@ -1,0 +1,156 @@
+"""Unified experiment running: one entry point per runtime kind.
+
+The harness's job is to make every figure's comparison apples-to-apples:
+
+* all runtimes see the same model, batch, worker count and straggler
+  pattern (straggler injectors are deterministic per seed+iteration);
+* Fela always runs its two-phase tuned configuration, found once per
+  (model, batch, workers, cluster) and cached — exactly the paper's
+  warm-up protocol;
+* every run starts on a fresh simulated cluster.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.baselines import (
+    DataParallel,
+    HybridParallel,
+    ModelParallel,
+    ProactiveElastic,
+)
+from repro.core import FelaConfig, FelaRuntime
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster, ClusterSpec
+from repro.metrics import RunResult
+from repro.models import ModelGraph, get_model
+from repro.partition import Partition, bin_partition, paper_partition
+from repro.stragglers import NoStraggler, StragglerInjector
+from repro.tuning import ConfigurationTuner, TuningResult
+
+RUNTIME_KINDS: tuple[str, ...] = ("fela", "dp", "mp", "hp")
+
+#: Iterations used when profiling tuning cases inside the harness.
+TUNING_PROFILE_ITERATIONS: int = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One workload: model + batch + cluster size + duration."""
+
+    model_name: str
+    total_batch: int
+    num_workers: int = 8
+    iterations: int = 100
+    cluster_spec: ClusterSpec | None = None
+
+    def resolved_cluster_spec(self) -> ClusterSpec:
+        return self.cluster_spec or ClusterSpec(num_nodes=self.num_workers)
+
+
+class ExperimentRunner:
+    """Runs runtimes against specs, caching models/partitions/tunings."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, ModelGraph] = {}
+        self._partitions: dict[str, Partition] = {}
+        self._tunings: dict[tuple, TuningResult] = {}
+
+    # -- cached building blocks ---------------------------------------------
+
+    def model(self, name: str) -> ModelGraph:
+        if name not in self._models:
+            self._models[name] = get_model(name)
+        return self._models[name]
+
+    def partition(self, model_name: str) -> Partition:
+        """The paper's partition when published, else the bin partition."""
+        if model_name not in self._partitions:
+            model = self.model(model_name)
+            try:
+                self._partitions[model_name] = paper_partition(model)
+            except Exception:
+                self._partitions[model_name] = bin_partition(model)
+        return self._partitions[model_name]
+
+    def tuning(self, spec: ExperimentSpec) -> TuningResult:
+        """Two-phase tuned configuration for a workload (cached)."""
+        key = (
+            spec.model_name,
+            spec.total_batch,
+            spec.num_workers,
+            spec.resolved_cluster_spec(),
+        )
+        if key not in self._tunings:
+            tuner = ConfigurationTuner(
+                self.partition(spec.model_name),
+                spec.total_batch,
+                spec.num_workers,
+                cluster_spec=spec.resolved_cluster_spec(),
+                profile_iterations=TUNING_PROFILE_ITERATIONS,
+            )
+            self._tunings[key] = tuner.tune()
+        return self._tunings[key]
+
+    # -- running ------------------------------------------------------------------
+
+    def fela_config(self, spec: ExperimentSpec) -> FelaConfig:
+        tuning = self.tuning(spec)
+        return FelaConfig(
+            partition=self.partition(spec.model_name),
+            total_batch=spec.total_batch,
+            num_workers=spec.num_workers,
+            weights=tuning.best_weights,
+            conditional_subset_size=tuning.best_subset_size,
+            iterations=spec.iterations,
+        )
+
+    def run(
+        self,
+        kind: str,
+        spec: ExperimentSpec,
+        straggler: StragglerInjector | None = None,
+        **overrides: _t.Any,
+    ) -> RunResult:
+        """Run one runtime kind against a spec and return its result."""
+        straggler = straggler or NoStraggler()
+        cluster = Cluster(spec.resolved_cluster_spec())
+        model = self.model(spec.model_name)
+        if kind == "fela":
+            config = self.fela_config(spec)
+            if overrides:
+                # Apply atomically: interdependent fields (e.g. sync_mode
+                # + staleness) must be validated together.
+                config = config.replace(**overrides)
+            return FelaRuntime(config, cluster, straggler=straggler).run()
+        baseline_cls = {
+            "dp": DataParallel,
+            "mp": ModelParallel,
+            "hp": HybridParallel,
+            "proactive": ProactiveElastic,
+        }.get(kind)
+        if baseline_cls is None:
+            raise ConfigurationError(
+                f"unknown runtime kind {kind!r}; expected one of "
+                f"{RUNTIME_KINDS}"
+            )
+        return baseline_cls(
+            model,
+            spec.total_batch,
+            spec.num_workers,
+            iterations=spec.iterations,
+            cluster=cluster,
+            straggler=straggler,
+            **overrides,
+        ).run()
+
+    def run_all(
+        self,
+        spec: ExperimentSpec,
+        straggler: StragglerInjector | None = None,
+        kinds: _t.Sequence[str] = RUNTIME_KINDS,
+    ) -> dict[str, RunResult]:
+        """Run every runtime kind against the same workload."""
+        return {kind: self.run(kind, spec, straggler) for kind in kinds}

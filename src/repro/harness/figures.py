@@ -1,0 +1,568 @@
+"""Per-figure/table experiment generators.
+
+One function per table and figure of the paper's evaluation.  Each
+returns a small dataclass carrying the raw data plus a ``render()``
+producing the rows/series the paper reports.  The ``benchmarks/``
+directory wires each one into pytest-benchmark; ``examples/`` and the
+EXPERIMENTS.md generator call them directly.
+
+Default batch sweeps follow the paper's axes (64..1024 in powers of two);
+the straggler figures use the paper's exact ``d`` and ``p`` grids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.harness.experiment import (
+    RUNTIME_KINDS,
+    ExperimentRunner,
+    ExperimentSpec,
+)
+from repro.harness.report import format_speedup, render_series, render_table
+from repro.metrics import RunResult, per_iteration_delay
+from repro.models import (
+    TABLE_I,
+    ConvSpec,
+    LinearSpec,
+    ModelGraph,
+    get_model,
+)
+from repro.partition import bin_partition, paper_partition
+from repro.profiling import ThroughputProfiler
+from repro.stragglers import (
+    NoStraggler,
+    ProbabilityStraggler,
+    RoundRobinStraggler,
+)
+from repro.tuning import ConfigurationTuner, TuningResult
+
+#: The paper's batch-size axis for the throughput figures.
+DEFAULT_BATCHES: tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+#: Straggler grids (paper Section V-C2).
+VGG_DELAYS: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0)
+GOOGLENET_DELAYS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+PROBABILITIES: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+VGG_PROB_DELAY: float = 6.0
+GOOGLENET_PROB_DELAY: float = 3.0
+
+#: Batch sizes used for the straggler figures.  Chosen so that (a) the
+#: iteration time is commensurate with the paper's delay grids and (b)
+#: there are at least two T-1 tokens per worker — with exactly one token
+#: per STB there is nothing for helpers to steal and token scheduling
+#: degenerates to static assignment.
+STRAGGLER_BATCH: dict[str, int] = {"vgg19": 512, "googlenet": 1024}
+
+
+# ---------------------------------------------------------------------------
+# Table I
+
+
+@dataclasses.dataclass(frozen=True)
+class TableIResult:
+    rows: tuple[tuple[str, int, int, _t.Any], ...]
+
+    def render(self) -> str:
+        return render_table(
+            ["Model", "Year", "Layer Number", "Zoo trainable layers"],
+            list(self.rows),
+            title="Table I: Growing Neural Network Layer Numbers",
+        )
+
+
+def table1() -> TableIResult:
+    """Table I, cross-checked against the model zoo's builders."""
+    rows = []
+    for entry in TABLE_I:
+        built = entry.builder() if entry.builder else None
+        zoo_layers = len(built.trainable_layers) if built else "-"
+        rows.append((entry.name, entry.year, entry.layer_number, zoo_layers))
+    return TableIResult(rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig1Result:
+    """Throughput-vs-batch sweeps for the paper's three probe layers."""
+
+    series: tuple[tuple[str, tuple[int, ...], tuple[float, ...]], ...]
+    thresholds: dict[str, int]
+
+    def render(self) -> str:
+        lines = ["Figure 1: Training throughput vs batch size (samples/s)"]
+        for name, xs, ys in self.series:
+            lines.append(render_series(name, xs, ys))
+        lines.append(f"threshold batch sizes: {self.thresholds}")
+        return "\n".join(lines)
+
+    def render_chart(self) -> str:
+        """The same data as an ASCII chart (log-x, like the paper)."""
+        from repro.harness.charts import line_chart
+
+        series = {
+            name: list(zip(xs, ys)) for name, xs, ys in self.series
+        }
+        return line_chart(
+            series,
+            log_x=True,
+            title="Figure 1: throughput vs batch size (log x)",
+        )
+
+
+def probe_layer(kind: str) -> ModelGraph:
+    """Single-layer models matching the shapes of Fig. 1."""
+    if kind == "conv_front":
+        return ModelGraph(
+            "probe-conv-front",
+            (64, 224, 224),
+            [ConvSpec(name="conv", out_channels=64)],
+        )
+    if kind == "conv_back":
+        return ModelGraph(
+            "probe-conv-back",
+            (512, 14, 14),
+            [ConvSpec(name="conv", out_channels=512)],
+        )
+    if kind == "fc":
+        return ModelGraph(
+            "probe-fc", (4096,), [LinearSpec(name="fc", out_features=4096)]
+        )
+    raise ValueError(f"unknown probe layer {kind!r}")
+
+
+def fig1(profiler: ThroughputProfiler | None = None) -> Fig1Result:
+    """Figure 1: per-shape throughput sweeps; knees at 16 / 64 / ~2048."""
+    profiler = profiler or ThroughputProfiler()
+    labels = {
+        "conv_front": "CONV (64,64,224,224)",
+        "conv_back": "CONV (512,512,14,14)",
+        "fc": "FC (4096,4096)",
+    }
+    series = []
+    thresholds = {}
+    for kind, label in labels.items():
+        layer = probe_layer(kind).layers[0]
+        profile = profiler.profile_layer(layer)
+        xs = tuple(point.batch for point in profile.sweep)
+        ys = tuple(point.throughput for point in profile.sweep)
+        series.append((label, xs, ys))
+        thresholds[label] = profile.threshold_batch
+    return Fig1Result(series=tuple(series), thresholds=thresholds)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig5Result:
+    """Per-layer thresholds of VGG19 and the resulting partitions."""
+
+    layer_names: tuple[str, ...]
+    thresholds: tuple[int, ...]
+    paper_partition_desc: str
+    bin_partition_desc: str
+
+    def render(self) -> str:
+        lines = ["Figure 5: Threshold batch sizes of VGG19 layers"]
+        lines.append(
+            render_series(
+                "threshold", self.layer_names, [float(t) for t in self.thresholds]
+            )
+        )
+        lines.append("paper partition:")
+        lines.append(self.paper_partition_desc)
+        lines.append("bin-partitioned method output:")
+        lines.append(self.bin_partition_desc)
+        return "\n".join(lines)
+
+
+def fig5(profiler: ThroughputProfiler | None = None) -> Fig5Result:
+    profiler = profiler or ThroughputProfiler()
+    model = get_model("vgg19")
+    pairs = profiler.model_thresholds(model)
+    return Fig5Result(
+        layer_names=tuple(p.name for p, _ in pairs),
+        thresholds=tuple(t for _, t in pairs),
+        paper_partition_desc=paper_partition(model, profiler).describe(),
+        bin_partition_desc=bin_partition(model, profiler).describe(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig6Result:
+    """Configuration tuning diagnostics per batch size."""
+
+    model_name: str
+    tunings: dict[int, TuningResult]
+
+    def render(self) -> str:
+        lines = [f"Figure 6: Configuration tuning ({self.model_name})"]
+        for batch, tuning in sorted(self.tunings.items()):
+            normalized = tuning.normalized_times()
+            lines.append(
+                render_series(
+                    f"batch {batch} normalized per-iteration time",
+                    list(range(len(normalized))),
+                    normalized,
+                )
+            )
+            lines.append(
+                f"  best case: weights={tuning.best_weights} "
+                f"subset={tuning.best_subset_size}; gaps: "
+                f"phase1={tuning.phase1_gap() * 100:.2f}% "
+                f"phase2={tuning.phase2_gap() * 100:.2f}% "
+                f"overall={tuning.overall_gap() * 100:.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def fig6(
+    model_name: str = "vgg19",
+    batches: _t.Sequence[int] = DEFAULT_BATCHES,
+    runner: ExperimentRunner | None = None,
+) -> Fig6Result:
+    runner = runner or ExperimentRunner()
+    tunings = {}
+    for batch in batches:
+        spec = ExperimentSpec(model_name=model_name, total_batch=batch)
+        tunings[batch] = runner.tuning(spec)
+    return Fig6Result(model_name=model_name, tunings=tunings)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 / Table III (ablation)
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    """AT with/without each policy, per batch size."""
+
+    model_name: str
+    batches: tuple[int, ...]
+    #: policy -> batch -> (with, without) throughput.
+    data: dict[str, dict[int, tuple[float, float]]]
+    #: Tuning gaps standing in for the Parallelism-Degree/CTD rows of
+    #: Table III (the paper takes those from Fig. 6's phases).
+    tuning_gaps: dict[int, tuple[float, float]]
+
+    def improvement(self, policy: str, batch: int) -> float:
+        with_at, without_at = self.data[policy][batch]
+        return with_at / without_at - 1.0
+
+    def improvement_range(self, policy: str) -> tuple[float, float]:
+        values = [self.improvement(policy, b) for b in self.batches]
+        return (min(values), max(values))
+
+    def render(self) -> str:
+        lines = [
+            f"Figure 7 / Table III: ablation study ({self.model_name})"
+        ]
+        headers = ["Policy"] + [f"b={b}" for b in self.batches] + ["Range"]
+        rows = []
+        for policy in sorted(self.data):
+            cells: list[_t.Any] = [policy.upper()]
+            for batch in self.batches:
+                cells.append(f"{self.improvement(policy, batch) * 100:.2f}%")
+            lo, hi = self.improvement_range(policy)
+            cells.append(f"{lo * 100:.2f}%~{hi * 100:.2f}%")
+            rows.append(cells)
+        p1 = [self.tuning_gaps[b][0] for b in self.batches]
+        p2 = [self.tuning_gaps[b][1] for b in self.batches]
+        rows.append(
+            ["PD-TUNING"]
+            + [f"{v * 100:.2f}%" for v in p1]
+            + [f"{min(p1) * 100:.2f}%~{max(p1) * 100:.2f}%"]
+        )
+        rows.append(
+            ["CTD-TUNING"]
+            + [f"{v * 100:.2f}%" for v in p2]
+            + [f"{min(p2) * 100:.2f}%~{max(p2) * 100:.2f}%"]
+        )
+        lines.append(render_table(headers, rows))
+        return "\n".join(lines)
+
+
+def fig7_ablation(
+    model_name: str = "vgg19",
+    batches: _t.Sequence[int] = DEFAULT_BATCHES,
+    iterations: int = 10,
+    runner: ExperimentRunner | None = None,
+) -> AblationResult:
+    """Figure 7 + Table III rows for ADS and HF (and tuning gaps)."""
+    runner = runner or ExperimentRunner()
+    data: dict[str, dict[int, tuple[float, float]]] = {
+        "ads": {},
+        "hf": {},
+    }
+    tuning_gaps: dict[int, tuple[float, float]] = {}
+    for batch in batches:
+        spec = ExperimentSpec(
+            model_name=model_name, total_batch=batch, iterations=iterations
+        )
+        tuned = runner.run("fela", spec).average_throughput
+        no_ads = runner.run(
+            "fela", spec, ads_enabled=False
+        ).average_throughput
+        no_hf = runner.run("fela", spec, hf_enabled=False).average_throughput
+        data["ads"][batch] = (tuned, no_ads)
+        data["hf"][batch] = (tuned, no_hf)
+        tuning = runner.tuning(spec)
+        tuning_gaps[batch] = (tuning.phase1_gap(), tuning.phase2_gap())
+    return AblationResult(
+        model_name=model_name,
+        batches=tuple(batches),
+        data=data,
+        tuning_gaps=tuning_gaps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 (non-straggler comparison)
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonResult:
+    """AT per runtime per batch (one panel of Fig. 8)."""
+
+    model_name: str
+    batches: tuple[int, ...]
+    #: kind -> batch -> result.
+    results: dict[str, dict[int, RunResult]]
+
+    def throughput(self, kind: str, batch: int) -> float:
+        return self.results[kind][batch].average_throughput
+
+    def speedup(self, kind: str, batch: int) -> float:
+        return self.throughput("fela", batch) / self.throughput(kind, batch)
+
+    def speedup_range(self, kind: str) -> tuple[float, float]:
+        values = [self.speedup(kind, b) for b in self.batches]
+        return (min(values), max(values))
+
+    def render(self) -> str:
+        lines = [
+            f"Figure 8: AT comparison, non-straggler ({self.model_name})"
+        ]
+        headers = ["Batch"] + [k.upper() for k in self.results]
+        rows = []
+        for batch in self.batches:
+            rows.append(
+                [batch]
+                + [self.throughput(kind, batch) for kind in self.results]
+            )
+        lines.append(render_table(headers, rows))
+        for kind in self.results:
+            if kind == "fela":
+                continue
+            lo, hi = self.speedup_range(kind)
+            lines.append(
+                f"Fela vs {kind.upper()}: "
+                f"{format_speedup(lo)} ~ {format_speedup(hi)}"
+            )
+        return "\n".join(lines)
+
+    def render_chart(self) -> str:
+        """AT-vs-batch curves as an ASCII chart (log-x)."""
+        from repro.harness.charts import line_chart
+
+        series = {
+            kind.upper(): [
+                (batch, self.throughput(kind, batch))
+                for batch in self.batches
+            ]
+            for kind in self.results
+        }
+        return line_chart(
+            series,
+            log_x=True,
+            title=f"Figure 8 ({self.model_name}): AT vs total batch",
+        )
+
+
+def fig8(
+    model_name: str,
+    batches: _t.Sequence[int] = DEFAULT_BATCHES,
+    iterations: int = 10,
+    runner: ExperimentRunner | None = None,
+    kinds: _t.Sequence[str] = RUNTIME_KINDS,
+) -> ComparisonResult:
+    runner = runner or ExperimentRunner()
+    results: dict[str, dict[int, RunResult]] = {k: {} for k in kinds}
+    for batch in batches:
+        spec = ExperimentSpec(
+            model_name=model_name, total_batch=batch, iterations=iterations
+        )
+        for kind in kinds:
+            results[kind][batch] = runner.run(kind, spec)
+    return ComparisonResult(
+        model_name=model_name, batches=tuple(batches), results=results
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 and 10 (straggler scenarios)
+
+
+@dataclasses.dataclass(frozen=True)
+class StragglerResult:
+    """AT and PID per runtime along a straggler severity axis."""
+
+    model_name: str
+    scenario: str  # "round-robin" or "probability"
+    axis_name: str  # "d" or "p"
+    axis: tuple[float, ...]
+    #: kind -> axis value -> straggler-run result.
+    results: dict[str, dict[float, RunResult]]
+    #: kind -> non-straggler baseline result (for PID).
+    baselines: dict[str, RunResult]
+
+    def throughput(self, kind: str, value: float) -> float:
+        return self.results[kind][value].average_throughput
+
+    def pid(self, kind: str, value: float) -> float:
+        return per_iteration_delay(
+            self.results[kind][value], self.baselines[kind]
+        )
+
+    def speedup_range(self, kind: str) -> tuple[float, float]:
+        values = [
+            self.throughput("fela", v) / self.throughput(kind, v)
+            for v in self.axis
+        ]
+        return (min(values), max(values))
+
+    def pid_reduction_range(self, kind: str) -> tuple[float, float]:
+        """Fela's PID saving vs a baseline, as fractions."""
+        values = []
+        for v in self.axis:
+            base = self.pid(kind, v)
+            if base > 0:
+                values.append(1.0 - self.pid("fela", v) / base)
+        if not values:
+            return (0.0, 0.0)
+        return (min(values), max(values))
+
+    def render(self) -> str:
+        lines = [
+            f"{self.scenario} straggler scenario ({self.model_name}): "
+            "AT (samples/s) and PID (s)"
+        ]
+        headers = [self.axis_name] + [
+            f"{k.upper()} {metric}"
+            for k in self.results
+            for metric in ("AT", "PID")
+        ]
+        rows = []
+        for value in self.axis:
+            row: list[_t.Any] = [value]
+            for kind in self.results:
+                row.append(self.throughput(kind, value))
+                row.append(self.pid(kind, value))
+            rows.append(row)
+        lines.append(render_table(headers, rows))
+        for kind in self.results:
+            if kind == "fela":
+                continue
+            lo, hi = self.speedup_range(kind)
+            lines.append(
+                f"Fela AT vs {kind.upper()}: "
+                f"{format_speedup(lo)} ~ {format_speedup(hi)}"
+            )
+        return "\n".join(lines)
+
+
+def _straggler_figure(
+    model_name: str,
+    scenario: str,
+    axis_name: str,
+    axis: _t.Sequence[float],
+    make_injector: _t.Callable[[float], _t.Any],
+    iterations: int,
+    runner: ExperimentRunner | None,
+    kinds: _t.Sequence[str],
+    total_batch: int | None,
+) -> StragglerResult:
+    runner = runner or ExperimentRunner()
+    batch = total_batch or STRAGGLER_BATCH.get(model_name, 256)
+    spec = ExperimentSpec(
+        model_name=model_name, total_batch=batch, iterations=iterations
+    )
+    baselines = {
+        kind: runner.run(kind, spec, NoStraggler()) for kind in kinds
+    }
+    results: dict[str, dict[float, RunResult]] = {k: {} for k in kinds}
+    for value in axis:
+        injector = make_injector(value)
+        for kind in kinds:
+            results[kind][value] = runner.run(kind, spec, injector)
+    return StragglerResult(
+        model_name=model_name,
+        scenario=scenario,
+        axis_name=axis_name,
+        axis=tuple(axis),
+        results=results,
+        baselines=baselines,
+    )
+
+
+def fig9(
+    model_name: str,
+    delays: _t.Sequence[float] | None = None,
+    iterations: int = 10,
+    runner: ExperimentRunner | None = None,
+    kinds: _t.Sequence[str] = RUNTIME_KINDS,
+    total_batch: int | None = None,
+) -> StragglerResult:
+    """Figure 9: round-robin straggler scenario (AT and PID)."""
+    if delays is None:
+        delays = (
+            VGG_DELAYS if model_name == "vgg19" else GOOGLENET_DELAYS
+        )
+    return _straggler_figure(
+        model_name,
+        "round-robin",
+        "d",
+        delays,
+        lambda d: RoundRobinStraggler(d),
+        iterations,
+        runner,
+        kinds,
+        total_batch,
+    )
+
+
+def fig10(
+    model_name: str,
+    probabilities: _t.Sequence[float] = PROBABILITIES,
+    delay: float | None = None,
+    iterations: int = 10,
+    runner: ExperimentRunner | None = None,
+    kinds: _t.Sequence[str] = RUNTIME_KINDS,
+    total_batch: int | None = None,
+) -> StragglerResult:
+    """Figure 10: probability-based straggler scenario (AT and PID)."""
+    if delay is None:
+        delay = (
+            VGG_PROB_DELAY if model_name == "vgg19" else GOOGLENET_PROB_DELAY
+        )
+    return _straggler_figure(
+        model_name,
+        "probability",
+        "p",
+        probabilities,
+        lambda p: ProbabilityStraggler(p, delay),
+        iterations,
+        runner,
+        kinds,
+        total_batch,
+    )

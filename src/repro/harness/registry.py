@@ -1,0 +1,222 @@
+"""Registry of reproducible artifacts: every table/figure, addressable.
+
+Maps each experiment id (the paper's table/figure numbers plus this
+repo's extensions) to a generator callable and the benchmark that gates
+it.  ``python -m repro figures`` walks this registry to regenerate the
+whole evaluation; the test suite walks it to guarantee the index stays
+complete and truthful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import repro.harness.figures as _figures
+from repro.harness.comparison_matrix import render_table_ii
+from repro.harness.experiment import ExperimentRunner
+
+
+@dataclasses.dataclass(frozen=True)
+class Artifact:
+    """One regenerable artifact of the evaluation."""
+
+    artifact_id: str
+    title: str
+    #: (runner, iterations) -> object with ``render() -> str`` (or str).
+    generate: _t.Callable[[ExperimentRunner, int], _t.Any]
+    benchmark: str
+    #: Whether the artifact comes straight from the paper (vs extension).
+    from_paper: bool = True
+
+
+def _static(value: _t.Callable[[], _t.Any]):
+    def generate(_runner: ExperimentRunner, _iterations: int):
+        return value()
+
+    return generate
+
+
+REGISTRY: tuple[Artifact, ...] = (
+    Artifact(
+        "table1",
+        "Growing neural network layer numbers",
+        _static(_figures.table1),
+        "bench_table1_model_zoo.py",
+    ),
+    Artifact(
+        "fig1",
+        "Training throughput vs batch size (three layer shapes)",
+        _static(_figures.fig1),
+        "bench_fig1_layer_throughput.py",
+    ),
+    Artifact(
+        "table2",
+        "Comparison of representative DML solutions",
+        _static(render_table_ii),
+        "bench_table2_comparison.py",
+    ),
+    Artifact(
+        "fig5",
+        "Threshold batch sizes of VGG19 layers + partition",
+        _static(_figures.fig5),
+        "bench_fig5_partition.py",
+    ),
+    Artifact(
+        "fig6",
+        "Two-phase configuration tuning",
+        lambda runner, _i: _figures.fig6(runner=runner),
+        "bench_fig6_tuning.py",
+    ),
+    Artifact(
+        "fig7",
+        "Ablation study (ADS / HF / tuning phases)",
+        lambda runner, iterations: _figures.fig7_ablation(
+            batches=(128, 512, 1024), iterations=iterations, runner=runner
+        ),
+        "bench_fig7_ablation.py",
+    ),
+    Artifact(
+        "fig8-vgg19",
+        "AT comparison, non-straggler (VGG19)",
+        lambda runner, iterations: _figures.fig8(
+            "vgg19", iterations=iterations, runner=runner
+        ),
+        "bench_fig8_non_straggler.py",
+    ),
+    Artifact(
+        "fig8-googlenet",
+        "AT comparison, non-straggler (GoogLeNet)",
+        lambda runner, iterations: _figures.fig8(
+            "googlenet", batches=(64, 256, 1024), iterations=iterations,
+            runner=runner,
+        ),
+        "bench_fig8_non_straggler.py",
+    ),
+    Artifact(
+        "fig9-vgg19",
+        "Round-robin straggler scenario (VGG19)",
+        lambda runner, iterations: _figures.fig9(
+            "vgg19", iterations=iterations, runner=runner
+        ),
+        "bench_fig9_round_robin.py",
+    ),
+    Artifact(
+        "fig9-googlenet",
+        "Round-robin straggler scenario (GoogLeNet)",
+        lambda runner, iterations: _figures.fig9(
+            "googlenet", iterations=iterations, runner=runner
+        ),
+        "bench_fig9_round_robin.py",
+    ),
+    Artifact(
+        "fig10-vgg19",
+        "Probability-based straggler scenario (VGG19)",
+        lambda runner, iterations: _figures.fig10(
+            "vgg19", iterations=iterations, runner=runner
+        ),
+        "bench_fig10_probability.py",
+    ),
+    Artifact(
+        "fig10-googlenet",
+        "Probability-based straggler scenario (GoogLeNet)",
+        lambda runner, iterations: _figures.fig10(
+            "googlenet", iterations=iterations, runner=runner
+        ),
+        "bench_fig10_probability.py",
+    ),
+    Artifact(
+        "ext-ssp",
+        "SSP/ASP extension (Section VI sketch)",
+        None,  # type: ignore[arg-type]  # bench-only artifact
+        "bench_ext_ssp.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-transient",
+        "Reactive vs proactive under transient stragglers (III-C)",
+        None,  # type: ignore[arg-type]
+        "bench_ext_transient.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-pipelined",
+        "Token-level iteration pipelining (full Section-VI extension)",
+        None,  # type: ignore[arg-type]
+        "bench_ext_ssp.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-convergence",
+        "Speed-quality product for BSP/SSP/ASP",
+        None,  # type: ignore[arg-type]
+        "bench_ext_convergence.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-collectives",
+        "Gradient-synchronization collectives ablation",
+        None,  # type: ignore[arg-type]
+        "bench_ablation_collectives.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-network-trend",
+        "Compute/network trend of Section II-A",
+        None,  # type: ignore[arg-type]
+        "bench_ext_network_trend.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-scalability",
+        "Strong scaling over cluster size",
+        None,  # type: ignore[arg-type]
+        "bench_ext_scalability.py",
+        from_paper=False,
+    ),
+    Artifact(
+        "ext-bandwidth",
+        "Sensitivity to network bandwidth",
+        None,  # type: ignore[arg-type]
+        "bench_ext_bandwidth.py",
+        from_paper=False,
+    ),
+)
+
+
+def paper_artifacts() -> list[Artifact]:
+    """Artifacts that correspond to published tables/figures."""
+    return [a for a in REGISTRY if a.from_paper]
+
+
+def get_artifact(artifact_id: str) -> Artifact:
+    for artifact in REGISTRY:
+        if artifact.artifact_id == artifact_id:
+            return artifact
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown artifact {artifact_id!r}; known: "
+        f"{[a.artifact_id for a in REGISTRY]}"
+    )
+
+
+def generate_artifact(
+    artifact_id: str,
+    runner: ExperimentRunner | None = None,
+    iterations: int = 8,
+) -> str:
+    """Regenerate one artifact and return its rendered text."""
+    artifact = get_artifact(artifact_id)
+    if artifact.generate is None:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"artifact {artifact_id!r} is benchmark-only; run "
+            f"pytest benchmarks/{artifact.benchmark}"
+        )
+    runner = runner or ExperimentRunner()
+    result = artifact.generate(runner, iterations)
+    if isinstance(result, str):
+        return result
+    return result.render()

@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigurationError
+
+
+def render_table(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[_t.Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match "
+                f"{len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: _t.Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(
+    name: str, xs: _t.Sequence[_t.Any], ys: _t.Sequence[float]
+) -> str:
+    """One figure series as ``name: (x, y) (x, y) ...``."""
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"series {name!r}: {len(xs)} xs vs {len(ys)} ys"
+        )
+    points = " ".join(
+        f"({x}, {_format_cell(float(y))})" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {points}"
+
+
+def format_speedup(ratio: float) -> str:
+    """The paper's convention: percentages below 2x, multipliers above.
+
+    >>> format_speedup(1.17)
+    '17.0%'
+    >>> format_speedup(3.23)
+    '3.23x'
+    """
+    if ratio < 1:
+        return f"-{(1 - ratio) * 100:.1f}%"
+    if ratio < 2:
+        return f"{(ratio - 1) * 100:.1f}%"
+    return f"{ratio:.2f}x"

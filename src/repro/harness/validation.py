@@ -1,0 +1,93 @@
+"""Simulator verification: closed-form cross-checks.
+
+A simulator is only as credible as its agreement with the arithmetic it
+claims to implement.  For the simple runtimes, iteration time has a
+closed form; this module computes those predictions independently of the
+DES machinery so the test suite can assert that the simulation and the
+algebra agree to within network-latency noise.
+
+* Data-parallel BSP:
+  ``max_w(delay_w + compute_w) + ring_allreduce(N, model_bytes)``
+* Ring all-reduce: ``2 (k-1)/k * size / bandwidth`` plus per-round
+  latency.
+* GPipe-flush pipeline: fill + steady-state + drain over the slowest
+  stage (a lower bound when transfers overlap poorly).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.hardware import ClusterSpec
+from repro.models import ModelGraph
+
+
+def predict_ring_allreduce(
+    workers: int, size_bytes: float, spec: ClusterSpec
+) -> float:
+    """Closed-form duration of a ring all-reduce on an idle fabric."""
+    if workers <= 1 or size_bytes <= 0:
+        return 0.0
+    rounds = 2 * (workers - 1)
+    chunk = size_bytes / workers
+    per_round = chunk / spec.effective_bandwidth + spec.latency
+    return rounds * per_round
+
+
+def predict_dp_compute(
+    model: ModelGraph, worker_batch: int, spec: ClusterSpec
+) -> float:
+    """Closed-form per-worker compute time of the DP baseline.
+
+    Mirrors the gradient-accumulation logic: one pass if the batch fits,
+    otherwise the largest fitting power-of-two chunk repeated.
+    """
+    gpu = spec.gpu
+    if gpu.fits(model.layers, worker_batch, model.input_floats):
+        return gpu.train_time(model.layers, worker_batch)
+    max_fit = gpu.max_batch(model.layers, model.input_floats)
+    chunk = 1
+    while chunk * 2 <= max_fit:
+        chunk *= 2
+    full, remainder = divmod(worker_batch, chunk)
+    seconds = full * gpu.train_time(model.layers, chunk)
+    if remainder:
+        seconds += gpu.train_time(model.layers, remainder)
+    return seconds
+
+
+def predict_dp_iteration(
+    model: ModelGraph,
+    total_batch: int,
+    workers: int,
+    spec: ClusterSpec,
+    max_start_delay: float = 0.0,
+) -> float:
+    """Closed-form DP iteration time (uniform shards, idle network)."""
+    worker_batch = -(-total_batch // workers)  # ceil: the slowest shard
+    compute = predict_dp_compute(model, worker_batch, spec)
+    sync = predict_ring_allreduce(workers, model.param_bytes, spec)
+    return max_start_delay + compute + sync
+
+
+def predict_pipeline_flush(
+    stage_times: _t.Sequence[float], micro_batches: int
+) -> float:
+    """Lower bound for a GPipe-style flush (forward phase only shape).
+
+    With ``S`` stages and ``M`` micro-batches, a synchronous flush takes
+    at least ``(S + M - 1) * t_max`` for each of the forward and backward
+    phases, where ``t_max`` is the slowest stage's per-micro-batch time.
+    """
+    if not stage_times or micro_batches < 1:
+        return 0.0
+    slowest = max(stage_times)
+    stages = len(stage_times)
+    return 2 * (stages + micro_batches - 1) * slowest
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """|measured - predicted| / predicted (0 when both are 0)."""
+    if predicted == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - predicted) / predicted

@@ -1,0 +1,25 @@
+"""Metrics: the paper's evaluation quantities (Equations 3 and 4)."""
+
+from repro.metrics.results import (
+    IterationRecord,
+    RunResult,
+    average_throughput,
+    per_iteration_delay,
+)
+from repro.metrics.timeline import (
+    KIND_COMPUTE,
+    KIND_FETCH,
+    Span,
+    TimelineRecorder,
+)
+
+__all__ = [
+    "IterationRecord",
+    "KIND_COMPUTE",
+    "KIND_FETCH",
+    "RunResult",
+    "Span",
+    "TimelineRecorder",
+    "average_throughput",
+    "per_iteration_delay",
+]

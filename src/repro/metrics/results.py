@@ -1,0 +1,139 @@
+"""Run results and the paper's evaluation metrics.
+
+* **Average throughput** (Equation 3)::
+
+      AT = total_batch_size * iter_n / total_time
+
+* **Per-iteration delay** (Equation 4)::
+
+      PID = (total_time_straggler - total_time_non_straggler) / iter_n
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationRecord:
+    """Timing of one training iteration."""
+
+    iteration: int
+    start: float
+    end: float
+    #: Tokens (or micro-batches) computed per worker this iteration; the
+    #: load-balance signal the elastic tuning argument is about.
+    work_by_worker: tuple[int, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Outcome of one complete training run."""
+
+    runtime_name: str
+    model_name: str
+    total_batch: int
+    iterations: int
+    total_time: float
+    records: tuple[IterationRecord, ...]
+    #: Free-form runtime statistics (conflicts, bytes moved, ...).
+    stats: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_time <= 0:
+            raise ConfigurationError(
+                f"run produced non-positive total time: {self.total_time}"
+            )
+        if len(self.records) != self.iterations:
+            raise ConfigurationError(
+                f"{self.iterations} iterations but "
+                f"{len(self.records)} records"
+            )
+
+    @property
+    def average_throughput(self) -> float:
+        """Equation 3, in samples per second."""
+        return average_throughput(
+            self.total_batch, self.iterations, self.total_time
+        )
+
+    @property
+    def mean_iteration_time(self) -> float:
+        return self.total_time / self.iterations
+
+    def iteration_times(self) -> list[float]:
+        return [record.duration for record in self.records]
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the run."""
+        lines = [
+            f"{self.runtime_name} on {self.model_name}: "
+            f"batch {self.total_batch} x {self.iterations} iterations",
+            f"  total time        {self.total_time:.3f} s",
+            f"  avg throughput    {self.average_throughput:.1f} samples/s"
+            " (Eq. 3)",
+            f"  s/iteration       {self.mean_iteration_time:.3f}"
+            f" (min {min(self.iteration_times()):.3f},"
+            f" max {max(self.iteration_times()):.3f})",
+        ]
+        compute = self.stats.get("compute_seconds_by_worker")
+        if compute:
+            busiest = max(compute)
+            lines.append(
+                f"  GPU busy          max {busiest:.1f} s"
+                f" ({busiest / self.total_time:.0%} of wall)"
+            )
+        network = self.stats.get("network_bytes")
+        if network is not None:
+            lines.append(
+                f"  network           {network / 1e9:.2f} GB moved"
+            )
+        conflicts = self.stats.get("ts_conflicts")
+        if conflicts is not None:
+            lines.append(
+                f"  TS                {self.stats.get('ts_requests', 0)}"
+                f" requests, {conflicts} fetching conflicts"
+            )
+        work = self.records[-1].work_by_worker if self.records else ()
+        if work:
+            lines.append(f"  work (last iter)  {list(work)}")
+        return "\n".join(lines)
+
+
+def average_throughput(
+    total_batch: int, iterations: int, total_time: float
+) -> float:
+    """Equation 3: ``AT = total_batch * iter_n / total_time``."""
+    if total_time <= 0:
+        raise ConfigurationError(f"total_time must be > 0: {total_time}")
+    if total_batch < 1 or iterations < 1:
+        raise ConfigurationError(
+            f"batch ({total_batch}) and iterations ({iterations}) "
+            "must be >= 1"
+        )
+    return total_batch * iterations / total_time
+
+
+def per_iteration_delay(
+    straggler_result: "RunResult", baseline_result: "RunResult"
+) -> float:
+    """Equation 4: mean extra time per iteration caused by stragglers.
+
+    ``baseline_result`` must be the same runtime and workload run without
+    straggler injection.
+    """
+    if straggler_result.iterations != baseline_result.iterations:
+        raise ConfigurationError(
+            "PID requires equal iteration counts: "
+            f"{straggler_result.iterations} vs {baseline_result.iterations}"
+        )
+    return (
+        straggler_result.total_time - baseline_result.total_time
+    ) / straggler_result.iterations

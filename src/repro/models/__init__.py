@@ -1,0 +1,62 @@
+"""Neural-network cost models: layer algebra and the CNN zoo."""
+
+from repro.models.blocks import (
+    BlockSpec,
+    build_matrix_factorization,
+    build_pagerank,
+)
+from repro.models.graph import LayerProfile, ModelGraph
+from repro.models.layers import (
+    BACKWARD_FLOP_FACTOR,
+    BYTES_PER_FLOAT,
+    ConvSpec,
+    GlobalPoolSpec,
+    InceptionBranch,
+    InceptionSpec,
+    LayerSpec,
+    LinearSpec,
+    PoolSpec,
+    Shape,
+)
+from repro.models.zoo import (
+    TABLE_I,
+    ZooEntry,
+    available_models,
+    build_alexnet,
+    build_googlenet,
+    build_lenet5,
+    build_resnet152,
+    build_vgg16,
+    build_vgg19,
+    build_zfnet,
+    get_model,
+)
+
+__all__ = [
+    "BACKWARD_FLOP_FACTOR",
+    "BYTES_PER_FLOAT",
+    "BlockSpec",
+    "ConvSpec",
+    "GlobalPoolSpec",
+    "InceptionBranch",
+    "InceptionSpec",
+    "LayerProfile",
+    "LayerSpec",
+    "LinearSpec",
+    "ModelGraph",
+    "PoolSpec",
+    "Shape",
+    "TABLE_I",
+    "ZooEntry",
+    "available_models",
+    "build_alexnet",
+    "build_googlenet",
+    "build_lenet5",
+    "build_matrix_factorization",
+    "build_pagerank",
+    "build_resnet152",
+    "build_vgg16",
+    "build_vgg19",
+    "build_zfnet",
+    "get_model",
+]

@@ -1,0 +1,161 @@
+"""Generic computation blocks: non-CNN workloads on the same machinery.
+
+Section II-B of the paper argues that parallelism-degree heterogeneity is
+"also very common for other DML tasks, such as matrix factorization and
+PageRank".  Everything downstream of the layer algebra — profiling,
+bin-partitioning, the token machinery, the baselines — only consumes the
+:class:`~repro.models.layers.LayerSpec` interface, so any workload whose
+stages can state their per-sample FLOPs, parameter count, and boundary
+size plugs straight in.
+
+:class:`BlockSpec` is that escape hatch, and :func:`build_matrix_
+factorization` / :func:`build_pagerank` use it to model the two workloads
+the paper names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.models.graph import ModelGraph
+from repro.models.layers import LayerSpec, Shape
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class BlockSpec(LayerSpec):
+    """A computation stage described directly by its costs.
+
+    ``flops_per_sample`` is the forward work per training sample (the
+    backward multiple is applied by the hardware model exactly as for
+    CNN layers); ``output_floats`` is what the next stage must receive
+    per sample and also how many independent elements one sample exposes
+    to the GPU's saturation model.
+    """
+
+    name: str
+    flops_per_sample: float
+    params: int
+    output_floats: int
+
+    def __post_init__(self) -> None:
+        if self.flops_per_sample < 0 or self.params < 0:
+            raise ConfigurationError(
+                f"block {self.name!r}: negative costs"
+            )
+        if self.output_floats < 1:
+            raise ConfigurationError(
+                f"block {self.name!r}: output must be >= 1 float"
+            )
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return (self.output_floats,)
+
+    def forward_flops(self, in_shape: Shape) -> float:
+        return self.flops_per_sample
+
+    def param_count(self, in_shape: Shape) -> int:
+        return self.params
+
+    def activation_floats(self, in_shape: Shape) -> int:
+        return self.output_floats
+
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        return (
+            "block",
+            self.name,
+            int(self.flops_per_sample),
+            self.output_floats,
+        )
+
+    @property
+    def trainable(self) -> bool:
+        return self.params > 0
+
+
+def build_matrix_factorization(
+    users: int = 1_000_000,
+    items: int = 100_000,
+    rank: int = 128,
+) -> ModelGraph:
+    """SGD matrix factorization as three heterogeneous blocks.
+
+    One "sample" is one observed rating.  The stages mirror the classic
+    parallel-SGD MF decomposition (the paper's refs [27], [28]):
+
+    1. *user-update* — gather the user factor, compute the residual,
+       apply the gradient: O(rank) FLOPs per rating, but touching a
+       user-partitioned parameter matrix (``users x rank``);
+    2. *item-update* — the same against the item matrix;
+    3. *loss* — residual reduction, nearly free, no parameters.
+
+    The heterogeneity the paper points at is visible immediately: the
+    per-sample compute is tiny while the parameter state is huge, so the
+    per-block threshold batch sizes come out enormous and very different
+    from CNN layers — exactly why a fixed batch size wastes resources
+    across workload types.
+    """
+    if users < 1 or items < 1 or rank < 1:
+        raise ConfigurationError(
+            f"invalid MF sizes: users={users} items={items} rank={rank}"
+        )
+    blocks = [
+        BlockSpec(
+            name="user-update",
+            flops_per_sample=6.0 * rank,
+            params=users * rank,
+            output_floats=rank,
+        ),
+        BlockSpec(
+            name="item-update",
+            flops_per_sample=6.0 * rank,
+            params=items * rank,
+            output_floats=rank,
+        ),
+        BlockSpec(
+            name="loss",
+            flops_per_sample=2.0 * rank,
+            params=0,
+            output_floats=1,
+        ),
+    ]
+    return ModelGraph("matrix-factorization", (rank,), blocks)
+
+
+def build_pagerank(
+    nodes: int = 10_000_000,
+    mean_degree: int = 16,
+    partitions: int = 4,
+) -> ModelGraph:
+    """Block-partitioned PageRank power iteration.
+
+    One "sample" is one vertex whose rank is recomputed.  Each of the
+    ``partitions`` blocks scatters contributions over one horizontal
+    stripe of the adjacency structure; the final block normalizes.  The
+    rank vector itself is the "parameter" state that must synchronize
+    across workers each iteration.
+    """
+    if nodes < 1 or mean_degree < 1 or partitions < 1:
+        raise ConfigurationError(
+            f"invalid PageRank sizes: nodes={nodes} "
+            f"degree={mean_degree} partitions={partitions}"
+        )
+    stripe_params = nodes // partitions
+    blocks = [
+        BlockSpec(
+            name=f"scatter-{index}",
+            flops_per_sample=2.0 * mean_degree / partitions,
+            params=stripe_params,
+            output_floats=1,
+        )
+        for index in range(partitions)
+    ]
+    blocks.append(
+        BlockSpec(
+            name="normalize",
+            flops_per_sample=2.0,
+            params=0,
+            output_floats=1,
+        )
+    )
+    return ModelGraph("pagerank", (1,), blocks)

@@ -1,0 +1,173 @@
+"""Model graphs: ordered layer stacks with resolved shapes and costs.
+
+A :class:`ModelGraph` binds a sequence of :class:`~repro.models.layers.LayerSpec`
+objects to a concrete input shape, resolving every intermediate shape once
+and exposing per-layer :class:`LayerProfile` records (FLOPs, parameters,
+activation sizes).  These records are the currency of the whole
+reproduction: the GPU model prices compute from them, the network model
+prices boundary transfers from them, and the partitioner groups them into
+sub-models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.models.layers import (
+    BACKWARD_FLOP_FACTOR,
+    BYTES_PER_FLOAT,
+    LayerSpec,
+    Shape,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerProfile:
+    """A layer bound to its position and concrete shapes within a model."""
+
+    index: int
+    layer: LayerSpec
+    in_shape: Shape
+    out_shape: Shape
+    forward_flops: float
+    param_count: int
+    #: Output floats per sample (the boundary activation a downstream
+    #: sub-model must receive).
+    activation_floats: int
+    shape_signature: tuple
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def trainable(self) -> bool:
+        return self.layer.trainable
+
+    @property
+    def backward_flops(self) -> float:
+        return self.forward_flops * BACKWARD_FLOP_FACTOR
+
+    @property
+    def train_flops(self) -> float:
+        """Forward + backward FLOPs per sample."""
+        return self.forward_flops * (1.0 + BACKWARD_FLOP_FACTOR)
+
+    @property
+    def param_bytes(self) -> int:
+        return self.param_count * BYTES_PER_FLOAT
+
+    @property
+    def activation_bytes(self) -> int:
+        """Output activation bytes per sample."""
+        return self.activation_floats * BYTES_PER_FLOAT
+
+
+class ModelGraph:
+    """A named, shape-resolved stack of layers."""
+
+    def __init__(
+        self, name: str, input_shape: Shape, layers: _t.Sequence[LayerSpec]
+    ) -> None:
+        if not layers:
+            raise ConfigurationError(f"model {name!r} has no layers")
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self._profiles: list[LayerProfile] = []
+        shape = self.input_shape
+        for index, layer in enumerate(layers):
+            out_shape = layer.output_shape(shape)
+            self._profiles.append(
+                LayerProfile(
+                    index=index,
+                    layer=layer,
+                    in_shape=shape,
+                    out_shape=out_shape,
+                    forward_flops=layer.forward_flops(shape),
+                    param_count=layer.param_count(shape),
+                    activation_floats=layer.activation_floats(shape),
+                    shape_signature=layer.shape_signature(shape),
+                )
+            )
+            shape = out_shape
+        self.output_shape = shape
+
+    def __repr__(self) -> str:
+        return (
+            f"<ModelGraph {self.name!r} layers={len(self._profiles)} "
+            f"params={self.param_count:,}>"
+        )
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> _t.Iterator[LayerProfile]:
+        return iter(self._profiles)
+
+    def __getitem__(self, index: int) -> LayerProfile:
+        return self._profiles[index]
+
+    @property
+    def layers(self) -> list[LayerProfile]:
+        """All layer profiles, in execution order."""
+        return list(self._profiles)
+
+    @property
+    def trainable_layers(self) -> list[LayerProfile]:
+        """Layer profiles that carry parameters.
+
+        This is the count the literature (and the paper's Table I) quotes as
+        a model's "layer number": e.g. VGG19 = 16 CONV + 3 FC.
+        """
+        return [p for p in self._profiles if p.trainable]
+
+    # -- aggregate costs ----------------------------------------------------
+
+    @property
+    def param_count(self) -> int:
+        return sum(p.param_count for p in self._profiles)
+
+    @property
+    def param_bytes(self) -> int:
+        return self.param_count * BYTES_PER_FLOAT
+
+    @property
+    def forward_flops(self) -> float:
+        """Forward FLOPs per sample over the whole model."""
+        return sum(p.forward_flops for p in self._profiles)
+
+    @property
+    def train_flops(self) -> float:
+        """Forward + backward FLOPs per sample over the whole model."""
+        return sum(p.train_flops for p in self._profiles)
+
+    @property
+    def activation_floats_total(self) -> int:
+        """Sum of all per-layer output floats per sample.
+
+        Proxy for the activation memory a training pass must keep alive for
+        the backward pass.
+        """
+        return sum(p.activation_floats for p in self._profiles)
+
+    @property
+    def input_floats(self) -> int:
+        import math
+
+        return int(math.prod(self.input_shape))
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of one input sample (what a remote sample fetch moves)."""
+        return self.input_floats * BYTES_PER_FLOAT
+
+    def slice(self, start: int, stop: int) -> list[LayerProfile]:
+        """Layer profiles for the half-open layer range ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self._profiles):
+            raise ConfigurationError(
+                f"invalid layer range [{start}, {stop}) for "
+                f"{len(self._profiles)}-layer model {self.name!r}"
+            )
+        return self._profiles[start:stop]

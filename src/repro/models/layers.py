@@ -1,0 +1,277 @@
+"""Layer algebra: analytic cost model for neural-network layers.
+
+Each :class:`LayerSpec` describes one trainable (or shape-transforming)
+layer and can answer, for a given input shape:
+
+* its output shape,
+* forward FLOPs per sample (backward is modelled as 2x forward, the usual
+  rule of thumb for convnets),
+* parameter count,
+* output activation size (floats per sample).
+
+Shapes are channel-first tuples: ``(C, H, W)`` for spatial tensors and
+``(F,)`` for flattened feature vectors.  All counts are *per sample*; batch
+scaling happens in the hardware model.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+import typing as _t
+
+from repro.errors import ConfigurationError
+
+#: A tensor shape without the batch dimension.
+Shape = _t.Tuple[int, ...]
+
+#: Bytes per parameter / activation element (float32 everywhere, matching
+#: the paper's PyTorch prototypes).
+BYTES_PER_FLOAT: int = 4
+
+#: Multiplier applied to forward FLOPs to estimate the backward pass
+#: (gradient w.r.t. inputs + gradient w.r.t. weights each cost about one
+#: forward's worth of work).
+BACKWARD_FLOP_FACTOR: float = 2.0
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Standard convolution/pooling output-size arithmetic."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ConfigurationError(
+            f"layer reduces spatial size {size} below 1 "
+            f"(kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+class LayerSpec(abc.ABC):
+    """A single layer of a model graph."""
+
+    #: Human-readable layer name (set by subclasses).
+    name: str
+
+    @abc.abstractmethod
+    def output_shape(self, in_shape: Shape) -> Shape:
+        """Shape produced for an input of ``in_shape``."""
+
+    @abc.abstractmethod
+    def forward_flops(self, in_shape: Shape) -> float:
+        """Forward FLOPs per sample."""
+
+    @abc.abstractmethod
+    def param_count(self, in_shape: Shape) -> int:
+        """Number of trainable parameters."""
+
+    @abc.abstractmethod
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        """Hashable signature identifying the *kernel shape* of this layer.
+
+        The paper observes that a deep CNN has only a handful of distinct
+        layer shapes (e.g. VGG19's 16 CONV layers fall into 5 shape types),
+        and profiles the threshold batch size *per shape, once and for all*.
+        This signature is the repository key.  Convolutions use the paper's
+        ``(C_in, C_out, H, W)`` format.
+        """
+
+    @property
+    def trainable(self) -> bool:
+        """Whether the layer has parameters (pool/activation layers don't)."""
+        return True
+
+    def activation_floats(self, in_shape: Shape) -> int:
+        """Output floats per sample (what a boundary transfer must move)."""
+        return int(math.prod(self.output_shape(in_shape)))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class ConvSpec(LayerSpec):
+    """2-D convolution (+ implicit ReLU, whose cost is negligible)."""
+
+    name: str
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = self._check(in_shape)
+        return (
+            self.out_channels,
+            _conv_out(h, self.kernel, self.stride, self.padding),
+            _conv_out(w, self.kernel, self.stride, self.padding),
+        )
+
+    def forward_flops(self, in_shape: Shape) -> float:
+        c_in, _, _ = self._check(in_shape)
+        _, h_out, w_out = self.output_shape(in_shape)
+        return 2.0 * self.kernel**2 * c_in * self.out_channels * h_out * w_out
+
+    def param_count(self, in_shape: Shape) -> int:
+        c_in, _, _ = self._check(in_shape)
+        return self.kernel**2 * c_in * self.out_channels + self.out_channels
+
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        c_in, h, w = self._check(in_shape)
+        return ("conv", c_in, self.out_channels, h, w, self.kernel, self.stride)
+
+    def _check(self, in_shape: Shape) -> Shape:
+        if len(in_shape) != 3:
+            raise ConfigurationError(
+                f"{self.name}: conv needs a (C, H, W) input, got {in_shape}"
+            )
+        return in_shape
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class LinearSpec(LayerSpec):
+    """Fully connected layer.  Flattens spatial inputs implicitly."""
+
+    name: str
+    out_features: int
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        return (self.out_features,)
+
+    def forward_flops(self, in_shape: Shape) -> float:
+        return 2.0 * math.prod(in_shape) * self.out_features
+
+    def param_count(self, in_shape: Shape) -> int:
+        return math.prod(in_shape) * self.out_features + self.out_features
+
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        return ("fc", math.prod(in_shape), self.out_features)
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class PoolSpec(LayerSpec):
+    """Max/average pooling: no parameters, cheap compute."""
+
+    name: str
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        return (
+            c,
+            _conv_out(h, self.kernel, self.stride, self.padding),
+            _conv_out(w, self.kernel, self.stride, self.padding),
+        )
+
+    def forward_flops(self, in_shape: Shape) -> float:
+        c, h_out, w_out = self.output_shape(in_shape)
+        return float(self.kernel**2 * c * h_out * w_out)
+
+    def param_count(self, in_shape: Shape) -> int:
+        return 0
+
+    @property
+    def trainable(self) -> bool:
+        return False
+
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        c, h, w = in_shape
+        return ("pool", c, h, w, self.kernel, self.stride)
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class GlobalPoolSpec(LayerSpec):
+    """Global average pooling down to 1x1 spatial size."""
+
+    name: str
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        c = in_shape[0]
+        return (c, 1, 1)
+
+    def forward_flops(self, in_shape: Shape) -> float:
+        return float(math.prod(in_shape))
+
+    def param_count(self, in_shape: Shape) -> int:
+        return 0
+
+    @property
+    def trainable(self) -> bool:
+        return False
+
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        return ("gpool",) + tuple(in_shape)
+
+
+@dataclasses.dataclass(frozen=True)
+class InceptionBranch:
+    """One branch of an inception module, as (kernel, mid, out) conv chain.
+
+    ``reduce_channels`` is the 1x1 reduction applied first (0 = none);
+    ``out_channels`` is the main convolution's output; ``kernel`` its size.
+    ``pool_proj`` marks the 3x3-pool + 1x1-projection branch.
+    """
+
+    out_channels: int
+    kernel: int = 1
+    reduce_channels: int = 0
+    pool_proj: bool = False
+
+
+@dataclasses.dataclass(frozen=True, repr=False)
+class InceptionSpec(LayerSpec):
+    """A GoogLeNet inception module, modelled as one composite layer.
+
+    Branches run in parallel on the same input and their outputs are
+    concatenated along the channel axis, so the module preserves spatial
+    size and produces ``sum(branch out_channels)`` channels.  Treating the
+    module as one unit matches the paper's layer counting (GoogLeNet is
+    "12 layers" for partitioning: 2 stem convs + 9 inceptions + 1 FC).
+    """
+
+    name: str
+    branches: tuple[InceptionBranch, ...]
+
+    def output_shape(self, in_shape: Shape) -> Shape:
+        _, h, w = in_shape
+        return (sum(b.out_channels for b in self.branches), h, w)
+
+    def forward_flops(self, in_shape: Shape) -> float:
+        c_in, h, w = in_shape
+        total = 0.0
+        for branch in self.branches:
+            if branch.pool_proj:
+                # 3x3 pool then 1x1 projection conv.
+                total += 9.0 * c_in * h * w
+                total += 2.0 * c_in * branch.out_channels * h * w
+                continue
+            mid = branch.reduce_channels or c_in
+            if branch.reduce_channels:
+                total += 2.0 * c_in * branch.reduce_channels * h * w
+            total += (
+                2.0 * branch.kernel**2 * mid * branch.out_channels * h * w
+            )
+        return total
+
+    def param_count(self, in_shape: Shape) -> int:
+        c_in = in_shape[0]
+        total = 0
+        for branch in self.branches:
+            if branch.pool_proj:
+                total += c_in * branch.out_channels + branch.out_channels
+                continue
+            mid = branch.reduce_channels or c_in
+            if branch.reduce_channels:
+                total += c_in * branch.reduce_channels + branch.reduce_channels
+            total += (
+                branch.kernel**2 * mid * branch.out_channels
+                + branch.out_channels
+            )
+        return total
+
+    def shape_signature(self, in_shape: Shape) -> tuple:
+        c_in, h, w = in_shape
+        out = sum(b.out_channels for b in self.branches)
+        return ("inception", c_in, out, h, w)

@@ -1,0 +1,290 @@
+"""Builders for the CNNs used or cited by the paper.
+
+The two evaluation benchmarks are VGG19 (224x224 input) and GoogLeNet
+(32x32 input, per the paper's footnote 17).  The remaining builders back
+the Table I registry ("Growing Neural Network Layer Numbers") so the table
+can be *regenerated from the models* rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.models.graph import ModelGraph
+from repro.models.layers import (
+    ConvSpec,
+    GlobalPoolSpec,
+    InceptionBranch,
+    InceptionSpec,
+    LinearSpec,
+    PoolSpec,
+    Shape,
+)
+
+# ---------------------------------------------------------------------------
+# VGG
+
+
+def _vgg_layers(config: _t.Sequence[int | str]) -> list:
+    """Expand a VGG config list (channel counts and ``"M"`` pool marks)."""
+    layers: list = []
+    conv_index = 0
+    for item in config:
+        if item == "M":
+            layers.append(PoolSpec(name=f"pool{len(layers)}"))
+        else:
+            conv_index += 1
+            layers.append(
+                ConvSpec(name=f"conv{conv_index}", out_channels=int(item))
+            )
+    layers.extend(
+        [
+            LinearSpec(name="fc1", out_features=4096),
+            LinearSpec(name="fc2", out_features=4096),
+            LinearSpec(name="fc3", out_features=1000),
+        ]
+    )
+    return layers
+
+
+_VGG16_CONFIG: tuple = (
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+    512, 512, 512, "M", 512, 512, 512, "M",
+)
+_VGG19_CONFIG: tuple = (
+    64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M", 512, 512, 512, 512, "M",
+)
+
+
+def build_vgg16(input_shape: Shape = (3, 224, 224)) -> ModelGraph:
+    """VGG16: 13 CONV + 3 FC trainable layers."""
+    return ModelGraph("vgg16", input_shape, _vgg_layers(_VGG16_CONFIG))
+
+
+def build_vgg19(input_shape: Shape = (3, 224, 224)) -> ModelGraph:
+    """VGG19: 16 CONV + 3 FC trainable layers (the paper's main benchmark)."""
+    return ModelGraph("vgg19", input_shape, _vgg_layers(_VGG19_CONFIG))
+
+
+# ---------------------------------------------------------------------------
+# GoogLeNet
+
+
+def _inception(
+    name: str,
+    one: int,
+    three_reduce: int,
+    three: int,
+    five_reduce: int,
+    five: int,
+    pool_proj: int,
+) -> InceptionSpec:
+    return InceptionSpec(
+        name=name,
+        branches=(
+            InceptionBranch(out_channels=one, kernel=1),
+            InceptionBranch(
+                out_channels=three, kernel=3, reduce_channels=three_reduce
+            ),
+            InceptionBranch(
+                out_channels=five, kernel=5, reduce_channels=five_reduce
+            ),
+            InceptionBranch(out_channels=pool_proj, pool_proj=True),
+        ),
+    )
+
+
+def build_googlenet(input_shape: Shape = (3, 32, 32)) -> ModelGraph:
+    """GoogLeNet with 12 trainable units: 2 stem convs + 9 inceptions + 1 FC.
+
+    The paper partitions GoogLeNet as a 12-unit model (sub-models L1-4,
+    L5-9, L10-12), which corresponds to counting each inception module as
+    one unit.  The default 32x32 input matches the paper's footnote 17.
+    """
+    layers = [
+        ConvSpec(name="conv1", out_channels=64, kernel=7, stride=2, padding=3),
+        PoolSpec(name="pool1", kernel=3, stride=2, padding=1),
+        ConvSpec(name="conv2", out_channels=192, kernel=3, stride=1, padding=1),
+        PoolSpec(name="pool2", kernel=3, stride=2, padding=1),
+        _inception("inception3a", 64, 96, 128, 16, 32, 32),
+        _inception("inception3b", 128, 128, 192, 32, 96, 64),
+        PoolSpec(name="pool3", kernel=3, stride=2, padding=1),
+        _inception("inception4a", 192, 96, 208, 16, 48, 64),
+        _inception("inception4b", 160, 112, 224, 24, 64, 64),
+        _inception("inception4c", 128, 128, 256, 24, 64, 64),
+        _inception("inception4d", 112, 144, 288, 32, 64, 64),
+        _inception("inception4e", 256, 160, 320, 32, 128, 128),
+        PoolSpec(name="pool4", kernel=3, stride=2, padding=1),
+        _inception("inception5a", 256, 160, 320, 32, 128, 128),
+        _inception("inception5b", 384, 192, 384, 48, 128, 128),
+        GlobalPoolSpec(name="gpool"),
+        LinearSpec(name="fc", out_features=1000),
+    ]
+    return ModelGraph("googlenet", input_shape, layers)
+
+
+# ---------------------------------------------------------------------------
+# Historic models (Table I registry backing)
+
+
+def build_lenet5(input_shape: Shape = (1, 32, 32)) -> ModelGraph:
+    """LeNet-5: 2 CONV + 3 FC trainable layers."""
+    layers = [
+        ConvSpec(name="c1", out_channels=6, kernel=5, stride=1, padding=0),
+        PoolSpec(name="s2"),
+        ConvSpec(name="c3", out_channels=16, kernel=5, stride=1, padding=0),
+        PoolSpec(name="s4"),
+        LinearSpec(name="c5", out_features=120),
+        LinearSpec(name="f6", out_features=84),
+        LinearSpec(name="output", out_features=10),
+    ]
+    return ModelGraph("lenet5", input_shape, layers)
+
+
+def build_alexnet(input_shape: Shape = (3, 227, 227)) -> ModelGraph:
+    """AlexNet: 5 CONV + 3 FC trainable layers."""
+    layers = [
+        ConvSpec(name="conv1", out_channels=96, kernel=11, stride=4, padding=0),
+        PoolSpec(name="pool1", kernel=3, stride=2),
+        ConvSpec(name="conv2", out_channels=256, kernel=5, stride=1, padding=2),
+        PoolSpec(name="pool2", kernel=3, stride=2),
+        ConvSpec(name="conv3", out_channels=384),
+        ConvSpec(name="conv4", out_channels=384),
+        ConvSpec(name="conv5", out_channels=256),
+        PoolSpec(name="pool5", kernel=3, stride=2),
+        LinearSpec(name="fc6", out_features=4096),
+        LinearSpec(name="fc7", out_features=4096),
+        LinearSpec(name="fc8", out_features=1000),
+    ]
+    return ModelGraph("alexnet", input_shape, layers)
+
+
+def build_zfnet(input_shape: Shape = (3, 224, 224)) -> ModelGraph:
+    """ZF Net: AlexNet variant with a 7x7/2 first layer (8 trainable)."""
+    layers = [
+        ConvSpec(name="conv1", out_channels=96, kernel=7, stride=2, padding=1),
+        PoolSpec(name="pool1", kernel=3, stride=2),
+        ConvSpec(name="conv2", out_channels=256, kernel=5, stride=2, padding=0),
+        PoolSpec(name="pool2", kernel=3, stride=2),
+        ConvSpec(name="conv3", out_channels=384),
+        ConvSpec(name="conv4", out_channels=384),
+        ConvSpec(name="conv5", out_channels=256),
+        PoolSpec(name="pool5", kernel=3, stride=2),
+        LinearSpec(name="fc6", out_features=4096),
+        LinearSpec(name="fc7", out_features=4096),
+        LinearSpec(name="fc8", out_features=1000),
+    ]
+    return ModelGraph("zfnet", input_shape, layers)
+
+
+def build_resnet152(input_shape: Shape = (3, 224, 224)) -> ModelGraph:
+    """ResNet-152 as a sequential cost model (skip-adds are negligible).
+
+    1 stem conv + 50 bottleneck blocks x 3 convs + 1 FC = 152 trainable
+    layers, the number Table I quotes.  Identity shortcuts change costs by
+    <1%, so the sequential approximation is adequate for throughput
+    modelling.
+    """
+    layers: list = [
+        ConvSpec(name="conv1", out_channels=64, kernel=7, stride=2, padding=3),
+        PoolSpec(name="pool1", kernel=3, stride=2, padding=1),
+    ]
+    stage_blocks = ((64, 3), (128, 8), (256, 36), (512, 3))
+    block_id = 0
+    for stage_index, (width, blocks) in enumerate(stage_blocks):
+        for block in range(blocks):
+            block_id += 1
+            stride = 2 if (stage_index > 0 and block == 0) else 1
+            layers.extend(
+                [
+                    ConvSpec(
+                        name=f"b{block_id}_reduce",
+                        out_channels=width,
+                        kernel=1,
+                        stride=1,
+                        padding=0,
+                    ),
+                    ConvSpec(
+                        name=f"b{block_id}_conv",
+                        out_channels=width,
+                        kernel=3,
+                        stride=stride,
+                        padding=1,
+                    ),
+                    ConvSpec(
+                        name=f"b{block_id}_expand",
+                        out_channels=width * 4,
+                        kernel=1,
+                        stride=1,
+                        padding=0,
+                    ),
+                ]
+            )
+    layers.append(GlobalPoolSpec(name="gpool"))
+    layers.append(LinearSpec(name="fc", out_features=1000))
+    return ModelGraph("resnet152", input_shape, layers)
+
+
+# ---------------------------------------------------------------------------
+# Registry / Table I
+
+
+@dataclasses.dataclass(frozen=True)
+class ZooEntry:
+    """One row of the paper's Table I, optionally backed by a builder."""
+
+    name: str
+    year: int
+    layer_number: int
+    builder: _t.Callable[[], ModelGraph] | None = None
+
+
+#: Paper Table I: "Growing Neural Network Layer Numbers".  Entries without
+#: builders (CUImage, SENet) are registry-only, as the paper cites them only
+#: for their depth.
+TABLE_I: tuple[ZooEntry, ...] = (
+    ZooEntry("LeNet-5", 1998, 5, build_lenet5),
+    ZooEntry("AlexNet", 2012, 8, build_alexnet),
+    ZooEntry("ZF Net", 2013, 8, build_zfnet),
+    ZooEntry("VGG16", 2014, 16, build_vgg16),
+    ZooEntry("VGG19", 2014, 19, build_vgg19),
+    ZooEntry("GoogleNet", 2014, 22, build_googlenet),
+    ZooEntry("ResNet-152", 2015, 152, build_resnet152),
+    ZooEntry("CUImage", 2016, 1207, None),
+    ZooEntry("SENet", 2017, 154, None),
+)
+
+_BUILDERS: dict[str, _t.Callable[..., ModelGraph]] = {
+    "lenet5": build_lenet5,
+    "alexnet": build_alexnet,
+    "zfnet": build_zfnet,
+    "vgg16": build_vgg16,
+    "vgg19": build_vgg19,
+    "googlenet": build_googlenet,
+    "resnet152": build_resnet152,
+}
+
+
+def get_model(name: str, input_shape: Shape | None = None) -> ModelGraph:
+    """Build a model from the zoo by name.
+
+    >>> get_model("vgg19").name
+    'vgg19'
+    """
+    try:
+        builder = _BUILDERS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    if input_shape is None:
+        return builder()
+    return builder(input_shape)
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`get_model`."""
+    return sorted(_BUILDERS)

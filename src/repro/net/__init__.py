@@ -1,0 +1,10 @@
+"""Flow-level network fabric.
+
+Models the paper's testbed network — every node connected to a single
+(non-blocking, 40GE) switch through a 10 Gbps full-duplex NIC — as a fluid
+max-min fair bandwidth-sharing system.  See :mod:`repro.net.fabric`.
+"""
+
+from repro.net.fabric import Fabric, FabricStats, Flow
+
+__all__ = ["Fabric", "FabricStats", "Flow"]

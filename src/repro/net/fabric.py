@@ -1,0 +1,310 @@
+"""Max-min fair, flow-level network simulation.
+
+Why flow-level?  Every communication effect the Fela paper leans on is a
+bandwidth-sharing effect:
+
+* the FC worker of the hybrid-parallel (Stanza) baseline becomes a
+  *receive-side* bottleneck as the batch grows, because all other workers
+  push activations into one 10 Gbps NIC;
+* data-parallel synchronization moves the whole model every iteration and
+  its cost is flat in the batch size;
+* Fela/MP boundary-activation transfers grow with the batch size.
+
+A fluid model — each active flow gets its max-min fair share of the
+capacities it traverses (source NIC tx, destination NIC rx, optionally an
+aggregate switch capacity) — captures these first-order effects without
+simulating packets.
+
+The implementation is event-driven: whenever the set of active flows
+changes, the fabric *settles* the bytes transferred since the previous
+change at the previous rates, recomputes the fair-share allocation by
+water-filling, and schedules a wake-up at the earliest projected flow
+completion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, Interrupt
+
+#: Rates below this (bytes/second) are treated as zero to avoid scheduling
+#: wake-ups astronomically far in the future due to floating-point dust.
+_RATE_EPS = 1e-9
+
+#: Remaining byte counts below this are considered complete.
+_BYTES_EPS = 1e-6
+
+
+@dataclasses.dataclass
+class Flow:
+    """One in-flight transfer between two nodes."""
+
+    fid: int
+    src: int
+    dst: int
+    size: float
+    remaining: float
+    rate: float = 0.0
+    started_at: float = 0.0
+    done: Event | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.fid} {self.src}->{self.dst} "
+            f"{self.remaining:.0f}/{self.size:.0f}B @ {self.rate:.3g}B/s>"
+        )
+
+
+@dataclasses.dataclass
+class FabricStats:
+    """Aggregate accounting over the lifetime of a fabric."""
+
+    flows_started: int = 0
+    flows_completed: int = 0
+    bytes_transferred: float = 0.0
+
+
+class Fabric:
+    """A star topology: N nodes, full-duplex NICs, non-blocking switch.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    num_nodes:
+        Number of nodes attached to the switch.
+    link_bandwidth:
+        Per-direction NIC bandwidth in **bytes per second** (the paper's
+        links are 10 Gbps = 1.25e9 B/s).
+    latency:
+        Fixed one-way propagation + protocol latency added to every
+        transfer, in seconds.
+    switch_bandwidth:
+        Optional aggregate switch capacity in bytes per second; ``None``
+        models a non-blocking switch (the paper's 40GE switch is
+        non-blocking for 8 × 10 Gbps ports in practice).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        num_nodes: int,
+        link_bandwidth: float,
+        latency: float = 50e-6,
+        switch_bandwidth: float | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise SimulationError(f"need at least one node: {num_nodes}")
+        if link_bandwidth <= 0:
+            raise SimulationError(
+                f"link bandwidth must be positive: {link_bandwidth}"
+            )
+        if latency < 0:
+            raise SimulationError(f"latency must be >= 0: {latency}")
+        self.env = env
+        self.num_nodes = num_nodes
+        self.link_bandwidth = float(link_bandwidth)
+        self.latency = float(latency)
+        self.switch_bandwidth = (
+            float(switch_bandwidth) if switch_bandwidth is not None else None
+        )
+        self.stats = FabricStats()
+        self._flows: dict[int, Flow] = {}
+        self._fid = itertools.count()
+        self._last_settle = env.now
+        self._waker: _t.Any = None  # Process sleeping until next completion
+
+    # -- public API ---------------------------------------------------------
+
+    def transfer(self, src: int, dst: int, size: float) -> Event:
+        """Start a transfer of ``size`` bytes; returns its completion event.
+
+        A transfer between a node and itself is local and completes
+        immediately (zero simulated time, no bandwidth consumed): parameter
+        chunks and training samples on local storage are free to read, which
+        is exactly the data-locality asymmetry Fela's policies exploit.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if size < 0:
+            raise SimulationError(f"transfer size must be >= 0: {size}")
+        done = self.env.event()
+        if src == dst or size == 0:
+            done.succeed(0.0)
+            return done
+        self.stats.flows_started += 1
+        self._settle()
+        flow = Flow(
+            fid=next(self._fid),
+            src=src,
+            dst=dst,
+            size=float(size),
+            remaining=float(size),
+            started_at=self.env.now,
+            done=done,
+        )
+        self._flows[flow.fid] = flow
+        self._reallocate()
+        return done
+
+    @property
+    def active_flows(self) -> list[Flow]:
+        """Snapshot of flows currently in flight."""
+        return list(self._flows.values())
+
+    def utilization(self, node: int, direction: str = "tx") -> float:
+        """Current fraction of a NIC direction's bandwidth in use."""
+        self._check_node(node)
+        if direction not in ("tx", "rx"):
+            raise SimulationError(f"direction must be tx or rx: {direction}")
+        used = sum(
+            flow.rate
+            for flow in self._flows.values()
+            if (flow.src if direction == "tx" else flow.dst) == node
+        )
+        return used / self.link_bandwidth
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise SimulationError(
+                f"node index {node} outside [0, {self.num_nodes})"
+            )
+
+    def _settle(self) -> None:
+        """Account bytes moved at the current rates since the last change."""
+        elapsed = self.env.now - self._last_settle
+        self._last_settle = self.env.now
+        if elapsed <= 0:
+            return
+        for flow in self._flows.values():
+            moved = min(flow.rate * elapsed, flow.remaining)
+            flow.remaining -= moved
+            self.stats.bytes_transferred += moved
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and reschedule the wake-up."""
+        self._waterfill()
+        self._schedule_wakeup()
+
+    def _waterfill(self) -> None:
+        """Assign max-min fair rates to all active flows.
+
+        Classic progressive filling: repeatedly find the most constrained
+        resource (capacity / unfrozen flows crossing it), freeze those flows
+        at the fair share, subtract, and repeat.
+        """
+        flows = list(self._flows.values())
+        for flow in flows:
+            flow.rate = 0.0
+        if not flows:
+            return
+
+        # Resources: ("tx", node) and ("rx", node) per node, plus optionally
+        # the aggregate switch.
+        remaining_cap: dict[tuple[str, int], float] = {}
+        members: dict[tuple[str, int], list[Flow]] = {}
+        for flow in flows:
+            for key in (("tx", flow.src), ("rx", flow.dst)):
+                remaining_cap.setdefault(key, self.link_bandwidth)
+                members.setdefault(key, []).append(flow)
+        if self.switch_bandwidth is not None:
+            key = ("switch", -1)
+            remaining_cap[key] = self.switch_bandwidth
+            members[key] = list(flows)
+
+        unfrozen: set[int] = {flow.fid for flow in flows}
+
+        while unfrozen:
+            # Fair share offered by each still-relevant resource.
+            best_key: tuple[str, int] | None = None
+            best_share = float("inf")
+            for key, cap in remaining_cap.items():
+                live = [f for f in members[key] if f.fid in unfrozen]
+                if not live:
+                    continue
+                share = cap / len(live)
+                if share < best_share:
+                    best_share = share
+                    best_key = key
+            if best_key is None:
+                break
+            bottleneck_flows = [
+                f for f in members[best_key] if f.fid in unfrozen
+            ]
+            for flow in bottleneck_flows:
+                flow.rate = best_share
+                unfrozen.discard(flow.fid)
+                for key in (("tx", flow.src), ("rx", flow.dst)):
+                    remaining_cap[key] = max(
+                        0.0, remaining_cap[key] - best_share
+                    )
+                if self.switch_bandwidth is not None:
+                    skey = ("switch", -1)
+                    remaining_cap[skey] = max(
+                        0.0, remaining_cap[skey] - best_share
+                    )
+
+    def _schedule_wakeup(self) -> None:
+        """(Re)start the process that fires at the next flow completion."""
+        if self._waker is not None and self._waker.is_alive:
+            self._waker.interrupt("reallocate")
+        self._waker = None
+        if not self._flows:
+            return
+        next_dt = float("inf")
+        for flow in self._flows.values():
+            if flow.rate > _RATE_EPS:
+                next_dt = min(next_dt, flow.remaining / flow.rate)
+        if next_dt == float("inf"):
+            # No flow can progress (should not happen with positive
+            # capacities); fail loudly rather than deadlock silently.
+            raise SimulationError(
+                "network fabric stalled: active flows but zero rates"
+            )
+        self._waker = self.env.process(self._wake_after(max(0.0, next_dt)))
+
+    def _wake_after(self, delay: float):
+        """Sleep ``delay``; then settle and complete any finished flows."""
+        try:
+            yield self.env.timeout(delay)
+        except Interrupt:
+            return
+        self._waker = None
+        self._settle()
+        finished = [
+            flow
+            for flow in self._flows.values()
+            if flow.remaining <= _BYTES_EPS
+            or (
+                flow.rate > _RATE_EPS
+                and flow.remaining / flow.rate < 1e-9
+            )
+        ]
+        if not finished and self._flows:
+            # Floating-point dust: we woke for a completion but rounding
+            # left a hair of the payload.  Force-complete the flow that was
+            # due, or the wake-up loop would spin on ~zero time steps.
+            due = min(
+                (f for f in self._flows.values() if f.rate > _RATE_EPS),
+                key=lambda f: f.remaining / f.rate,
+                default=None,
+            )
+            if due is not None:
+                finished = [due]
+        for flow in finished:
+            del self._flows[flow.fid]
+            self.stats.flows_completed += 1
+            duration = self.env.now - flow.started_at + self.latency
+            assert flow.done is not None
+            # The last byte arrives ``latency`` seconds after it was put on
+            # the wire; trigger the completion event with that delay.
+            flow.done._ok = True
+            flow.done._value = duration
+            self.env.schedule(flow.done, delay=self.latency)
+        self._reallocate()

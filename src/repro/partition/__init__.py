@@ -1,0 +1,23 @@
+"""Offline model partitioning: the bin-partitioned method (paper IV-A)."""
+
+from repro.partition.bins import (
+    DEFAULT_BIN_WIDTH,
+    bin_partition,
+    layer_thresholds,
+    paper_partition,
+    partition_by_counts,
+    quantile_partition,
+)
+from repro.partition.submodel import Partition, SubModel, make_submodel
+
+__all__ = [
+    "DEFAULT_BIN_WIDTH",
+    "Partition",
+    "SubModel",
+    "bin_partition",
+    "layer_thresholds",
+    "make_submodel",
+    "paper_partition",
+    "partition_by_counts",
+    "quantile_partition",
+]

@@ -1,0 +1,244 @@
+"""Offline model partitioning (paper Section IV-A).
+
+Two entry points:
+
+* :func:`bin_partition` — the paper's *bin-partitioned method*: arrange
+  per-layer threshold batch sizes in location order and group consecutive
+  layers whose thresholds fall into the same bin.  Our implementation
+  additionally tolerates one bin of jitter against the group's running
+  median, because analytically-derived thresholds alternate between
+  adjacent bins where the paper's measured ones did not (e.g. VGG19's
+  conv3/conv5/conv9 land at 32 while their neighbours land at 16).
+* :func:`paper_partition` — the exact published partitions for the two
+  evaluation benchmarks (VGG19: trainable layers 1-8 / 9-16 / 17-19;
+  GoogLeNet: units 1-4 / 5-9 / 10-12), used by the experiment harness for
+  fidelity to the paper's configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.errors import PartitionError
+from repro.models import LayerProfile, ModelGraph
+from repro.partition.submodel import Partition, SubModel, make_submodel
+from repro.profiling import ThroughputProfiler
+
+#: The paper's bin width ("We choose 16 as the bin size").
+DEFAULT_BIN_WIDTH: int = 16
+
+#: Published partitions, as counts of *trainable* layers per sub-model.
+_PAPER_PARTITIONS: dict[str, tuple[int, ...]] = {
+    "vgg19": (8, 8, 3),
+    "googlenet": (4, 5, 3),
+}
+
+
+def layer_thresholds(
+    model: ModelGraph, profiler: ThroughputProfiler | None = None
+) -> dict[int, int]:
+    """Threshold batch size per layer index (trainable layers only)."""
+    profiler = profiler or ThroughputProfiler()
+    return {
+        profile.index: threshold
+        for profile, threshold in profiler.model_thresholds(model)
+    }
+
+
+def _group_boundaries_by_bin(
+    trainable: _t.Sequence[LayerProfile],
+    thresholds: _t.Mapping[int, int],
+    bin_width: int,
+    jitter_bins: float,
+) -> list[int]:
+    """Indices (into ``trainable``) where a new sub-model starts.
+
+    A new group starts when a layer's threshold leaves the current group's
+    running-median bin by more than ``jitter_bins`` bins on a log2 scale.
+    """
+    boundaries = [0]
+    group: list[int] = []
+    for position, profile in enumerate(trainable):
+        threshold = thresholds[profile.index]
+        if not group:
+            group.append(threshold)
+            continue
+        group_sorted = sorted(group)
+        median = group_sorted[len(group_sorted) // 2]
+        # Compare bins on a log2 scale so the tolerance is relative: one
+        # bin of jitter around batch 16 is 16..32, around 1024 it is
+        # 1024..2048.
+        distance = abs(
+            math.log2(max(threshold, 1)) - math.log2(max(median, 1))
+        )
+        tolerance = jitter_bins * math.log2(
+            1.0 + bin_width / max(float(median), 1.0)
+        )
+        if distance > max(tolerance, jitter_bins):
+            boundaries.append(position)
+            group = [threshold]
+        else:
+            group.append(threshold)
+    return boundaries
+
+
+def bin_partition(
+    model: ModelGraph,
+    profiler: ThroughputProfiler | None = None,
+    bin_width: int = DEFAULT_BIN_WIDTH,
+    jitter_bins: float = 1.0,
+) -> Partition:
+    """Partition ``model`` with the bin-partitioned method.
+
+    Parameters
+    ----------
+    model:
+        The model to partition.
+    profiler:
+        Source of threshold batch sizes; a default profiler (default GPU)
+        is created if omitted.
+    bin_width:
+        Width of the threshold bins, in batch-size units (paper: 16).
+    jitter_bins:
+        Tolerated per-layer deviation from the group's running median, in
+        bins on a log2 scale.  ``0`` reproduces strict same-bin grouping.
+    """
+    if bin_width < 1:
+        raise PartitionError(f"bin width must be >= 1: {bin_width}")
+    profiler = profiler or ThroughputProfiler()
+    thresholds = layer_thresholds(model, profiler)
+    trainable = model.trainable_layers
+    if not trainable:
+        raise PartitionError(f"model {model.name!r} has no trainable layers")
+
+    boundaries = _group_boundaries_by_bin(
+        trainable, thresholds, bin_width, jitter_bins
+    )
+    counts = [
+        (boundaries[i + 1] if i + 1 < len(boundaries) else len(trainable))
+        - boundaries[i]
+        for i in range(len(boundaries))
+    ]
+    return partition_by_counts(model, counts, thresholds)
+
+
+def partition_by_counts(
+    model: ModelGraph,
+    trainable_counts: _t.Sequence[int],
+    thresholds: _t.Mapping[int, int] | None = None,
+    profiler: ThroughputProfiler | None = None,
+) -> Partition:
+    """Partition ``model`` into groups of the given trainable-layer counts.
+
+    Non-trainable layers (pools) are attached to the sub-model of the
+    trainable layer that precedes them, except leading ones, which join
+    the first sub-model.
+    """
+    trainable = model.trainable_layers
+    if sum(trainable_counts) != len(trainable):
+        raise PartitionError(
+            f"counts {tuple(trainable_counts)} do not sum to the "
+            f"{len(trainable)} trainable layers of {model.name!r}"
+        )
+    if any(count < 1 for count in trainable_counts):
+        raise PartitionError(
+            f"every sub-model needs >= 1 trainable layer: {trainable_counts}"
+        )
+    if thresholds is None:
+        thresholds = layer_thresholds(model, profiler)
+
+    # Map each trainable-layer ordinal to its model layer index, then cut
+    # the *full* layer list right before each group's first trainable layer.
+    trainable_indices = [p.index for p in trainable]
+    cut_points = [0]
+    ordinal = 0
+    for count in trainable_counts[:-1]:
+        ordinal += count
+        cut_points.append(trainable_indices[ordinal])
+    cut_points.append(len(model))
+
+    submodels: list[SubModel] = []
+    for sm_index in range(len(trainable_counts)):
+        layers = model.slice(cut_points[sm_index], cut_points[sm_index + 1])
+        submodels.append(make_submodel(sm_index, layers, thresholds))
+    return Partition(model=model, submodels=tuple(submodels))
+
+
+def quantile_partition(
+    model: ModelGraph,
+    num_submodels: int,
+    profiler: ThroughputProfiler | None = None,
+) -> Partition:
+    """Partition into a *requested* number of sub-models.
+
+    The bin-partitioned method needs thresholds that spread across bins;
+    models whose analytic thresholds are flat or all beyond the sweep
+    (e.g. GoogLeNet at 32x32) defeat it.  This variant instead places the
+    ``num_submodels - 1`` boundaries at the largest *relative jumps* of a
+    depth-smoothed threshold curve, falling back to even layer counts
+    when the curve is completely flat — so the user can always ask for
+    the paper's "3 sub-models" granularity.
+    """
+    if num_submodels < 1:
+        raise PartitionError(
+            f"need >= 1 sub-model: {num_submodels}"
+        )
+    profiler = profiler or ThroughputProfiler()
+    thresholds = layer_thresholds(model, profiler)
+    trainable = model.trainable_layers
+    if num_submodels > len(trainable):
+        raise PartitionError(
+            f"{num_submodels} sub-models exceed the {len(trainable)} "
+            f"trainable layers of {model.name!r}"
+        )
+    if num_submodels == 1:
+        return partition_by_counts(model, [len(trainable)], thresholds)
+
+    # Smooth: running maximum in depth order (thresholds trend upward;
+    # local dips are analytic jitter, not structure).
+    values = [thresholds[p.index] for p in trainable]
+    smoothed = []
+    peak = 0.0
+    for value in values:
+        peak = max(peak, value)
+        smoothed.append(peak)
+    # Candidate boundaries: positions with the largest log-jumps.
+    jumps = [
+        (math.log2(smoothed[i] / smoothed[i - 1]), i)
+        for i in range(1, len(smoothed))
+    ]
+    jumps.sort(key=lambda item: (-item[0], item[1]))
+    cuts = sorted(
+        index for jump, index in jumps[: num_submodels - 1] if jump > 0
+    )
+    if len(cuts) < num_submodels - 1:
+        # Flat curve: fall back to near-even layer counts.
+        base, extra = divmod(len(trainable), num_submodels)
+        counts = [
+            base + (1 if i < extra else 0) for i in range(num_submodels)
+        ]
+        return partition_by_counts(model, counts, thresholds)
+    boundaries = [0] + cuts + [len(trainable)]
+    counts = [
+        boundaries[i + 1] - boundaries[i]
+        for i in range(num_submodels)
+    ]
+    return partition_by_counts(model, counts, thresholds)
+
+
+def paper_partition(
+    model: ModelGraph, profiler: ThroughputProfiler | None = None
+) -> Partition:
+    """The partition published in the paper for a benchmark model.
+
+    Raises :class:`PartitionError` for models the paper does not cover;
+    use :func:`bin_partition` for those.
+    """
+    counts = _PAPER_PARTITIONS.get(model.name)
+    if counts is None:
+        raise PartitionError(
+            f"the paper publishes no partition for {model.name!r}; "
+            "use bin_partition()"
+        )
+    return partition_by_counts(model, counts, profiler=profiler)

@@ -1,0 +1,209 @@
+"""Sub-models: contiguous slices of a model produced by partitioning."""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing as _t
+
+from repro.errors import PartitionError
+from repro.models import BYTES_PER_FLOAT, LayerProfile, ModelGraph
+from repro.models.layers import LinearSpec
+
+#: Parameter bytes per training FLOP above which a sub-model counts as
+#: communication-intensive.  VGG19's FC block sits at ~0.66, its conv
+#: blocks at ~1e-4..1e-3; matrix-factorization blocks at >> 1.
+_COMM_INTENSITY_THRESHOLD: float = 0.3
+
+
+@dataclasses.dataclass(frozen=True)
+class SubModel:
+    """One contiguous slice of a model, trained as a unit by one token.
+
+    ``index`` is the sub-model's position (0-based; the paper's SM-1 is
+    index 0).  ``layers`` includes non-trainable layers (pools) that fall
+    inside the slice, because they still cost compute and change shapes.
+    """
+
+    index: int
+    layers: tuple[LayerProfile, ...]
+    #: Threshold batch size to saturate the GPU, for the slice as a whole
+    #: (power-of-two rounded median of the member layers' thresholds).
+    threshold_batch: int
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise PartitionError(f"sub-model {self.index} has no layers")
+        if self.threshold_batch < 1:
+            raise PartitionError(
+                f"sub-model {self.index}: threshold batch must be >= 1"
+            )
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"SM-{self.index + 1}"
+
+    @property
+    def first_layer_index(self) -> int:
+        return self.layers[0].index
+
+    @property
+    def last_layer_index(self) -> int:
+        return self.layers[-1].index
+
+    @property
+    def trainable_layers(self) -> list[LayerProfile]:
+        return [p for p in self.layers if p.trainable]
+
+    # -- costs ------------------------------------------------------------------
+
+    @property
+    def forward_flops(self) -> float:
+        """Forward FLOPs per sample across the slice."""
+        return sum(p.forward_flops for p in self.layers)
+
+    @property
+    def train_flops(self) -> float:
+        return sum(p.train_flops for p in self.layers)
+
+    @property
+    def param_count(self) -> int:
+        return sum(p.param_count for p in self.layers)
+
+    @property
+    def param_bytes(self) -> int:
+        return self.param_count * BYTES_PER_FLOAT
+
+    @property
+    def input_floats(self) -> int:
+        """Floats per sample this sub-model consumes as input."""
+        import math
+
+        return int(math.prod(self.layers[0].in_shape))
+
+    @property
+    def input_bytes(self) -> int:
+        return self.input_floats * BYTES_PER_FLOAT
+
+    @property
+    def output_floats(self) -> int:
+        """Floats per sample this sub-model emits (its boundary activation)."""
+        return self.layers[-1].activation_floats
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_floats * BYTES_PER_FLOAT
+
+    @property
+    def communication_intensive(self) -> bool:
+        """Whether CTD policy should restrict this sub-model (paper III-F).
+
+        The paper targets "sub-models containing FC layers": they hold
+        most of the parameters (synchronization cost) but little compute.
+        For non-CNN workloads (matrix factorization, PageRank — the
+        paper's Section II-B examples) the same criterion generalizes to
+        the parameter-bytes-per-training-FLOP ratio: above
+        ``_COMM_INTENSITY_THRESHOLD`` the sub-model costs more to
+        synchronize than to compute at any realistic batch size.
+        """
+        if any(
+            isinstance(p.layer, LinearSpec) for p in self.trainable_layers
+        ):
+            return True
+        if self.train_flops <= 0:
+            return self.param_bytes > 0
+        return (
+            self.param_bytes / self.train_flops > _COMM_INTENSITY_THRESHOLD
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubModel {self.name} layers="
+            f"[{self.first_layer_index}..{self.last_layer_index}] "
+            f"threshold={self.threshold_batch}>"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition:
+    """An ordered list of sub-models covering a model exactly once."""
+
+    model: ModelGraph
+    submodels: tuple[SubModel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.submodels:
+            raise PartitionError("partition has no sub-models")
+        covered = [p.index for sm in self.submodels for p in sm.layers]
+        expected = list(range(len(self.model)))
+        if covered != expected:
+            raise PartitionError(
+                f"partition does not cover model {self.model.name!r} "
+                f"contiguously: {covered[:8]}..."
+            )
+
+    def __len__(self) -> int:
+        return len(self.submodels)
+
+    def __iter__(self) -> _t.Iterator[SubModel]:
+        return iter(self.submodels)
+
+    def __getitem__(self, index: int) -> SubModel:
+        return self.submodels[index]
+
+    @property
+    def thresholds(self) -> list[int]:
+        return [sm.threshold_batch for sm in self.submodels]
+
+    def describe(self) -> str:
+        """Human-readable summary (layer ranges in 1-based trainable count)."""
+        parts = []
+        trainable_pos = 0
+        for sm in self.submodels:
+            n = len(sm.trainable_layers)
+            lo, hi = trainable_pos + 1, trainable_pos + n
+            trainable_pos = hi
+            parts.append(
+                f"{sm.name}: trainable layers {lo}-{hi}, "
+                f"threshold {sm.threshold_batch}, "
+                f"{sm.param_count / 1e6:.1f}M params, "
+                f"{sm.forward_flops / 1e9:.2f} GFLOP/sample"
+            )
+        return "\n".join(parts)
+
+
+def _round_pow2(value: float) -> int:
+    """Round to the nearest power of two (ties go down)."""
+    import math
+
+    if value <= 1:
+        return 1
+    lower = 2 ** math.floor(math.log2(value))
+    upper = lower * 2
+    return int(lower if value - lower <= upper - value else upper)
+
+
+def make_submodel(
+    index: int,
+    layers: _t.Sequence[LayerProfile],
+    thresholds: _t.Mapping[int, int],
+) -> SubModel:
+    """Build a :class:`SubModel`, deriving its threshold batch size.
+
+    The slice saturates the GPU only once its *least parallel* member
+    does, so the slice threshold is the power-of-two-rounded maximum of
+    its trainable members' thresholds.  (Using the median instead leaves
+    the high-knee members running below the saturation floor at every
+    token — measurably slower end-to-end.)
+    """
+    trainable = [p for p in layers if p.trainable]
+    if trainable:
+        member_thresholds = [thresholds[p.index] for p in trainable]
+        threshold = _round_pow2(max(member_thresholds))
+    else:
+        threshold = 1
+    return SubModel(
+        index=index, layers=tuple(layers), threshold_batch=threshold
+    )

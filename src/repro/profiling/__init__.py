@@ -1,0 +1,17 @@
+"""Threshold-batch-size profiling (paper Fig. 1 / Fig. 5)."""
+
+from repro.profiling.profiler import (
+    DEFAULT_BATCH_SWEEP,
+    DEFAULT_SATURATION_FRACTION,
+    ShapeProfile,
+    SweepPoint,
+    ThroughputProfiler,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SWEEP",
+    "DEFAULT_SATURATION_FRACTION",
+    "ShapeProfile",
+    "SweepPoint",
+    "ThroughputProfiler",
+]

@@ -1,0 +1,124 @@
+"""Threshold-batch-size profiling (paper Fig. 1 and Fig. 5).
+
+The paper measures, per layer *shape*, the training throughput at a sweep
+of batch sizes and extracts the smallest batch that reaches the maximum
+throughput — the *threshold batch size*.  The measurement is "executed
+once and for all" and stored in a repository keyed by shape, so other
+tasks reuse it (paper footnote 11).  :class:`ThroughputProfiler` is that
+repository, backed by the analytic GPU model instead of a physical K40c.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.hardware import GpuSpec
+from repro.models import LayerProfile, ModelGraph
+
+#: Default batch sweep: powers of two, the granularity the paper profiles at.
+DEFAULT_BATCH_SWEEP: tuple[int, ...] = tuple(2**i for i in range(14))  # 1..8192
+
+#: A layer is "saturated" at the smallest batch whose throughput reaches
+#: this fraction of the sweep's maximum.
+DEFAULT_SATURATION_FRACTION: float = 0.95
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One measurement of a throughput-vs-batch sweep."""
+
+    batch: int
+    throughput: float  # samples / second
+    train_time: float  # seconds per batch
+
+
+@dataclasses.dataclass(frozen=True)
+class ShapeProfile:
+    """Profiling result for one layer shape."""
+
+    signature: tuple
+    sweep: tuple[SweepPoint, ...]
+    threshold_batch: int
+    max_throughput: float
+
+
+class ThroughputProfiler:
+    """Per-shape throughput profiler with a memoizing repository."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec | None = None,
+        batch_sweep: _t.Sequence[int] = DEFAULT_BATCH_SWEEP,
+        saturation_fraction: float = DEFAULT_SATURATION_FRACTION,
+    ) -> None:
+        if not batch_sweep:
+            raise ConfigurationError("batch sweep must not be empty")
+        if sorted(batch_sweep) != list(batch_sweep):
+            raise ConfigurationError("batch sweep must be ascending")
+        if not 0 < saturation_fraction <= 1:
+            raise ConfigurationError(
+                f"saturation fraction must be in (0, 1]: {saturation_fraction}"
+            )
+        self.gpu = gpu or GpuSpec()
+        self.batch_sweep = tuple(int(b) for b in batch_sweep)
+        self.saturation_fraction = saturation_fraction
+        self._repository: dict[tuple, ShapeProfile] = {}
+
+    # -- profiling ------------------------------------------------------------
+
+    def profile_layer(self, profile: LayerProfile) -> ShapeProfile:
+        """Profile one layer, reusing the repository when the shape is known.
+
+        Ignores GPU memory limits on purpose: the paper profiles layers in
+        isolation, where even large batches of a single layer fit.
+        """
+        cached = self._repository.get(profile.shape_signature)
+        if cached is not None:
+            return cached
+
+        sweep = tuple(
+            SweepPoint(
+                batch=batch,
+                throughput=self.gpu.layer_throughput(profile, batch),
+                train_time=self.gpu.layer_train_time(profile, batch),
+            )
+            for batch in self.batch_sweep
+        )
+        max_throughput = max(point.throughput for point in sweep)
+        threshold = sweep[-1].batch
+        for point in sweep:
+            if point.throughput >= self.saturation_fraction * max_throughput:
+                threshold = point.batch
+                break
+        result = ShapeProfile(
+            signature=profile.shape_signature,
+            sweep=sweep,
+            threshold_batch=threshold,
+            max_throughput=max_throughput,
+        )
+        self._repository[profile.shape_signature] = result
+        return result
+
+    def threshold_batch(self, profile: LayerProfile) -> int:
+        """Threshold batch size for one layer (repository-cached)."""
+        return self.profile_layer(profile).threshold_batch
+
+    def model_thresholds(
+        self, model: ModelGraph, trainable_only: bool = True
+    ) -> list[tuple[LayerProfile, int]]:
+        """Per-layer thresholds in location order (paper Fig. 5)."""
+        layers = model.trainable_layers if trainable_only else model.layers
+        return [(p, self.threshold_batch(p)) for p in layers]
+
+    # -- repository ---------------------------------------------------------------
+
+    @property
+    def repository_size(self) -> int:
+        """Number of distinct shapes profiled so far."""
+        return len(self._repository)
+
+    def repository_signatures(self) -> list[tuple]:
+        """Shapes profiled so far (insertion order)."""
+        return list(self._repository)

@@ -1,0 +1,165 @@
+"""The discrete-event simulation environment (event loop).
+
+The environment keeps a priority queue of ``(time, priority, sequence,
+event)`` entries.  Ties at equal time and priority are broken by insertion
+order, which makes every simulation in this package fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    NORMAL,
+    PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+Infinity: float = float("inf")
+
+
+class EmptySchedule(Exception):
+    """Internal signal: the event queue is empty (simulation has ended)."""
+
+
+class StopSimulation(Exception):
+    """Internal signal: the ``until`` event of :meth:`Environment.run` fired."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        """Event callback that ends the simulation with the event's value."""
+        if event.ok:
+            raise cls(event.value)
+        raise _t.cast(BaseException, event.value)
+
+
+class Environment:
+    """Execution environment for a deterministic discrete-event simulation."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid: int = 0
+        self._active_proc: Process | None = None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Register ``generator`` as a new :class:`Process`."""
+        return Process(self, generator)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """An event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """An event that fires once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue ``event`` to be processed after ``delay`` time units."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event)
+        )
+        self._eid += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failed event nobody waits on: surface the error loudly.
+            exc = _t.cast(BaseException, event._value)
+            raise exc
+
+    def run(self, until: Event | float | None = None) -> _t.Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run until simulation time reaches that value;
+        * an :class:`Event` — run until that event is processed and return
+          its value.
+        """
+        stop_event: Event | None = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed: nothing to run.
+                    return stop_event.value
+                stop_event.callbacks.append(StopSimulation.callback)
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise SimulationError(
+                        f"until ({at}) must be greater than the current "
+                        f"simulation time ({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(StopSimulation.callback)
+                self.schedule(stop_event, priority=NORMAL, delay=at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if stop_event is not None and stop_event._value is PENDING:
+                raise SimulationError(
+                    f"no scheduled events left but {stop_event!r} was not "
+                    "triggered; the simulation deadlocked"
+                ) from None
+        return None

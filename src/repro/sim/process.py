@@ -1,0 +1,131 @@
+"""Generator-based simulation processes.
+
+A *process function* is a generator function that yields
+:class:`~repro.sim.events.Event` objects.  Wrapping it in :class:`Process`
+registers it with the environment; the process runs until its generator
+returns (the return value becomes the process's event value) or raises.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    PENDING,
+    URGENT,
+    Event,
+    Initialize,
+    Interrupt,
+    Interruption,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+#: Type alias for the generators accepted by :class:`Process`.
+ProcessGenerator = _t.Generator[Event, _t.Any, _t.Any]
+
+
+class Process(Event):
+    """An event-yielding generator registered with an environment.
+
+    A ``Process`` is itself an :class:`Event` that triggers when the
+    generator terminates, so processes can wait for each other simply by
+    yielding the other process.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"{generator!r} is not a generator; did you forget to call "
+                "the process function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (``None`` while active).
+        self._target: Event | None = Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process({self.name}) at {hex(id(self))}>"
+
+    @property
+    def name(self) -> str:
+        """The name of the wrapped generator function."""
+        return getattr(self._generator, "__name__", str(self._generator))
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event the process currently waits on, if any."""
+        return self._target
+
+    def interrupt(self, cause: _t.Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The interrupt is delivered as an urgent event, so it takes effect at
+        the current simulation time but not re-entrantly.  Interrupting a
+        terminated process is an error.
+        """
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The exception is now being handed to the process; the
+                    # process becomes responsible for it.
+                    event.defused()
+                    exc = _t.cast(BaseException, event._value)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self, priority=URGENT)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                # Attach a hint about which process died for debuggability.
+                if not getattr(exc, "__repro_process__", None):
+                    exc.__repro_process__ = self.name  # type: ignore[attr-defined]
+                self.env.schedule(self, priority=URGENT)
+                break
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(error)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env.schedule(self, priority=URGENT)
+                    break
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    self.env.schedule(self, priority=URGENT)
+                    break
+                continue
+
+            if next_event.callbacks is not None:
+                # The event has not been processed yet: subscribe and pause.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # The event was already processed; feed its value immediately.
+            event = next_event
+
+        self._target = None if self._value is not PENDING else self._target
+        self.env._active_proc = None

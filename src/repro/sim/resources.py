@@ -1,0 +1,369 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three families are provided, mirroring the classic DES toolkit:
+
+* :class:`Resource` / :class:`PriorityResource` — a server with limited
+  capacity; processes ``yield resource.request()`` and later ``release()``.
+* :class:`Store` / :class:`FilterStore` — an unbounded-or-bounded buffer of
+  Python objects with ``put`` / ``get`` events.
+* :class:`Container` — a continuous quantity (e.g. bytes of GPU memory) with
+  amount-based ``put`` / ``get``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from heapq import heappop, heappush
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class _BaseRequest(Event):
+    """Common machinery for resource/store/container request events."""
+
+    def __init__(self, owner: "_BaseFacility") -> None:
+        super().__init__(owner.env)
+        self.owner = owner
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled request from its wait queue."""
+        if not self.triggered:
+            self.owner._remove_waiter(self)
+
+
+class _BaseFacility:
+    """Base class handling the put/get trigger loop shared by facilities."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+
+    def _remove_waiter(self, request: _BaseRequest) -> None:
+        raise NotImplementedError
+
+    def _trigger_waiters(self) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Resource
+
+
+class Request(_BaseRequest):
+    """Request event for :class:`Resource`; usable as a context manager."""
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        self.priority = priority
+        #: Insertion order, for FIFO tie-breaking within a priority level.
+        self.seq = resource._next_seq()
+        super().__init__(resource)
+        resource._queue_request(self)
+        resource._trigger_waiters()
+
+    @property
+    def resource(self) -> "Resource":
+        return _t.cast("Resource", self.owner)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+    def _sort_key(self) -> tuple[float, int]:
+        return (self.priority, self.seq)
+
+
+class Resource(_BaseFacility):
+    """A server pool with fixed integer capacity and FIFO admission."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        super().__init__(env)
+        self._capacity = capacity
+        self._users: set[Request] = set()
+        self._waiters: list[tuple[tuple[float, int], Request]] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for admission."""
+        return len(self._waiters)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Request one unit of capacity.
+
+        Lower ``priority`` values are admitted first; ties are FIFO.
+        """
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted request."""
+        if request not in self._users:
+            raise SimulationError(
+                f"{request!r} does not hold {self!r} and cannot release it"
+            )
+        self._users.remove(request)
+        self._trigger_waiters()
+
+    def _queue_request(self, request: Request) -> None:
+        heappush(self._waiters, (request._sort_key(), request))
+
+    def _remove_waiter(self, request: _BaseRequest) -> None:
+        self._waiters = [
+            (key, req) for key, req in self._waiters if req is not request
+        ]
+        import heapq
+
+        heapq.heapify(self._waiters)
+
+    def _trigger_waiters(self) -> None:
+        while self._waiters and len(self._users) < self._capacity:
+            _, request = heappop(self._waiters)
+            self._users.add(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose ``request(priority=…)`` is the main API.
+
+    Functionally identical to :class:`Resource`; exists for expressiveness at
+    call sites that schedule by priority.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Store
+
+
+class StorePut(_BaseRequest):
+    """Put event for :class:`Store`."""
+
+    def __init__(self, store: "Store", item: _t.Any) -> None:
+        self.item = item
+        super().__init__(store)
+        store._put_queue.append(self)
+        store._trigger_waiters()
+
+
+class StoreGet(_BaseRequest):
+    """Get event for :class:`Store`; the event value is the item."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store)
+        store._get_queue.append(self)
+        store._trigger_waiters()
+
+
+class FilterStoreGet(StoreGet):
+    """Get event for :class:`FilterStore` with an item predicate."""
+
+    def __init__(
+        self,
+        store: "Store",
+        predicate: _t.Callable[[_t.Any], bool],
+    ) -> None:
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class Store(_BaseFacility):
+    """A FIFO buffer of arbitrary items with optional capacity."""
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf")
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be > 0: {capacity}")
+        super().__init__(env)
+        self._capacity = capacity
+        self.items: list[_t.Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: _t.Any) -> StorePut:
+        """Queue ``item`` for insertion; fires when space is available."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request the oldest available item."""
+        return StoreGet(self)
+
+    def _remove_waiter(self, request: _BaseRequest) -> None:
+        if isinstance(request, StorePut):
+            self._put_queue = [r for r in self._put_queue if r is not request]
+        else:
+            self._get_queue = [
+                r for r in self._get_queue if r is not request
+            ]
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if isinstance(event, FilterStoreGet):
+            for index, item in enumerate(self.items):
+                if event.predicate(item):
+                    del self.items[index]
+                    event.succeed(item)
+                    return True
+            return False
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger_waiters(self) -> None:
+        # Alternate put/get passes until neither side can make progress, so
+        # a put that frees a blocked get (and vice versa) resolves in one
+        # call, at one simulation time.
+        progress = True
+        while progress:
+            progress = False
+            for put_event in list(self._put_queue):
+                if put_event.triggered:
+                    self._put_queue.remove(put_event)
+                elif self._do_put(put_event):
+                    self._put_queue.remove(put_event)
+                    progress = True
+                else:
+                    break
+            for get_event in list(self._get_queue):
+                if get_event.triggered:
+                    self._get_queue.remove(get_event)
+                elif self._do_get(get_event):
+                    self._get_queue.remove(get_event)
+                    progress = True
+                elif not isinstance(get_event, FilterStoreGet):
+                    break
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose ``get`` can select items by predicate."""
+
+    def get(  # type: ignore[override]
+        self, predicate: _t.Callable[[_t.Any], bool] = lambda item: True
+    ) -> FilterStoreGet:
+        return FilterStoreGet(self, predicate)
+
+
+# ---------------------------------------------------------------------------
+# Container
+
+
+class ContainerPut(_BaseRequest):
+    """Put event for :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"put amount must be > 0: {amount}")
+        self.amount = amount
+        super().__init__(container)
+        container._put_queue.append(self)
+        container._trigger_waiters()
+
+
+class ContainerGet(_BaseRequest):
+    """Get event for :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"get amount must be > 0: {amount}")
+        self.amount = amount
+        super().__init__(container)
+        container._get_queue.append(self)
+        container._trigger_waiters()
+
+
+class Container(_BaseFacility):
+    """A homogeneous, divisible quantity (fuel-tank semantics)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"container capacity must be > 0: {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(
+                f"initial level {init} outside [0, {capacity}]"
+            )
+        super().__init__(env)
+        self._capacity = capacity
+        self._level = init
+        self._put_queue: list[ContainerPut] = []
+        self._get_queue: list[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; fires when it fits under capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; fires when the level covers it."""
+        return ContainerGet(self, amount)
+
+    def _remove_waiter(self, request: _BaseRequest) -> None:
+        if isinstance(request, ContainerPut):
+            self._put_queue = [r for r in self._put_queue if r is not request]
+        else:
+            self._get_queue = [r for r in self._get_queue if r is not request]
+
+    def _trigger_waiters(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for put_event in list(self._put_queue):
+                if self._level + put_event.amount <= self._capacity:
+                    self._level += put_event.amount
+                    self._put_queue.remove(put_event)
+                    put_event.succeed()
+                    progress = True
+                else:
+                    break
+            for get_event in list(self._get_queue):
+                if self._level >= get_event.amount:
+                    self._level -= get_event.amount
+                    self._get_queue.remove(get_event)
+                    get_event.succeed()
+                    progress = True
+                else:
+                    break

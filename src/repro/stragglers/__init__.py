@@ -1,0 +1,17 @@
+"""Straggler injection (paper Section V-C2)."""
+
+from repro.stragglers.injector import (
+    NoStraggler,
+    ProbabilityStraggler,
+    RoundRobinStraggler,
+    StragglerInjector,
+    TransientStraggler,
+)
+
+__all__ = [
+    "NoStraggler",
+    "ProbabilityStraggler",
+    "RoundRobinStraggler",
+    "StragglerInjector",
+    "TransientStraggler",
+]

@@ -1,0 +1,25 @@
+"""Two-phase runtime configuration tuning (paper Section IV-B)."""
+
+from repro.tuning.search import (
+    enumerate_weight_candidates,
+    normalize_times,
+    subset_size_candidates,
+    weight_values,
+)
+from repro.tuning.tuner import (
+    DEFAULT_PROFILE_ITERATIONS,
+    ConfigurationTuner,
+    TuningCase,
+    TuningResult,
+)
+
+__all__ = [
+    "ConfigurationTuner",
+    "DEFAULT_PROFILE_ITERATIONS",
+    "TuningCase",
+    "TuningResult",
+    "enumerate_weight_candidates",
+    "normalize_times",
+    "subset_size_candidates",
+    "weight_values",
+]

@@ -1,0 +1,87 @@
+"""Search-space enumeration for runtime configuration tuning (paper IV-B).
+
+Phase 1 candidates are weight sequences ``{w_1, ..., w_M}`` with
+
+* ``w_1 = 1`` (the base),
+* each ``w_i`` a power of two no larger than ``2 ** floor(log2 N)``,
+* ``w_{i+1} >= w_i`` (deeper sub-models need larger parallelism degrees —
+  the structural prior the paper uses to prune the space).
+
+For ``M = 3`` sub-models on ``N = 8`` workers this yields the paper's
+``4 + 3 + 2 + 1 = 10`` cases.
+
+Phase 2 candidates halve the conditional subset size: ``N, N/2, ..., 1``
+(the paper skips non-divisors like 3, 5, 7 on purpose — footnote 15).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import typing as _t
+
+from repro.errors import TuningError
+
+
+def weight_values(num_workers: int) -> list[int]:
+    """Candidate parallelism degrees: ``{1, 2, 4, ..., 2^floor(log2 N)}``."""
+    if num_workers < 1:
+        raise TuningError(f"need >= 1 worker: {num_workers}")
+    top = int(math.log2(num_workers))
+    return [2**i for i in range(top + 1)]
+
+
+def enumerate_weight_candidates(
+    levels: int, num_workers: int
+) -> list[tuple[int, ...]]:
+    """All monotone weight sequences for ``levels`` sub-models.
+
+    >>> enumerate_weight_candidates(3, 8)[:3]
+    [(1, 1, 1), (1, 1, 2), (1, 1, 4)]
+    """
+    if levels < 1:
+        raise TuningError(f"need >= 1 sub-model: {levels}")
+    values = weight_values(num_workers)
+    candidates = []
+    for tail in itertools.combinations_with_replacement(values, levels - 1):
+        candidates.append((1,) + tail)
+    return candidates
+
+
+def subset_size_candidates(num_workers: int) -> list[int]:
+    """Conditional subset sizes, largest first: ``N, N/2, ..., 1``.
+
+    For a non-power-of-two cluster the sizes are still halved (rounding
+    down) until 1, preserving the paper's "halve every time" rule.
+    """
+    if num_workers < 1:
+        raise TuningError(f"need >= 1 worker: {num_workers}")
+    sizes = []
+    size = num_workers
+    while size >= 1:
+        sizes.append(size)
+        if size == 1:
+            break
+        size //= 2
+    return sizes
+
+
+def normalize_times(times: _t.Sequence[float]) -> list[float]:
+    """The paper's Fig. 6(a) normalization: ``(t - min) / max``.
+
+    (Footnote 16 — note the denominator is the *maximum*, not the range,
+    so values span ``[0, 1 - min/max]``.)  Infeasible cases (``inf``,
+    e.g. configurations that exceed GPU memory) normalize to 1.0 — off
+    the top of the chart.
+    """
+    if not times:
+        raise TuningError("cannot normalize an empty time list")
+    finite = [t for t in times if t != float("inf")]
+    if not finite:
+        raise TuningError("no feasible times to normalize")
+    lo, hi = min(finite), max(finite)
+    if hi <= 0:
+        raise TuningError(f"non-positive times: {times}")
+    return [
+        1.0 if t == float("inf") else (t - lo) / hi for t in times
+    ]

@@ -1,0 +1,232 @@
+"""The two-phase runtime configuration tuner (paper Section IV-B).
+
+Phase 1 — *parallelism degree tuning*: profile the mean per-iteration time
+of every candidate weight sequence (CTD disabled, i.e. subset = N) for a
+few warm-up iterations and keep the fastest.
+
+Phase 2 — *conditional subset tuning*: with the winning weights fixed,
+halve the conditional subset size (N, N/2, ..., 1) and keep the fastest.
+
+On the paper's setup (M = 3, N = 8) this is 10 + 4 - 1 = 13 cases at 5
+iterations each: 65 warm-up iterations, trivial against real training
+jobs.  The tuner reports the same diagnostics the paper plots in Fig. 6:
+normalized per-case times and the best-vs-worst gaps per phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.errors import CapacityError, TuningError
+from repro.hardware import Cluster, ClusterSpec
+from repro.partition import Partition
+from repro.stragglers import StragglerInjector
+from repro.tuning.search import (
+    enumerate_weight_candidates,
+    normalize_times,
+    subset_size_candidates,
+)
+
+#: Iterations measured per configuration case (the paper uses 5).
+DEFAULT_PROFILE_ITERATIONS: int = 5
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningCase:
+    """One profiled configuration case."""
+
+    index: int
+    phase: int  # 1 or 2
+    weights: tuple[int, ...]
+    subset_size: int
+    per_iteration_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a full two-phase tuning run."""
+
+    cases: tuple[TuningCase, ...]
+    best_weights: tuple[int, ...]
+    best_subset_size: int
+    warmup_iterations: int
+
+    @property
+    def phase1_cases(self) -> list[TuningCase]:
+        return [c for c in self.cases if c.phase == 1]
+
+    @property
+    def phase2_cases(self) -> list[TuningCase]:
+        """Phase-2 cases plus the phase-1 winner they compete against."""
+        best_p1 = min(
+            self.phase1_cases, key=lambda c: c.per_iteration_time
+        )
+        return [best_p1] + [c for c in self.cases if c.phase == 2]
+
+    @property
+    def best_case(self) -> TuningCase:
+        return min(self.cases, key=lambda c: c.per_iteration_time)
+
+    def normalized_times(self) -> list[float]:
+        """Fig. 6(a): per-case times normalized to ``(t - min) / max``."""
+        return normalize_times([c.per_iteration_time for c in self.cases])
+
+    @staticmethod
+    def _gap(cases: _t.Sequence[TuningCase]) -> float:
+        """Best-vs-worst saving fraction: ``(worst - best) / worst``.
+
+        Infeasible (``inf``) cases are excluded: they are out-of-memory
+        configurations, not slow ones.
+        """
+        times = [
+            c.per_iteration_time
+            for c in cases
+            if c.per_iteration_time != float("inf")
+        ]
+        if not times:
+            return 0.0
+        worst, best = max(times), min(times)
+        return (worst - best) / worst if worst > 0 else 0.0
+
+    def phase1_gap(self) -> float:
+        """Fig. 6(b): saving of the best Phase-1 case over the worst."""
+        return self._gap(self.phase1_cases)
+
+    def phase2_gap(self) -> float:
+        """Fig. 6(b): saving among Phase-2 cases (incl. Phase-1 winner)."""
+        return self._gap(self.phase2_cases)
+
+    def overall_gap(self) -> float:
+        """Fig. 6(b): saving of the best case over the worst, all phases."""
+        return self._gap(self.cases)
+
+
+class ConfigurationTuner:
+    """Runs the two-phase search for one (model, batch, cluster) workload."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        total_batch: int,
+        num_workers: int,
+        cluster_spec: ClusterSpec | None = None,
+        straggler: StragglerInjector | None = None,
+        profile_iterations: int = DEFAULT_PROFILE_ITERATIONS,
+        base_config: FelaConfig | None = None,
+    ) -> None:
+        if profile_iterations < 1:
+            raise TuningError(
+                f"profile iterations must be >= 1: {profile_iterations}"
+            )
+        self.partition = partition
+        self.total_batch = total_batch
+        self.num_workers = num_workers
+        self.cluster_spec = cluster_spec or ClusterSpec(num_nodes=num_workers)
+        self.straggler = straggler
+        self.profile_iterations = profile_iterations
+        self._base_config = base_config
+
+    # -- internals -------------------------------------------------------------
+
+    def _config(
+        self, weights: tuple[int, ...], subset_size: int
+    ) -> FelaConfig:
+        if self._base_config is not None:
+            return self._base_config.replace(
+                weights=weights,
+                conditional_subset_size=subset_size,
+                iterations=self.profile_iterations,
+            )
+        return FelaConfig(
+            partition=self.partition,
+            total_batch=self.total_batch,
+            num_workers=self.num_workers,
+            weights=weights,
+            conditional_subset_size=subset_size,
+            iterations=self.profile_iterations,
+        )
+
+    def measure(
+        self, weights: tuple[int, ...], subset_size: int
+    ) -> float:
+        """Mean per-iteration time for one configuration case.
+
+        Configurations whose token batches do not fit in GPU memory are
+        infeasible, not errors: they profile as ``inf`` and lose the
+        search (the paper's testbed would simply OOM on them).
+        """
+        config = self._config(weights, subset_size)
+        cluster = Cluster(self.cluster_spec)
+        try:
+            runtime = FelaRuntime(config, cluster, straggler=self.straggler)
+        except CapacityError:
+            return float("inf")
+        result = runtime.run()
+        return result.mean_iteration_time
+
+    # -- the two phases ------------------------------------------------------------
+
+    def tune(self) -> TuningResult:
+        """Run Phase 1 then Phase 2; return all cases and the winner."""
+        cases: list[TuningCase] = []
+        index = 0
+
+        # Phase 1: parallelism degrees, CTD effectively off (subset = N).
+        candidates = enumerate_weight_candidates(
+            len(self.partition), self.num_workers
+        )
+        for weights in candidates:
+            time = self.measure(weights, self.num_workers)
+            cases.append(
+                TuningCase(
+                    index=index,
+                    phase=1,
+                    weights=weights,
+                    subset_size=self.num_workers,
+                    per_iteration_time=time,
+                )
+            )
+            index += 1
+        best_p1 = min(
+            (c for c in cases if c.phase == 1),
+            key=lambda c: c.per_iteration_time,
+        )
+
+        # Phase 2: halve the conditional subset (N is already measured as
+        # the Phase-1 winner, so only the strict subsets run).
+        for subset in subset_size_candidates(self.num_workers):
+            if subset == self.num_workers:
+                continue
+            time = self.measure(best_p1.weights, subset)
+            cases.append(
+                TuningCase(
+                    index=index,
+                    phase=2,
+                    weights=best_p1.weights,
+                    subset_size=subset,
+                    per_iteration_time=time,
+                )
+            )
+            index += 1
+
+        best = min(cases, key=lambda c: c.per_iteration_time)
+        if best.per_iteration_time == float("inf"):
+            raise TuningError(
+                "every configuration case is infeasible on this GPU"
+            )
+        return TuningResult(
+            cases=tuple(cases),
+            best_weights=best.weights,
+            best_subset_size=best.subset_size,
+            warmup_iterations=len(cases) * self.profile_iterations,
+        )
+
+    def tuned_config(
+        self, iterations: int = 100, result: TuningResult | None = None
+    ) -> FelaConfig:
+        """A production config using the tuned weights/subset."""
+        result = result or self.tune()
+        config = self._config(result.best_weights, result.best_subset_size)
+        return config.replace(iterations=iterations)

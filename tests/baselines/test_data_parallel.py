@@ -1,0 +1,79 @@
+"""Unit/integration tests for the data-parallel baseline."""
+
+import pytest
+
+from repro.baselines import DataParallel
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware import Cluster, ClusterSpec, GpuSpec
+from repro.stragglers import RoundRobinStraggler
+
+
+class TestAccumulation:
+    def test_single_chunk_when_fits(self, vgg19):
+        dp = DataParallel(vgg19, 128, 8, iterations=1)
+        assert dp.accumulation_chunks(16) == [16]
+
+    def test_accumulates_when_memory_binds(self, vgg19):
+        """VGG19 per-worker batch 128 >> the ~32-sample memory cap."""
+        dp = DataParallel(vgg19, 1024, 8, iterations=1)
+        chunks = dp.accumulation_chunks(128)
+        assert len(chunks) > 1
+        assert sum(chunks) == 128
+        gpu = dp.cluster.spec.gpu
+        for chunk in chunks:
+            assert gpu.fits(vgg19.layers, chunk, vgg19.input_floats)
+
+    def test_chunks_are_pow2_except_remainder(self, vgg19):
+        dp = DataParallel(vgg19, 800, 8, iterations=1)
+        chunks = dp.accumulation_chunks(100)
+        main = chunks[:-1] if chunks[-1] != chunks[0] else chunks
+        for chunk in main:
+            assert (chunk & (chunk - 1)) == 0
+
+    def test_model_too_big_for_gpu_rejected(self, vgg19):
+        tiny_gpu = ClusterSpec(num_nodes=8, gpu=GpuSpec(memory_bytes=1e9))
+        with pytest.raises(CapacityError):
+            DataParallel(
+                vgg19, 128, 8, iterations=1, cluster=Cluster(tiny_gpu)
+            )
+
+
+class TestExecution:
+    def test_run_produces_records(self, vgg19):
+        result = DataParallel(vgg19, 128, 8, iterations=3).run()
+        assert result.iterations == 3
+        assert result.runtime_name == "dp"
+        assert result.average_throughput > 0
+
+    def test_comm_cost_flat_in_batch(self, vgg19):
+        """DP moves the whole model regardless of batch size."""
+        small = DataParallel(vgg19, 128, 8, iterations=2).run()
+        large = DataParallel(vgg19, 1024, 8, iterations=2).run()
+        assert small.stats["network_bytes"] == pytest.approx(
+            large.stats["network_bytes"], rel=1e-6
+        )
+
+    def test_straggler_delay_lands_in_full(self, vgg19):
+        """BSP: every iteration waits for the slowest worker."""
+        d = 4.0
+        base = DataParallel(vgg19, 128, 8, iterations=4).run()
+        slow = DataParallel(
+            vgg19, 128, 8, iterations=4,
+            straggler=RoundRobinStraggler(d),
+        ).run()
+        pid = (slow.total_time - base.total_time) / 4
+        assert pid == pytest.approx(d, rel=0.05)
+
+    def test_workers_split_batch_evenly(self, vgg19):
+        result = DataParallel(vgg19, 100, 8, iterations=1).run()
+        shares = result.records[0].work_by_worker
+        assert sum(shares) == 100
+        assert max(shares) - min(shares) <= 1
+
+    def test_validation(self, vgg19):
+        with pytest.raises(ConfigurationError):
+            DataParallel(vgg19, 4, 8, iterations=1)
+        with pytest.raises(ConfigurationError):
+            DataParallel(vgg19, 128, 0, iterations=1)
+        with pytest.raises(ConfigurationError):
+            DataParallel(vgg19, 128, 8, iterations=0)

@@ -1,0 +1,84 @@
+"""Unit/integration tests for the hybrid-parallel (Stanza) baseline."""
+
+import pytest
+
+from repro.baselines import DataParallel, HybridParallel
+from repro.errors import ConfigurationError
+from repro.models import get_model
+
+
+class TestLayerSeparation:
+    def test_split_at_first_fc(self, vgg19):
+        hp = HybridParallel(vgg19, 128, 8, iterations=1)
+        assert all(p.name.startswith(("conv", "pool")) for p in hp.conv_layers)
+        assert [p.name for p in hp.fc_layers] == ["fc1", "fc2", "fc3"]
+
+    def test_worker_roles(self, vgg19):
+        hp = HybridParallel(vgg19, 128, 8, iterations=1)
+        assert hp.conv_workers == [0, 1, 2, 3, 4, 5, 6]
+        assert hp.fc_worker == 7
+
+    def test_boundary_is_conv_output(self, vgg19):
+        hp = HybridParallel(vgg19, 128, 8, iterations=1)
+        # VGG19's final conv feature map: 512 x 7 x 7 floats.
+        assert hp.boundary_bytes_per_sample == 512 * 7 * 7 * 4
+
+    def test_needs_two_workers(self, vgg19):
+        with pytest.raises(ConfigurationError):
+            HybridParallel(vgg19, 128, 1, iterations=1)
+
+    def test_model_without_fc_boundary_rejected(self):
+        from repro.models import ConvSpec, ModelGraph
+
+        conv_only = ModelGraph(
+            "convnet", (3, 32, 32), [ConvSpec(name="c", out_channels=8)]
+        )
+        with pytest.raises(ConfigurationError):
+            HybridParallel(conv_only, 128, 8, iterations=1)
+
+
+class TestExecution:
+    def test_run_produces_result(self, vgg19):
+        result = HybridParallel(vgg19, 128, 8, iterations=2).run()
+        assert result.runtime_name == "hp"
+        assert result.average_throughput > 0
+
+    def test_fc_parameters_never_cross_network(self, vgg19):
+        """Stanza's saving: HP sync traffic is far below DP's because the
+        FC layers (86% of VGG19 parameters) stay on one worker."""
+        hp = HybridParallel(vgg19, 128, 8, iterations=2).run()
+        dp = DataParallel(vgg19, 128, 8, iterations=2).run()
+        assert hp.stats["network_bytes"] < 0.5 * dp.stats["network_bytes"]
+
+    def test_network_traffic_grows_with_batch(self, vgg19):
+        """HP's activation shipping is proportional to the batch size —
+        the reason it falls behind DP at large batches.  (The CONV
+        all-reduce component is batch-independent, so only the delta
+        scales.)"""
+        hp = HybridParallel(vgg19, 128, 8, iterations=2)
+        small = hp.run()
+        large = HybridParallel(vgg19, 1024, 8, iterations=2).run()
+        delta = large.stats["network_bytes"] - small.stats["network_bytes"]
+        per_iter_activations = (1024 - 128) * hp.boundary_bytes_per_sample * 2
+        assert delta == pytest.approx(2 * per_iter_activations, rel=0.05)
+
+    def test_beats_dp_at_small_batch_loses_at_large(self, vgg19):
+        """The crossover Fig. 8 shows."""
+        hp_small = HybridParallel(vgg19, 128, 8, iterations=2).run()
+        dp_small = DataParallel(vgg19, 128, 8, iterations=2).run()
+        assert hp_small.average_throughput > dp_small.average_throughput
+
+        hp_large = HybridParallel(vgg19, 2048, 8, iterations=2).run()
+        dp_large = DataParallel(vgg19, 2048, 8, iterations=2).run()
+        assert hp_large.average_throughput < 1.1 * dp_large.average_throughput
+
+    def test_work_record_includes_fc_worker(self, vgg19):
+        result = HybridParallel(vgg19, 140, 8, iterations=1).run()
+        work = result.records[0].work_by_worker
+        assert len(work) == 8
+        assert sum(work[:-1]) == 140  # conv shards
+        assert work[-1] == 140  # FC worker sees the whole batch
+
+    def test_googlenet_runs(self, googlenet):
+        result = HybridParallel(googlenet, 256, 8, iterations=2).run()
+        assert result.average_throughput > 0

@@ -1,0 +1,90 @@
+"""Tests for the proactive re-partitioning scheduler (Section III-C)."""
+
+import pytest
+
+from repro.baselines import DataParallel, ProactiveElastic
+from repro.errors import ConfigurationError
+from repro.metrics import per_iteration_delay
+from repro.stragglers import RoundRobinStraggler, TransientStraggler
+
+
+class TestQuotas:
+    def test_equal_beliefs_equal_quotas(self, vgg19):
+        runtime = ProactiveElastic(vgg19, 256, 8, iterations=1)
+        quotas = runtime.quotas()
+        assert quotas == [32] * 8
+
+    def test_quotas_sum_to_batch(self, vgg19):
+        runtime = ProactiveElastic(vgg19, 100, 8, iterations=1)
+        runtime._believed_speed = [1, 2, 3, 4, 5, 6, 7, 8]
+        assert sum(runtime.quotas()) == 100
+
+    def test_faster_belief_gets_more_work(self, vgg19):
+        runtime = ProactiveElastic(vgg19, 256, 8, iterations=1)
+        runtime._believed_speed = [2.0] + [1.0] * 7
+        quotas = runtime.quotas()
+        assert quotas[0] > quotas[1]
+
+    def test_invalid_profile_period(self, vgg19):
+        with pytest.raises(ConfigurationError):
+            ProactiveElastic(vgg19, 256, 8, profile_period=0)
+
+
+class TestBehaviour:
+    def test_matches_dp_without_stragglers(self, vgg19):
+        """With homogeneous workers the quotas stay even: same cost
+        structure as plain data parallelism."""
+        proactive = ProactiveElastic(vgg19, 256, 8, iterations=3).run()
+        dp = DataParallel(vgg19, 256, 8, iterations=3).run()
+        assert proactive.average_throughput == pytest.approx(
+            dp.average_throughput, rel=0.05
+        )
+
+    def test_adapts_to_a_persistent_straggler(self, vgg19):
+        """When one worker is *always* slow, proactive re-balancing moves
+        work off it — the case the design is built for."""
+
+        class AlwaysSlow(TransientStraggler):
+            def delays(self, iteration, num_workers):
+                delays = [0.0] * num_workers
+                delays[0] = self.delay
+                return delays
+
+        injector = AlwaysSlow(6.0)
+        proactive = ProactiveElastic(
+            vgg19, 256, 8, iterations=20, straggler=injector,
+            profile_period=5,
+        ).run()
+        dp = DataParallel(
+            vgg19, 256, 8, iterations=20, straggler=injector
+        ).run()
+        assert proactive.average_throughput > dp.average_throughput
+        # After re-balancing, worker 0 trains far less than the others.
+        late_quotas = proactive.records[-1].work_by_worker
+        assert late_quotas[0] < min(late_quotas[1:])
+
+    def test_transient_stragglers_defeat_proactive_scheduling(self, vgg19):
+        """The paper's Section III-C claim, measured: with rapidly
+        switching stragglers, periodic re-distribution adds load to the
+        newly slow and starves the recovered — its PID is no better
+        (typically worse) than doing nothing at all."""
+        injector = TransientStraggler(6.0, hits=2, persistence=1, seed=0)
+        iterations = 12
+
+        def pid(cls):
+            base = cls(vgg19, 256, 8, iterations=iterations).run()
+            slow = cls(
+                vgg19, 256, 8, iterations=iterations, straggler=injector
+            ).run()
+            return per_iteration_delay(slow, base)
+
+        assert pid(ProactiveElastic) >= 0.95 * pid(DataParallel)
+
+    def test_round_robin_is_the_worst_case(self, vgg19):
+        """A new straggler every iteration: every re-partition is wrong."""
+        injector = RoundRobinStraggler(6.0)
+        base = ProactiveElastic(vgg19, 256, 8, iterations=16).run()
+        slow = ProactiveElastic(
+            vgg19, 256, 8, iterations=16, straggler=injector
+        ).run()
+        assert per_iteration_delay(slow, base) >= 6.0 * 0.95

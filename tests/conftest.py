@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Model building and profiling are deterministic and moderately expensive,
+so they are session-scoped; anything carrying simulation state
+(environments, clusters, runtimes) is function-scoped by construction —
+each test builds its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import ClusterSpec, GpuSpec
+from repro.models import get_model
+from repro.partition import paper_partition
+from repro.profiling import ThroughputProfiler
+
+
+@pytest.fixture(scope="session")
+def vgg19():
+    return get_model("vgg19")
+
+
+@pytest.fixture(scope="session")
+def googlenet():
+    return get_model("googlenet")
+
+
+@pytest.fixture(scope="session")
+def profiler():
+    return ThroughputProfiler()
+
+
+@pytest.fixture(scope="session")
+def vgg19_partition(vgg19, profiler):
+    return paper_partition(vgg19, profiler)
+
+
+@pytest.fixture(scope="session")
+def googlenet_partition(googlenet, profiler):
+    return paper_partition(googlenet, profiler)
+
+
+@pytest.fixture()
+def small_cluster_spec():
+    """A 4-node cluster with fast, simple numbers for unit arithmetic."""
+    return ClusterSpec(
+        num_nodes=4,
+        link_bandwidth=1e9,
+        network_efficiency=1.0,
+        latency=0.0,
+        gpu=GpuSpec(),
+    )
+
+
+@pytest.fixture()
+def default_gpu():
+    return GpuSpec()

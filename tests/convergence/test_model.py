@@ -1,0 +1,105 @@
+"""Tests for the stale-gradient convergence model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.convergence import ConvergenceModel
+from repro.errors import ConfigurationError
+
+
+class TestContraction:
+    def test_bsp_contraction_is_rho(self):
+        model = ConvergenceModel(rho_bsp=0.9)
+        assert model.contraction(0.0) == pytest.approx(0.9)
+
+    def test_staleness_slows_contraction(self):
+        model = ConvergenceModel()
+        assert model.contraction(2.0) > model.contraction(0.0)
+        assert model.contraction(8.0) > model.contraction(2.0)
+
+    def test_contraction_stays_below_one(self):
+        model = ConvergenceModel()
+        for age in (0, 1, 10, 1000):
+            assert 0 < model.contraction(age) < 1
+
+    def test_zero_beta_ignores_staleness(self):
+        model = ConvergenceModel(staleness_beta=0.0)
+        assert model.contraction(100.0) == model.contraction(0.0)
+
+    def test_mean_age_is_half_bound(self):
+        model = ConvergenceModel()
+        assert model.mean_age(4) == 2.0
+        assert model.mean_age(0) == 0.0
+
+
+class TestTrajectories:
+    def test_excess_loss_decays(self):
+        model = ConvergenceModel(rho_bsp=0.9)
+        assert model.excess_loss(0) == 1.0
+        assert model.excess_loss(10) == pytest.approx(0.9**10)
+
+    def test_iterations_to_target_inverts_decay(self):
+        model = ConvergenceModel(rho_bsp=0.9)
+        iterations = model.iterations_to_target(0.01)
+        assert model.excess_loss(iterations) <= 0.01
+        assert model.excess_loss(iterations - 1) > 0.01
+
+    def test_stale_training_needs_more_iterations(self):
+        model = ConvergenceModel()
+        bsp = model.iterations_to_target(0.01, mean_age=0.0)
+        ssp = model.iterations_to_target(0.01, mean_age=2.0)
+        assert ssp > bsp
+
+    def test_time_to_target_trade_off(self):
+        """SSP wins wall-clock only while its per-iteration speedup
+        exceeds its iteration-count inflation — the paper's trade-off."""
+        model = ConvergenceModel()
+        bsp_time = model.time_to_target(0.01, seconds_per_iteration=1.0)
+        # Mild staleness + 20% faster iterations: can win.
+        mild = model.time_to_target(
+            0.01, seconds_per_iteration=0.8, mean_age=0.5
+        )
+        # Heavy staleness + the same 20% speedup: loses.
+        heavy = model.time_to_target(
+            0.01, seconds_per_iteration=0.8, mean_age=8.0
+        )
+        assert mild < bsp_time < heavy
+
+    @given(
+        age=st.floats(min_value=0.0, max_value=50.0),
+        target=st.floats(min_value=1e-6, max_value=0.5),
+    )
+    @settings(max_examples=100)
+    def test_property_target_reached(self, age, target):
+        model = ConvergenceModel()
+        iterations = model.iterations_to_target(target, mean_age=age)
+        assert model.excess_loss(iterations, mean_age=age) <= target + 1e-12
+
+
+class TestValidation:
+    def test_bad_rho(self):
+        with pytest.raises(ConfigurationError):
+            ConvergenceModel(rho_bsp=1.0)
+        with pytest.raises(ConfigurationError):
+            ConvergenceModel(rho_bsp=0.0)
+
+    def test_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            ConvergenceModel(staleness_beta=-1)
+
+    def test_bad_target(self):
+        model = ConvergenceModel()
+        with pytest.raises(ConfigurationError):
+            model.iterations_to_target(2.0)
+        with pytest.raises(ConfigurationError):
+            model.iterations_to_target(0.0)
+
+    def test_bad_inputs(self):
+        model = ConvergenceModel()
+        with pytest.raises(ConfigurationError):
+            model.contraction(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.excess_loss(-1)
+        with pytest.raises(ConfigurationError):
+            model.time_to_target(0.1, 0.0)

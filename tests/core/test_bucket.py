@@ -1,0 +1,65 @@
+"""Unit tests for the token bucket and its STBs."""
+
+import pytest
+
+from repro.core import SampleRange, Token, TokenBucket
+from repro.errors import SchedulingError
+
+
+def token(tid, home=0, level=0, deps=()):
+    return Token(
+        tid=tid,
+        level=level,
+        iteration=0,
+        ordinal=tid,
+        samples=SampleRange(0, 16),
+        deps=tuple(deps),
+        home_worker=home,
+    )
+
+
+class TestBucket:
+    def test_add_routes_to_home_stb(self):
+        bucket = TokenBucket(4)
+        bucket.add(token(1, home=2))
+        assert bucket.stb_size(2) == 1
+        assert bucket.stb_size(0) == 0
+        assert len(bucket) == 1
+
+    def test_add_out_of_range_home_rejected(self):
+        bucket = TokenBucket(2)
+        with pytest.raises(SchedulingError):
+            bucket.add(token(1, home=5))
+
+    def test_double_add_rejected(self):
+        bucket = TokenBucket(2)
+        t = token(1)
+        bucket.add(t)
+        with pytest.raises(SchedulingError):
+            bucket.add(t)
+
+    def test_remove(self):
+        bucket = TokenBucket(2)
+        t = token(1, home=1)
+        bucket.add(t)
+        bucket.remove(t)
+        assert len(bucket) == 0
+        with pytest.raises(SchedulingError):
+            bucket.remove(t)
+
+    def test_all_tokens_spans_stbs(self):
+        bucket = TokenBucket(3)
+        for tid, home in ((1, 0), (2, 1), (3, 1), (4, 2)):
+            bucket.add(token(tid, home=home))
+        assert {t.tid for t in bucket.all_tokens()} == {1, 2, 3, 4}
+
+    def test_nonempty_stbs_with_exclusion(self):
+        bucket = TokenBucket(3)
+        bucket.add(token(1, home=0))
+        bucket.add(token(2, home=2))
+        assert bucket.nonempty_stbs() == [0, 2]
+        assert bucket.nonempty_stbs(exclude=0) == [2]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SchedulingError):
+            TokenBucket(0)

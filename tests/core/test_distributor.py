@@ -1,0 +1,260 @@
+"""Unit tests for the ADS / HF / CTD policy engine."""
+
+import pytest
+
+from repro.core import (
+    FelaConfig,
+    InfoMapping,
+    SampleRange,
+    Token,
+    TokenBucket,
+    TokenDistributor,
+)
+
+
+def make_config(partition, **kwargs):
+    defaults = dict(
+        partition=partition,
+        total_batch=128,
+        num_workers=4,
+        weights=(1, 2, 4),
+        iterations=5,
+    )
+    defaults.update(kwargs)
+    return FelaConfig(**defaults)
+
+
+def token(tid, level=0, home=0, deps=(), ordinal=None):
+    return Token(
+        tid=tid,
+        level=level,
+        iteration=0,
+        ordinal=ordinal if ordinal is not None else tid,
+        samples=SampleRange(0, 16),
+        deps=tuple(deps),
+        home_worker=home,
+    )
+
+
+@pytest.fixture()
+def parts(vgg19_partition):
+    return vgg19_partition
+
+
+class TestADS:
+    """Principle 1 (deepest level first) and Principle 2 (locality)."""
+
+    def test_deepest_level_first(self, parts):
+        config = make_config(parts, hf_enabled=False, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        bucket.add(token(1, level=0))
+        info.record_completion(0, 0)
+        bucket.add(token(2, level=1, deps=(0,)))
+        selection = distributor.select(0, bucket, info)
+        assert selection.token.tid == 2  # the T-2 beats the T-1
+
+    def test_locality_breaks_level_ties(self, parts):
+        """The paper's Section III-D worked example."""
+        config = make_config(parts, hf_enabled=False, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        for dep, holder in ((2, 0), (3, 0), (4, 1), (5, 1)):
+            info.record_completion(dep, holder)
+        bucket.add(token(9, level=1, deps=(2, 3)))
+        bucket.add(token(10, level=1, deps=(4, 5)))
+        # Worker 0 holds Token_9's deps: it gets Token_9.
+        assert distributor.select(0, bucket, info).token.tid == 9
+        # Worker 1 holds Token_10's deps.
+        assert distributor.select(1, bucket, info).token.tid == 10
+
+    def test_equal_locality_takes_smallest_tid(self, parts):
+        """Paper: "we choose the one with the smallest token ID"."""
+        config = make_config(parts, hf_enabled=False, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        for dep, holder in ((3, 0), (4, 0), (2, 1), (5, 1)):
+            info.record_completion(dep, holder)
+        bucket.add(token(9, level=1, deps=(2, 3)))
+        bucket.add(token(10, level=1, deps=(4, 5)))
+        # Worker 0 holds one dep of each: tie -> Token_9.
+        assert distributor.select(0, bucket, info).token.tid == 9
+
+    def test_ads_off_is_fifo(self, parts):
+        config = make_config(
+            parts, ads_enabled=False, hf_enabled=False, ctd_enabled=False
+        )
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        info.record_completion(0, 0)
+        bucket.add(token(1, level=1, deps=(0,)))
+        bucket.add(token(5, level=0))
+        bucket.add(token(3, level=0))
+        # FIFO by token id, level ignored.
+        assert distributor.select(0, bucket, info).token.tid == 1
+
+    def test_empty_pool_returns_none(self, parts):
+        config = make_config(parts, hf_enabled=False)
+        distributor = TokenDistributor(config)
+        selection = distributor.select(0, TokenBucket(4), InfoMapping())
+        assert selection.token is None
+
+
+class TestHF:
+    def test_own_stb_first(self, parts):
+        config = make_config(parts, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        bucket.add(token(1, home=0))
+        bucket.add(token(2, home=1))
+        selection = distributor.select(0, bucket, info)
+        assert selection.token.tid == 1
+        assert selection.from_own_stb
+
+    def test_helper_targets_least_helped_slowest(self, parts):
+        config = make_config(parts, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        # Worker 1 has 1 token left; worker 2 has 3 (slowest).
+        bucket.add(token(1, home=1))
+        for tid in (2, 3, 4):
+            bucket.add(token(tid, home=2))
+        selection = distributor.select(0, bucket, info)
+        assert not selection.from_own_stb
+        assert selection.token.home_worker == 2
+        assert distributor.helper_of(0) == 2
+
+    def test_second_helper_spreads_to_other_straggler(self, parts):
+        config = make_config(parts, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        for tid in (1, 2):
+            bucket.add(token(tid, home=1))
+        for tid in (3, 4):
+            bucket.add(token(tid, home=2))
+        first = distributor.select(0, bucket, info)
+        bucket.remove(first.token)
+        second = distributor.select(3, bucket, info)
+        # Helper 0 took from one straggler; helper 3 goes to the other.
+        assert first.token.home_worker != second.token.home_worker
+
+    def test_helper_reverts_when_own_stb_refills(self, parts):
+        config = make_config(parts, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        bucket.add(token(1, home=1))
+        selection = distributor.select(0, bucket, info)
+        assert distributor.helper_of(0) == 1
+        bucket.remove(selection.token)
+        bucket.add(token(2, home=0))
+        selection = distributor.select(0, bucket, info)
+        assert selection.from_own_stb
+        assert distributor.helper_of(0) is None
+
+    def test_reset_iteration_clears_helpers(self, parts):
+        config = make_config(parts, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        bucket.add(token(1, home=1))
+        distributor.select(0, bucket, InfoMapping())
+        distributor.reset_iteration()
+        assert distributor.helper_of(0) is None
+
+
+class TestCTD:
+    """VGG19's SM-3 (FC layers) is the communication-intensive level."""
+
+    def test_comm_level_detected(self, parts):
+        config = make_config(parts, conditional_subset_size=2)
+        distributor = TokenDistributor(config)
+        assert distributor.comm_levels == frozenset({2})
+
+    def test_non_member_cannot_take_comm_tokens(self, parts):
+        config = make_config(
+            parts, conditional_subset_size=2, hf_enabled=False
+        )
+        distributor = TokenDistributor(config)
+        assert not distributor.may_take(3, 2)
+        assert distributor.may_take(0, 2)
+        assert distributor.may_take(3, 0)
+
+    def test_member_prioritizes_comm_tokens(self, parts):
+        config = make_config(
+            parts, conditional_subset_size=2, hf_enabled=False
+        )
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        info.record_completion(0, 0)
+        bucket.add(token(5, level=1, deps=(0,)))  # deeper, non-comm
+        info.record_completion(1, 0)
+        bucket.add(token(6, level=2, deps=(1,)))  # comm level
+        # Member takes the comm token first even though ADS alone would
+        # pick it anyway; non-member must take the other one.
+        assert distributor.select(0, bucket, info).token.tid == 6
+        assert distributor.select(3, bucket, info).token.tid == 5
+
+    def test_non_member_sees_none_when_only_comm_left(self, parts):
+        config = make_config(
+            parts, conditional_subset_size=2, hf_enabled=False
+        )
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        info.record_completion(0, 0)
+        bucket.add(token(6, level=2, deps=(0,)))
+        assert distributor.select(3, bucket, info).token is None
+
+    def test_takeable_levels(self, parts):
+        config = make_config(parts, conditional_subset_size=1)
+        distributor = TokenDistributor(config)
+        assert distributor.takeable_levels(0) == frozenset({0, 1, 2})
+        assert distributor.takeable_levels(2) == frozenset({0, 1})
+
+    def test_helper_respects_ctd_filter(self, parts):
+        """A helper never steals comm tokens it may not train."""
+        config = make_config(parts, conditional_subset_size=2)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        info = InfoMapping()
+        info.record_completion(0, 0)
+        bucket.add(token(6, level=2, deps=(0,), home=1))
+        assert distributor.select(3, bucket, info).token is None
+        assert distributor.select(0, bucket, info).token.tid == 6
+
+
+class TestConflicts:
+    def test_contention_flag_set_between_start_finish(self, parts):
+        config = make_config(parts, hf_enabled=False, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        bucket.add(token(1))
+        distributor.request_started()
+        distributor.request_started()
+        selection = distributor.select(0, bucket, InfoMapping())
+        assert selection.contended
+        distributor.request_finished()
+        bucket.remove(selection.token)
+        bucket.add(token(2))
+        # Only the requester itself remains in flight: no contention.
+        selection = distributor.select(0, bucket, InfoMapping())
+        assert not selection.contended
+        distributor.request_finished()
+
+    def test_own_stb_never_contended(self, parts):
+        config = make_config(parts, ctd_enabled=False)
+        distributor = TokenDistributor(config)
+        bucket = TokenBucket(4)
+        bucket.add(token(1, home=0))
+        distributor.request_started()
+        selection = distributor.select(0, bucket, InfoMapping())
+        assert selection.from_own_stb
+        assert not selection.contended

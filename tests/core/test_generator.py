@@ -1,0 +1,180 @@
+"""Unit tests for the Token Generator's dependency-driven minting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FelaConfig, TokenGenerator, split_samples
+from repro.errors import SchedulingError
+
+
+@pytest.fixture()
+def config(vgg19_partition):
+    return FelaConfig(
+        partition=vgg19_partition,
+        total_batch=128,
+        num_workers=8,
+        weights=(1, 2, 4),
+        iterations=10,
+    )
+
+
+class TestSplitSamples:
+    def test_even_split(self):
+        ranges = split_samples(128, 8)
+        assert len(ranges) == 8
+        assert all(len(r) == 16 for r in ranges)
+
+    def test_uneven_split_covers_everything(self):
+        ranges = split_samples(100, 8)
+        assert sum(len(r) for r in ranges) == 100
+        assert ranges[0].start == 0
+        assert ranges[-1].stop == 100
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.stop == right.start
+
+    def test_invalid_splits(self):
+        with pytest.raises(SchedulingError):
+            split_samples(4, 8)
+        with pytest.raises(SchedulingError):
+            split_samples(0, 1)
+
+    @given(
+        total=st.integers(min_value=1, max_value=10_000),
+        parts=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100)
+    def test_property_contiguous_cover(self, total, parts):
+        if parts > total:
+            return
+        ranges = split_samples(total, parts)
+        assert sum(len(r) for r in ranges) == total
+        # Near-even: sizes differ by at most 1.
+        sizes = [len(r) for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestStartIteration:
+    def test_t1_tokens_cover_batch(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        assert len(tokens) == config.token_counts()[0]
+        assert all(t.level == 0 for t in tokens)
+        assert sum(t.batch for t in tokens) == config.total_batch
+
+    def test_t1_homes_spread_over_workers(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        homes = {t.home_worker for t in tokens}
+        assert homes == set(range(config.num_workers))
+
+    def test_unique_ids_across_iterations(self, config):
+        generator = TokenGenerator(config)
+        first = generator.start_iteration(0)
+        for token in first:
+            generator.on_completion(token.tid, 0)
+        second = generator.start_iteration(1)
+        ids = [t.tid for t in first] + [t.tid for t in second]
+        assert len(set(ids)) == len(ids)
+
+
+class TestGeneration:
+    def test_t2_minted_after_ratio_completions(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        ratio = config.generation_ratio(0)
+        assert ratio == 2
+        # Completing the first token mints nothing.
+        assert generator.on_completion(tokens[0].tid, 0) == []
+        # Completing its group partner mints one T-2.
+        fresh = generator.on_completion(tokens[1].tid, 0)
+        assert len(fresh) == 1
+        t2 = fresh[0]
+        assert t2.level == 1
+        assert t2.deps == (tokens[0].tid, tokens[1].tid)
+        assert t2.samples.start == tokens[0].samples.start
+        assert t2.samples.stop == tokens[1].samples.stop
+
+    def test_groups_are_by_ordinal_not_completion_order(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        # Complete tokens 0 and 2 (different groups): nothing minted.
+        assert generator.on_completion(tokens[0].tid, 0) == []
+        assert generator.on_completion(tokens[2].tid, 0) == []
+        # Token 3 completes group (2,3).
+        fresh = generator.on_completion(tokens[3].tid, 0)
+        assert len(fresh) == 1
+        assert fresh[0].deps == (tokens[2].tid, tokens[3].tid)
+
+    def test_full_cascade_counts(self, config):
+        """Completing everything level by level yields n_2 and n_3."""
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        counts = config.token_counts()
+        level1 = []
+        for token in tokens:
+            level1.extend(generator.on_completion(token.tid, 0))
+        assert len(level1) == counts[1]
+        level2 = []
+        for token in level1:
+            level2.extend(generator.on_completion(token.tid, 0))
+        assert len(level2) == counts[2]
+        # Top level generates nothing further.
+        for token in level2:
+            assert generator.on_completion(token.tid, 0) == []
+        assert generator.iteration_complete(0)
+
+    def test_fresh_token_homed_at_majority_worker(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        generator.on_completion(tokens[0].tid, 5)
+        fresh = generator.on_completion(tokens[1].tid, 5)
+        assert fresh[0].home_worker == 5
+
+    def test_majority_tie_goes_to_lowest_worker(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        generator.on_completion(tokens[0].tid, 7)
+        fresh = generator.on_completion(tokens[1].tid, 2)
+        assert fresh[0].home_worker == 2
+
+    def test_unknown_completion_rejected(self, config):
+        generator = TokenGenerator(config)
+        with pytest.raises(SchedulingError):
+            generator.on_completion(999, 0)
+
+    def test_level_complete_tracking(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        assert not generator.level_complete(0, 0)
+        for token in tokens:
+            generator.on_completion(token.tid, 0)
+        assert generator.level_complete(0, 0)
+        assert not generator.level_complete(0, 1)
+
+    def test_forget_iteration_clears_registry(self, config):
+        generator = TokenGenerator(config)
+        tokens = generator.start_iteration(0)
+        for token in tokens:
+            generator.on_completion(token.tid, 0)
+        stale = generator.forget_iteration(0)
+        assert len(stale) >= len(tokens)
+        assert generator.registry == {}
+
+    def test_samples_conserved_per_level(self, config):
+        """Every level's tokens cover the batch exactly once."""
+        generator = TokenGenerator(config)
+        frontier = generator.start_iteration(0)
+        while frontier:
+            covered = sorted(
+                (t.samples.start, t.samples.stop) for t in frontier
+            )
+            position = 0
+            for start, stop in covered:
+                assert start == position
+                position = stop
+            assert position == config.total_batch
+            fresh = []
+            for token in frontier:
+                fresh.extend(generator.on_completion(token.tid, 0))
+            frontier = fresh

@@ -1,0 +1,108 @@
+"""Tests for the token-level pipelined SSP/ASP runtime (Section VI)."""
+
+import pytest
+
+from repro.core import (
+    FelaConfig,
+    FelaRuntime,
+    PipelinedFelaRuntime,
+    SyncMode,
+)
+from repro.errors import ConfigurationError
+from repro.stragglers import ProbabilityStraggler, RoundRobinStraggler
+
+
+def make_config(partition, **kwargs):
+    defaults = dict(
+        partition=partition,
+        total_batch=512,
+        num_workers=8,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        sync_mode=SyncMode.SSP,
+        staleness=2,
+        iterations=5,
+    )
+    defaults.update(kwargs)
+    return FelaConfig(**defaults)
+
+
+class TestConstruction:
+    def test_bsp_rejected(self, vgg19_partition):
+        config = make_config(
+            vgg19_partition, sync_mode=SyncMode.BSP, staleness=0
+        )
+        with pytest.raises(ConfigurationError):
+            PipelinedFelaRuntime(config)
+
+    def test_asp_accepted(self, vgg19_partition):
+        config = make_config(
+            vgg19_partition, sync_mode=SyncMode.ASP, staleness=0,
+            iterations=2,
+        )
+        assert PipelinedFelaRuntime(config).run().total_time > 0
+
+
+class TestExecution:
+    def test_token_conservation_per_iteration(self, vgg19_partition):
+        config = make_config(vgg19_partition)
+        result = PipelinedFelaRuntime(config).run()
+        expected = sum(config.token_counts())
+        assert len(result.records) == config.iterations
+        for record in result.records:
+            assert sum(record.work_by_worker) == expected
+
+    def test_iterations_actually_overlap(self, vgg19_partition):
+        """The point of pipelining: iteration k+1 starts before k ends."""
+        config = make_config(vgg19_partition)
+        result = PipelinedFelaRuntime(config).run()
+        overlaps = [
+            second.start < first.end
+            for first, second in zip(result.records, result.records[1:])
+        ]
+        assert any(overlaps)
+
+    def test_records_ordered_by_iteration(self, vgg19_partition):
+        config = make_config(vgg19_partition)
+        result = PipelinedFelaRuntime(config).run()
+        assert [r.iteration for r in result.records] == list(
+            range(config.iterations)
+        )
+
+    def test_no_slower_than_barrier_ssp(self, vgg19_partition):
+        config = make_config(vgg19_partition)
+        barrier = FelaRuntime(config).run()
+        pipelined = PipelinedFelaRuntime(config).run()
+        assert pipelined.total_time <= barrier.total_time * 1.02
+
+    def test_deterministic(self, vgg19_partition):
+        config = make_config(vgg19_partition, iterations=3)
+        a = PipelinedFelaRuntime(config).run()
+        b = PipelinedFelaRuntime(config).run()
+        assert a.total_time == b.total_time
+
+
+class TestStragglers:
+    def test_straggler_patterns_complete(self, vgg19_partition):
+        config = make_config(vgg19_partition)
+        for injector in (
+            RoundRobinStraggler(6.0),
+            ProbabilityStraggler(0.4, 6.0),
+        ):
+            result = PipelinedFelaRuntime(
+                config, straggler=injector
+            ).run()
+            expected = sum(config.token_counts())
+            for record in result.records:
+                assert sum(record.work_by_worker) == expected
+
+    def test_pipelining_helps_or_matches_under_stragglers(
+        self, vgg19_partition
+    ):
+        """Fast workers run ahead into the next iteration instead of
+        idling at the tail of the current one."""
+        config = make_config(vgg19_partition, iterations=6)
+        injector = ProbabilityStraggler(0.3, 6.0)
+        barrier = FelaRuntime(config, straggler=injector).run()
+        pipelined = PipelinedFelaRuntime(config, straggler=injector).run()
+        assert pipelined.total_time <= barrier.total_time * 1.02

@@ -1,0 +1,181 @@
+"""Integration tests for the Fela runtime (worker loops + sync + modes)."""
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime, SyncMode
+from repro.hardware import Cluster, ClusterSpec
+from repro.stragglers import NoStraggler, RoundRobinStraggler
+
+
+def make_runtime(partition, straggler=None, **kwargs):
+    defaults = dict(
+        partition=partition,
+        total_batch=128,
+        num_workers=8,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=4,
+    )
+    defaults.update(kwargs)
+    config = FelaConfig(**defaults)
+    cluster = Cluster(ClusterSpec(num_nodes=config.num_workers))
+    return FelaRuntime(config, cluster, straggler=straggler)
+
+
+class TestBasicRun:
+    def test_produces_result_with_records(self, vgg19_partition):
+        result = make_runtime(vgg19_partition).run()
+        assert result.iterations == 4
+        assert len(result.records) == 4
+        assert result.total_time > 0
+        assert result.average_throughput > 0
+
+    def test_iterations_are_contiguous_in_time(self, vgg19_partition):
+        result = make_runtime(vgg19_partition).run()
+        for first, second in zip(result.records, result.records[1:]):
+            assert second.start == pytest.approx(first.end)
+
+    def test_all_tokens_trained_each_iteration(self, vgg19_partition):
+        runtime = make_runtime(vgg19_partition)
+        result = runtime.run()
+        expected = sum(runtime.config.token_counts())
+        for record in result.records:
+            assert sum(record.work_by_worker) == expected
+
+    def test_deterministic(self, vgg19_partition):
+        a = make_runtime(vgg19_partition).run()
+        b = make_runtime(vgg19_partition).run()
+        assert a.total_time == b.total_time
+        assert a.iteration_times() == b.iteration_times()
+
+    def test_stats_populated(self, vgg19_partition):
+        result = make_runtime(vgg19_partition).run()
+        assert result.stats["ts_requests"] > 0
+        assert result.stats["network_bytes"] > 0
+        assert len(result.stats["compute_seconds_by_worker"]) == 8
+
+    def test_googlenet_runs(self, googlenet_partition):
+        result = make_runtime(
+            googlenet_partition, weights=(1, 1, 2), total_batch=256
+        ).run()
+        assert result.average_throughput > 0
+
+
+class TestPolicyToggles:
+    def test_all_toggle_combinations_complete(self, vgg19_partition):
+        for ads in (True, False):
+            for hf in (True, False):
+                result = make_runtime(
+                    vgg19_partition,
+                    ads_enabled=ads,
+                    hf_enabled=hf,
+                    iterations=2,
+                ).run()
+                assert result.total_time > 0
+
+    def test_hf_reduces_network_traffic(self, vgg19_partition):
+        with_hf = make_runtime(vgg19_partition, hf_enabled=True).run()
+        without_hf = make_runtime(vgg19_partition, hf_enabled=False).run()
+        assert (
+            with_hf.stats["bytes_fetched"]
+            < without_hf.stats["bytes_fetched"]
+        )
+
+    def test_ctd_reduces_sync_traffic(self, vgg19_partition):
+        narrow = make_runtime(
+            vgg19_partition, conditional_subset_size=1, total_batch=1024,
+            weights=(1, 2, 4),
+        ).run()
+        wide = make_runtime(
+            vgg19_partition, conditional_subset_size=8, total_batch=1024,
+            weights=(1, 2, 4),
+        ).run()
+        assert (
+            narrow.stats["network_bytes"] < wide.stats["network_bytes"]
+        )
+
+
+class TestStragglerElasticity:
+    def test_straggler_slows_run(self, vgg19_partition):
+        base = make_runtime(vgg19_partition).run()
+        slowed = make_runtime(
+            vgg19_partition, straggler=RoundRobinStraggler(4.0)
+        ).run()
+        assert slowed.total_time > base.total_time
+
+    def test_fela_absorbs_most_of_the_delay(self, vgg19_partition):
+        """Helpers take over the sleeping worker's STB: the per-iteration
+        delay must be well below the injected d."""
+        d = 6.0
+        base = make_runtime(vgg19_partition).run()
+        slowed = make_runtime(
+            vgg19_partition, straggler=RoundRobinStraggler(d)
+        ).run()
+        pid = (slowed.total_time - base.total_time) / slowed.iterations
+        assert 0 < pid < 0.5 * d
+
+    def test_work_shifts_away_from_straggler(self, vgg19_partition):
+        runtime = make_runtime(
+            vgg19_partition, straggler=RoundRobinStraggler(6.0)
+        )
+        result = runtime.run()
+        # In iteration 0 worker 0 sleeps; it must train fewer tokens than
+        # the busiest helper.
+        work = result.records[0].work_by_worker
+        assert work[0] < max(work)
+
+
+class TestSyncModes:
+    def test_ssp_no_slower_than_bsp(self, vgg19_partition):
+        bsp = make_runtime(vgg19_partition, total_batch=1024,
+                           weights=(1, 2, 4)).run()
+        ssp = make_runtime(
+            vgg19_partition,
+            total_batch=1024,
+            weights=(1, 2, 4),
+            sync_mode=SyncMode.SSP,
+            staleness=2,
+        ).run()
+        assert ssp.total_time <= bsp.total_time + 1e-9
+
+    def test_asp_no_slower_than_ssp(self, vgg19_partition):
+        ssp = make_runtime(
+            vgg19_partition,
+            total_batch=1024,
+            weights=(1, 2, 4),
+            sync_mode=SyncMode.SSP,
+            staleness=1,
+        ).run()
+        asp = make_runtime(
+            vgg19_partition,
+            total_batch=1024,
+            weights=(1, 2, 4),
+            sync_mode=SyncMode.ASP,
+        ).run()
+        assert asp.total_time <= ssp.total_time + 1e-9
+
+    def test_ssp_equal_iteration_counts(self, vgg19_partition):
+        ssp = make_runtime(
+            vgg19_partition, sync_mode=SyncMode.SSP, staleness=2
+        ).run()
+        assert len(ssp.records) == ssp.iterations
+
+
+class TestMemoryValidation:
+    def test_token_batch_exceeding_gpu_memory_rejected(
+        self, vgg19_partition
+    ):
+        from repro.errors import CapacityError
+        from repro.hardware import GpuSpec
+
+        config = FelaConfig(
+            partition=vgg19_partition,
+            total_batch=128,
+            num_workers=8,
+            weights=(1, 2, 8),
+            iterations=2,
+        )
+        # A 2 GB GPU cannot hold SM-1 activations for a 32-sample token.
+        tiny = ClusterSpec(num_nodes=8, gpu=GpuSpec(memory_bytes=2e9))
+        with pytest.raises(CapacityError):
+            FelaRuntime(config, Cluster(tiny))

@@ -1,0 +1,147 @@
+"""Unit tests for tokens, sample ranges, and the Info Mapping."""
+
+import pytest
+
+from repro.core import InfoMapping, SampleRange, Token
+from repro.errors import SchedulingError
+
+
+def make_token(tid=0, level=0, ordinal=0, samples=(0, 16), deps=(), home=0):
+    return Token(
+        tid=tid,
+        level=level,
+        iteration=0,
+        ordinal=ordinal,
+        samples=SampleRange(*samples),
+        deps=tuple(deps),
+        home_worker=home,
+    )
+
+
+class TestSampleRange:
+    def test_len_and_contains(self):
+        r = SampleRange(4, 10)
+        assert len(r) == 6
+        assert 4 in r and 9 in r
+        assert 10 not in r and 3 not in r
+
+    def test_invalid_ranges(self):
+        with pytest.raises(SchedulingError):
+            SampleRange(5, 5)
+        with pytest.raises(SchedulingError):
+            SampleRange(-1, 4)
+
+    def test_merge_adjacent(self):
+        merged = SampleRange(0, 8).merge(SampleRange(8, 16))
+        assert (merged.start, merged.stop) == (0, 16)
+        # Order-independent.
+        merged2 = SampleRange(8, 16).merge(SampleRange(0, 8))
+        assert (merged2.start, merged2.stop) == (0, 16)
+
+    def test_merge_non_adjacent_rejected(self):
+        with pytest.raises(SchedulingError):
+            SampleRange(0, 8).merge(SampleRange(9, 16))
+
+
+class TestToken:
+    def test_batch_is_range_length(self):
+        assert make_token(samples=(0, 32)).batch == 32
+
+    def test_type_name_is_one_based(self):
+        assert make_token(level=0).type_name == "T-1"
+        assert make_token(level=2, deps=(1,)).type_name == "T-3"
+
+    def test_level0_with_deps_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_token(level=0, deps=(1, 2))
+
+    def test_higher_level_needs_deps(self):
+        with pytest.raises(SchedulingError):
+            make_token(level=1, deps=())
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_token(level=-1)
+        with pytest.raises(SchedulingError):
+            make_token(home=-1)
+
+
+class TestInfoMapping:
+    def test_assignment_then_completion(self):
+        info = InfoMapping()
+        info.record_assignment(1, 3)
+        assert info.assignee_of(1) == 3
+        info.record_completion(1, 3)
+        assert info.assignee_of(1) is None
+        assert info.holder_of(1) == 3
+        assert 1 in info.held_by(3)
+
+    def test_double_assignment_rejected(self):
+        info = InfoMapping()
+        info.record_assignment(1, 0)
+        with pytest.raises(SchedulingError):
+            info.record_assignment(1, 2)
+
+    def test_completion_by_wrong_worker_rejected(self):
+        info = InfoMapping()
+        info.record_assignment(1, 0)
+        with pytest.raises(SchedulingError):
+            info.record_completion(1, 5)
+
+    def test_double_completion_rejected(self):
+        info = InfoMapping()
+        info.record_completion(1, 0)
+        with pytest.raises(SchedulingError):
+            info.record_completion(1, 0)
+
+    def test_forget_iteration_clears(self):
+        info = InfoMapping()
+        info.record_completion(1, 0)
+        info.record_completion(2, 1)
+        info.forget_iteration([1, 2])
+        assert info.holder_of(1) is None
+        assert info.held_by(0) == frozenset()
+
+
+class TestLocalityScore:
+    """Equation 1: |H_wid ∩ D_tid| / |D_tid|."""
+
+    def test_full_locality(self):
+        info = InfoMapping()
+        info.record_completion(10, 0)
+        info.record_completion(11, 0)
+        token = make_token(tid=20, level=1, deps=(10, 11))
+        assert info.locality_score(0, token) == 1.0
+
+    def test_half_locality(self):
+        info = InfoMapping()
+        info.record_completion(10, 0)
+        info.record_completion(11, 1)
+        token = make_token(tid=20, level=1, deps=(10, 11))
+        assert info.locality_score(0, token) == 0.5
+        assert info.locality_score(1, token) == 0.5
+
+    def test_zero_locality(self):
+        info = InfoMapping()
+        info.record_completion(10, 2)
+        token = make_token(tid=20, level=1, deps=(10,))
+        assert info.locality_score(0, token) == 0.0
+
+    def test_level0_scores_zero_for_everyone(self):
+        """T-1 distribution is sequential; locality is HF's job."""
+        info = InfoMapping()
+        token = make_token(tid=1, level=0, home=3)
+        assert info.locality_score(3, token) == 0.0
+        assert info.locality_score(0, token) == 0.0
+
+    def test_paper_example(self):
+        """Section III-D: D_9={2,3}, D_10={4,5}; worker holds {2,3}."""
+        info = InfoMapping()
+        info.record_completion(2, 0)
+        info.record_completion(3, 0)
+        info.record_completion(4, 1)
+        info.record_completion(5, 1)
+        token9 = make_token(tid=9, level=1, deps=(2, 3))
+        token10 = make_token(tid=10, level=1, deps=(4, 5))
+        assert info.locality_score(0, token9) == 1.0
+        assert info.locality_score(0, token10) == 0.0

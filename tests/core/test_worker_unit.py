@@ -1,0 +1,102 @@
+"""Direct unit tests of Worker input-fetching behaviour."""
+
+import pytest
+
+from repro.core import FelaConfig, TokenServer, Worker
+from repro.errors import SchedulingError
+from repro.hardware import Cluster, ClusterSpec
+
+
+@pytest.fixture()
+def setup(vgg19_partition):
+    config = FelaConfig(
+        partition=vgg19_partition,
+        total_batch=128,
+        num_workers=4,
+        weights=(1, 2, 4),
+        iterations=1,
+    )
+    cluster = Cluster(ClusterSpec(num_nodes=4, latency=0.0))
+    server = TokenServer(config, cluster)
+    workers = [
+        Worker(server, cluster[wid], wid) for wid in range(4)
+    ]
+    server.begin_iteration(0)
+    return config, cluster, server, workers
+
+
+def run_process(cluster, generator):
+    process = cluster.env.process(generator)
+    cluster.env.run(process)
+    return process.value
+
+
+class TestSampleFetches:
+    def test_local_samples_are_free(self, setup):
+        config, cluster, server, workers = setup
+        token = next(
+            t for t in server.bucket.all_tokens() if t.home_worker == 0
+        )
+        run_process(cluster, workers[0]._fetch_inputs(token))
+        assert cluster.env.now == 0.0
+        assert workers[0].bytes_fetched == 0.0
+
+    def test_remote_samples_cost_bandwidth(self, setup):
+        config, cluster, server, workers = setup
+        token = next(
+            t for t in server.bucket.all_tokens() if t.home_worker == 1
+        )
+        run_process(cluster, workers[0]._fetch_inputs(token))
+        expected = token.batch * config.partition.model.input_bytes
+        assert workers[0].bytes_fetched == expected
+        assert cluster.env.now > 0.0
+
+
+class TestDependencyFetches:
+    def make_t2(self, setup):
+        """Complete the first two T-1 tokens and return the minted T-2."""
+        config, cluster, server, workers = setup
+        tokens = sorted(
+            server.bucket.all_tokens(), key=lambda t: t.ordinal
+        )[:2]
+        for token in tokens:
+            server.bucket.remove(token)
+            server.info.record_assignment(token.tid, 1)
+            server.info.record_completion(token.tid, 1)
+            fresh = server.generator.on_completion(token.tid, 1)
+            for new_token in fresh:
+                server.bucket.add(new_token)
+        (t2,) = [t for t in server.bucket.all_tokens() if t.level == 1]
+        return t2
+
+    def test_holder_fetch_costs_activation_bytes(self, setup):
+        config, cluster, server, workers = setup
+        t2 = self.make_t2(setup)
+        run_process(cluster, workers[0]._fetch_inputs(t2))
+        upstream = config.partition[0]
+        dep_batches = sum(
+            server.token_by_id(dep).batch for dep in t2.deps
+        )
+        assert workers[0].bytes_fetched == pytest.approx(
+            dep_batches * upstream.output_bytes
+        )
+
+    def test_holder_itself_fetches_nothing(self, setup):
+        config, cluster, server, workers = setup
+        t2 = self.make_t2(setup)
+        run_process(cluster, workers[1]._fetch_inputs(t2))
+        assert workers[1].bytes_fetched == 0.0
+
+    def test_cached_chunks_not_refetched(self, setup):
+        config, cluster, server, workers = setup
+        t2 = self.make_t2(setup)
+        workers[0].chunks.update(t2.deps)  # already fetched earlier
+        run_process(cluster, workers[0]._fetch_inputs(t2))
+        assert workers[0].bytes_fetched == 0.0
+
+    def test_missing_dependency_raises(self, setup):
+        config, cluster, server, workers = setup
+        t2 = self.make_t2(setup)
+        server.info.forget_iteration(list(t2.deps))
+        with pytest.raises(SchedulingError):
+            run_process(cluster, workers[0]._fetch_inputs(t2))

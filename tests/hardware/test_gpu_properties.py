@@ -1,0 +1,99 @@
+"""Property-based tests for the GPU saturation/memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import GpuSpec
+from repro.models import ConvSpec, LinearSpec, ModelGraph
+
+conv_shapes = st.tuples(
+    st.integers(min_value=1, max_value=512),  # in channels
+    st.integers(min_value=1, max_value=512),  # out channels
+    st.integers(min_value=7, max_value=112),  # spatial size
+)
+batches = st.integers(min_value=1, max_value=4096)
+
+
+def conv_profile(c_in, c_out, hw):
+    graph = ModelGraph(
+        "probe", (c_in, hw, hw),
+        [ConvSpec(name="c", out_channels=c_out)],
+    )
+    return graph.layers[0]
+
+
+@given(shape=conv_shapes, b1=batches, b2=batches)
+@settings(max_examples=100)
+def test_train_time_monotone_in_batch(shape, b1, b2):
+    gpu = GpuSpec()
+    profile = conv_profile(*shape)
+    lo, hi = sorted((b1, b2))
+    assert gpu.layer_train_time(profile, lo) <= gpu.layer_train_time(
+        profile, hi
+    ) + 1e-12
+
+
+@given(shape=conv_shapes, batch=batches)
+@settings(max_examples=100)
+def test_throughput_never_exceeds_saturated_rate(shape, batch):
+    """Samples/s is capped by peak_flops / train_flops_per_sample."""
+    gpu = GpuSpec(kernel_overhead=0.0)
+    profile = conv_profile(*shape)
+    throughput = gpu.layer_throughput(profile, batch)
+    cap = gpu.peak_flops / (3.0 * profile.forward_flops)
+    assert throughput <= cap * (1 + 1e-9)
+
+
+@given(shape=conv_shapes)
+@settings(max_examples=100)
+def test_knee_saturates_throughput(shape):
+    """At 2x the knee, throughput is within a hair of the asymptote."""
+    gpu = GpuSpec(kernel_overhead=0.0)
+    profile = conv_profile(*shape)
+    knee = gpu.knee_batch(profile.forward_flops, profile.activation_floats)
+    batch = max(1, int(2 * knee))
+    asymptote = gpu.peak_flops / (3.0 * profile.forward_flops)
+    assert gpu.layer_throughput(profile, batch) >= 0.5 * asymptote
+
+
+@given(shape=conv_shapes, b1=batches, b2=batches)
+@settings(max_examples=100)
+def test_memory_monotone_in_batch(shape, b1, b2):
+    gpu = GpuSpec()
+    profile = conv_profile(*shape)
+    lo, hi = sorted((b1, b2))
+    assert gpu.memory_required([profile], lo) <= gpu.memory_required(
+        [profile], hi
+    )
+
+
+@given(
+    features=st.integers(min_value=16, max_value=8192),
+    batch=batches,
+)
+@settings(max_examples=100)
+def test_fc_time_positive_and_finite(features, batch):
+    gpu = GpuSpec()
+    graph = ModelGraph(
+        "probe", (features,),
+        [LinearSpec(name="f", out_features=features)],
+    )
+    time = gpu.layer_train_time(graph.layers[0], batch)
+    assert 0 < time < float("inf")
+
+
+@given(shape=conv_shapes)
+@settings(max_examples=60)
+def test_max_batch_boundary(shape):
+    gpu = GpuSpec()
+    profile = conv_profile(*shape)
+    limit = 1 << 20
+    max_batch = gpu.max_batch([profile], limit=limit)
+    assert max_batch <= limit
+    if max_batch == 0:
+        assert not gpu.fits([profile], 1)
+    else:
+        assert gpu.fits([profile], max_batch)
+        if max_batch < limit:  # tiny layers legitimately hit the cap
+            assert not gpu.fits([profile], max_batch + 1)

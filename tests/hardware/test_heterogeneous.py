@@ -1,0 +1,80 @@
+"""Tests for heterogeneous (per-node GPU speed) clusters."""
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.baselines import DataParallel
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster, ClusterSpec
+
+
+class TestSpeedFactors:
+    def test_default_is_homogeneous(self):
+        spec = ClusterSpec(num_nodes=4)
+        assert [spec.speed_factor(i) for i in range(4)] == [1.0] * 4
+
+    def test_factor_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_nodes=4, gpu_speed_factors=(1.0, 1.0))
+
+    def test_factor_sign_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_nodes=2, gpu_speed_factors=(1.0, 0.0))
+
+    def test_slow_node_computes_slower(self):
+        spec = ClusterSpec(
+            num_nodes=2, latency=0.0, gpu_speed_factors=(1.0, 0.5)
+        )
+        cluster = Cluster(spec)
+        finish = {}
+
+        def job(node_id):
+            yield from cluster[node_id].compute(2.0)
+            finish[node_id] = cluster.env.now
+
+        cluster.env.process(job(0))
+        cluster.env.process(job(1))
+        cluster.env.run()
+        assert finish[0] == pytest.approx(2.0)
+        assert finish[1] == pytest.approx(4.0)
+
+
+class TestPermanentStragglerWorkloads:
+    def test_fela_outruns_dp_on_heterogeneous_cluster(
+        self, vgg19, vgg19_partition
+    ):
+        """A permanently slow GPU hurts BSP data parallelism every
+        iteration; Fela's token pull re-balances around it.  The slow
+        node sits outside the conditional subset (CTD pins the
+        communication-heavy FC tokens on the subset workers, so placing a
+        known-slow GPU there would be a deliberate misconfiguration)."""
+        factors = (1.0,) * 7 + (0.25,)
+        spec = ClusterSpec(num_nodes=8, gpu_speed_factors=factors)
+
+        config = FelaConfig(
+            partition=vgg19_partition,
+            total_batch=512,
+            num_workers=8,
+            weights=(1, 2, 8),
+            conditional_subset_size=2,
+            iterations=4,
+        )
+        fela = FelaRuntime(config, Cluster(spec)).run()
+        dp = DataParallel(
+            vgg19, 512, 8, iterations=4, cluster=Cluster(spec)
+        ).run()
+        assert fela.average_throughput > dp.average_throughput
+
+        # And the slow worker really trains fewer tokens than the rest.
+        work = fela.records[-1].work_by_worker
+        assert work[-1] < max(work)
+
+    def test_heterogeneity_slows_both_runtimes(self, vgg19):
+        uniform = DataParallel(vgg19, 256, 8, iterations=2).run()
+        slow_spec = ClusterSpec(
+            num_nodes=8, gpu_speed_factors=(0.25,) + (1.0,) * 7
+        )
+        degraded = DataParallel(
+            vgg19, 256, 8, iterations=2, cluster=Cluster(slow_spec)
+        ).run()
+        assert degraded.average_throughput < uniform.average_throughput

@@ -1,0 +1,109 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render_structure(self):
+        chart = line_chart(
+            {"a": [(1, 1.0), (2, 2.0), (4, 4.0)]},
+            width=20,
+            height=6,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any("o" in line for line in lines)  # series glyph
+        assert any("+" in line and "-" in line for line in lines)  # axis
+        assert "o=a" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = line_chart(
+            {
+                "first": [(1, 1.0)],
+                "second": [(2, 2.0)],
+            },
+            width=20,
+            height=6,
+        )
+        assert "o=first" in chart
+        assert "x=second" in chart
+
+    def test_extremes_are_labelled(self):
+        chart = line_chart(
+            {"a": [(0, 5.0), (10, 125.0)]}, width=20, height=6
+        )
+        assert "125" in chart
+        assert "5" in chart
+
+    def test_log_x_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, 1.0)]}, log_x=True)
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"a": [(1, 3.0), (2, 3.0)]}, width=20, height=6)
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(1, 1.0)]}, width=4)
+        too_many = {str(i): [(1, 1.0)] for i in range(20)}
+        with pytest.raises(ConfigurationError):
+            line_chart(too_many)
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart({"big": 100.0, "small": 25.0}, width=40)
+        lines = chart.splitlines()
+        big = next(line for line in lines if line.strip().startswith("big"))
+        small = next(
+            line for line in lines if line.strip().startswith("small")
+        )
+        assert big.count("#") == 40
+        assert small.count("#") == 10
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart({"a": 10.0, "b": 0.0})
+        line_b = next(
+            line for line in chart.splitlines()
+            if line.strip().startswith("b ") or line.strip().startswith("b|")
+            or line.lstrip().startswith("b")
+        )
+        assert "#" not in line_b
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+
+
+class TestFigureChartIntegration:
+    def test_fig1_chart(self):
+        from repro.harness import fig1
+
+        chart = fig1().render_chart()
+        assert "log x" in chart
+        assert "FC (4096,4096)" in chart
+
+    def test_fig8_chart(self):
+        from repro.harness import ExperimentRunner, fig8
+
+        result = fig8(
+            "vgg19",
+            batches=(128, 256),
+            iterations=2,
+            runner=ExperimentRunner(),
+            kinds=("fela", "dp"),
+        )
+        chart = result.render_chart()
+        assert "FELA" in chart
+        assert "DP" in chart

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_batches, parse_straggler
+from repro.errors import ConfigurationError
+from repro.stragglers import (
+    NoStraggler,
+    ProbabilityStraggler,
+    RoundRobinStraggler,
+)
+
+
+class TestParsers:
+    def test_straggler_none(self):
+        assert isinstance(parse_straggler(None), NoStraggler)
+        assert isinstance(parse_straggler("none"), NoStraggler)
+
+    def test_straggler_round_robin(self):
+        injector = parse_straggler("rr:6")
+        assert isinstance(injector, RoundRobinStraggler)
+        assert injector.delay == 6.0
+
+    def test_straggler_probability(self):
+        injector = parse_straggler("prob:0.3:6")
+        assert isinstance(injector, ProbabilityStraggler)
+        assert injector.probability == 0.3
+        assert injector.delay == 6.0
+
+    def test_straggler_garbage_rejected(self):
+        for bad in ("rr", "rr:x", "prob:0.3", "what:1:2"):
+            with pytest.raises(ConfigurationError):
+                parse_straggler(bad)
+
+    def test_batches(self):
+        assert parse_batches("64,128") == [64, 128]
+        with pytest.raises(ConfigurationError):
+            parse_batches("64,abc")
+        with pytest.raises(ConfigurationError):
+            parse_batches("")
+
+
+class TestCommands:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg19" in out
+        assert "googlenet" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "vgg19"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "fc3" in out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "vgg19"]) == 0
+        out = capsys.readouterr().out
+        assert "SM-1" in out
+        assert "Paper partition" in out
+
+    def test_partition_without_paper_split(self, capsys):
+        assert main(["partition", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "no published partition" in out
+
+    def test_run_dp(self, capsys):
+        code = main(
+            ["run", "vgg19", "--runtime", "dp", "--batch", "128",
+             "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AT (samples/s)" in out
+
+    def test_run_fela_with_straggler(self, capsys):
+        code = main(
+            ["run", "vgg19", "--batch", "128", "--iterations", "2",
+             "--straggler", "rr:4"]
+        )
+        assert code == 0
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        assert main(["profile", "nonexistent"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tune(self, capsys):
+        code = main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best: weights=" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "vgg19", "--batches", "128", "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FELA" in out and "DP" in out

@@ -1,0 +1,63 @@
+"""Tests for the experiment runner (caching, unified running)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentRunner, ExperimentSpec
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ExperimentSpec(
+        model_name="vgg19", total_batch=128, iterations=2
+    )
+
+
+class TestCaching:
+    def test_model_cached(self, runner):
+        assert runner.model("vgg19") is runner.model("vgg19")
+
+    def test_partition_uses_paper_split_when_available(self, runner):
+        partition = runner.partition("vgg19")
+        assert [len(sm.trainable_layers) for sm in partition] == [8, 8, 3]
+
+    def test_partition_falls_back_to_bins(self, runner):
+        partition = runner.partition("alexnet")
+        assert len(partition) >= 1
+
+    def test_tuning_cached(self, runner, spec):
+        first = runner.tuning(spec)
+        second = runner.tuning(spec)
+        assert first is second
+
+
+class TestRunning:
+    def test_run_each_kind(self, runner, spec):
+        for kind in ("fela", "dp", "mp", "hp"):
+            result = runner.run(kind, spec)
+            assert result.runtime_name == kind
+            assert result.iterations == 2
+            assert result.average_throughput > 0
+
+    def test_unknown_kind_rejected(self, runner, spec):
+        with pytest.raises(ConfigurationError):
+            runner.run("zen", spec)
+
+    def test_run_all(self, runner, spec):
+        results = runner.run_all(spec, kinds=("fela", "dp"))
+        assert set(results) == {"fela", "dp"}
+
+    def test_fela_config_uses_tuning(self, runner, spec):
+        tuning = runner.tuning(spec)
+        config = runner.fela_config(spec)
+        assert config.weights == tuning.best_weights
+        assert config.conditional_subset_size == tuning.best_subset_size
+
+    def test_fela_override(self, runner, spec):
+        result = runner.run("fela", spec, hf_enabled=False)
+        assert result.average_throughput > 0

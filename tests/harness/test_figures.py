@@ -1,0 +1,103 @@
+"""Tests for the per-figure generators (small iteration counts)."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentRunner,
+    fig1,
+    fig5,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestStaticFigures:
+    def test_table1_cross_checks_zoo(self):
+        result = table1()
+        rows = {name: zoo for name, _, _, zoo in result.rows}
+        assert rows["VGG19"] == 19
+        assert rows["ResNet-152"] == 152
+        assert rows["CUImage"] == "-"
+        assert "Table I" in result.render()
+
+    def test_fig1_reproduces_paper_knees(self):
+        result = fig1()
+        assert result.thresholds["CONV (64,64,224,224)"] == 16
+        assert result.thresholds["CONV (512,512,14,14)"] == 64
+        assert result.thresholds["FC (4096,4096)"] == 2048
+
+    def test_fig1_series_shapes(self):
+        result = fig1()
+        for name, xs, ys in result.series:
+            assert len(xs) == len(ys)
+            # Throughput is non-decreasing then flat.
+            assert list(ys) == sorted(ys)
+
+    def test_fig5_layer_ordering(self):
+        result = fig5()
+        assert len(result.layer_names) == 19
+        assert result.layer_names[0] == "conv1"
+        assert result.layer_names[-1] == "fc3"
+        assert "SM-1" in result.paper_partition_desc
+
+
+class TestDynamicFigures:
+    def test_fig6_reports_gaps(self, runner):
+        result = fig6(batches=(128,), runner=runner)
+        tuning = result.tunings[128]
+        assert len(tuning.cases) == 13
+        assert "phase1" in result.render()
+
+    def test_fig8_fela_wins_on_vgg19(self, runner):
+        result = fig8(
+            "vgg19", batches=(128, 256), iterations=3, runner=runner
+        )
+        for batch in (128, 256):
+            fela = result.throughput("fela", batch)
+            for kind in ("dp", "mp", "hp"):
+                assert fela > result.throughput(kind, batch)
+        text = result.render()
+        assert "Fela vs DP" in text
+
+    def test_fig9_pid_ordering(self, runner):
+        result = fig9(
+            "vgg19",
+            delays=(6.0,),
+            iterations=4,
+            runner=runner,
+            kinds=("fela", "dp"),
+            total_batch=128,
+        )
+        # Fela's per-iteration delay is far below DP's.
+        assert result.pid("fela", 6.0) < 0.5 * result.pid("dp", 6.0)
+        assert result.throughput("fela", 6.0) > result.throughput("dp", 6.0)
+
+    def test_fig10_pid_grows_with_probability(self, runner):
+        result = fig10(
+            "vgg19",
+            probabilities=(0.1, 0.5),
+            iterations=4,
+            runner=runner,
+            kinds=("fela",),
+            total_batch=128,
+        )
+        assert result.pid("fela", 0.5) > result.pid("fela", 0.1)
+
+    def test_render_includes_axis(self, runner):
+        result = fig10(
+            "vgg19",
+            probabilities=(0.2,),
+            iterations=2,
+            runner=runner,
+            kinds=("fela",),
+            total_batch=128,
+        )
+        assert "probability" in result.render()

@@ -1,0 +1,62 @@
+"""Tests for the artifact registry: completeness and truthfulness."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import (
+    REGISTRY,
+    ExperimentRunner,
+    generate_artifact,
+    get_artifact,
+    paper_artifacts,
+)
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+class TestCompleteness:
+    def test_every_paper_artifact_present(self):
+        ids = {a.artifact_id for a in paper_artifacts()}
+        # Every table and figure of the paper's evaluation.
+        expected = {
+            "table1", "fig1", "table2", "fig5", "fig6", "fig7",
+            "fig8-vgg19", "fig8-googlenet", "fig9-vgg19",
+            "fig9-googlenet", "fig10-vgg19", "fig10-googlenet",
+        }
+        assert expected <= ids
+
+    def test_benchmarks_exist_on_disk(self):
+        for artifact in REGISTRY:
+            assert (BENCH_DIR / artifact.benchmark).exists(), (
+                artifact.artifact_id
+            )
+
+    def test_ids_unique(self):
+        ids = [a.artifact_id for a in REGISTRY]
+        assert len(set(ids)) == len(ids)
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_artifact("fig99")
+
+
+class TestGeneration:
+    def test_static_artifacts_render(self):
+        runner = ExperimentRunner()
+        for artifact_id in ("table1", "fig1", "table2", "fig5"):
+            text = generate_artifact(artifact_id, runner=runner)
+            assert isinstance(text, str)
+            assert text.strip()
+
+    def test_dynamic_artifact_renders(self):
+        runner = ExperimentRunner()
+        text = generate_artifact(
+            "fig8-googlenet", runner=runner, iterations=2
+        )
+        assert "FELA" in text
+
+    def test_bench_only_artifact_points_at_benchmark(self):
+        with pytest.raises(ConfigurationError, match="benchmark"):
+            generate_artifact("ext-ssp")

@@ -1,0 +1,58 @@
+"""Unit tests for text rendering helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import format_speedup, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["A", "Bee"], [["x", 1], ["long", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "Bee" in lines[0]
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = render_table(["A"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["A", "B"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1234.5], [12.34], [0.1234]])
+        assert "1,234" in text or "1,235" in text
+        assert "12.3" in text
+        assert "0.123" in text
+
+
+class TestRenderSeries:
+    def test_points_rendered(self):
+        text = render_series("s", [1, 2], [10.0, 20.0])
+        assert text.startswith("s:")
+        assert "(1, 10.0)" in text
+        assert "(2, 20.0)" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series("s", [1], [1.0, 2.0])
+
+
+class TestFormatSpeedup:
+    def test_percent_below_2x(self):
+        assert format_speedup(1.17) == "17.0%"
+
+    def test_multiplier_from_2x(self):
+        assert format_speedup(3.23) == "3.23x"
+        assert format_speedup(2.0) == "2.00x"
+
+    def test_slowdown_negative(self):
+        assert format_speedup(0.9).startswith("-")

@@ -1,0 +1,116 @@
+"""Simulator-vs-closed-form verification tests."""
+
+import pytest
+
+from repro.baselines import DataParallel, ModelParallel
+from repro.core import ring_allreduce
+from repro.hardware import Cluster, ClusterSpec
+from repro.harness.validation import (
+    predict_dp_compute,
+    predict_dp_iteration,
+    predict_pipeline_flush,
+    predict_ring_allreduce,
+    relative_error,
+)
+from repro.stragglers import RoundRobinStraggler
+
+
+class TestRingAllreducePrediction:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_matches_simulation(self, workers):
+        spec = ClusterSpec(num_nodes=workers)
+        cluster = Cluster(spec)
+        size = 500e6
+        done = []
+
+        def proc():
+            yield from ring_allreduce(
+                cluster, list(range(workers)), size
+            )
+            done.append(cluster.env.now)
+
+        cluster.env.process(proc())
+        cluster.env.run()
+        predicted = predict_ring_allreduce(workers, size, spec)
+        assert relative_error(done[0], predicted) < 0.01
+
+    def test_degenerate_cases(self):
+        spec = ClusterSpec()
+        assert predict_ring_allreduce(1, 1e9, spec) == 0.0
+        assert predict_ring_allreduce(8, 0, spec) == 0.0
+
+
+class TestDataParallelPrediction:
+    @pytest.mark.parametrize("batch", [128, 512, 1024])
+    def test_iteration_time_matches(self, vgg19, batch):
+        spec = ClusterSpec(num_nodes=8)
+        result = DataParallel(
+            vgg19, batch, 8, iterations=3, cluster=Cluster(spec)
+        ).run()
+        predicted = predict_dp_iteration(vgg19, batch, 8, spec)
+        assert relative_error(result.mean_iteration_time, predicted) < 0.02
+
+    def test_straggler_adds_exactly_the_delay(self, vgg19):
+        spec = ClusterSpec(num_nodes=8)
+        d = 5.0
+        result = DataParallel(
+            vgg19,
+            128,
+            8,
+            iterations=3,
+            cluster=Cluster(spec),
+            straggler=RoundRobinStraggler(d),
+        ).run()
+        predicted = predict_dp_iteration(
+            vgg19, 128, 8, spec, max_start_delay=d
+        )
+        assert relative_error(result.mean_iteration_time, predicted) < 0.02
+
+    def test_accumulation_accounted(self, vgg19):
+        """At 128 samples/worker the K40c must chunk: the prediction and
+        the simulation agree on the accumulation penalty."""
+        spec = ClusterSpec(num_nodes=8)
+        single_pass = spec.gpu.train_time(vgg19.layers, 128)
+        accumulated = predict_dp_compute(vgg19, 128, spec)
+        assert accumulated > single_pass  # extra saturation floors
+        result = DataParallel(
+            vgg19, 1024, 8, iterations=2, cluster=Cluster(spec)
+        ).run()
+        predicted = predict_dp_iteration(vgg19, 1024, 8, spec)
+        assert relative_error(result.mean_iteration_time, predicted) < 0.02
+
+
+class TestPipelinePrediction:
+    def test_flush_formula_is_a_lower_bound(self, vgg19):
+        spec = ClusterSpec(num_nodes=8)
+        mp = ModelParallel(
+            vgg19, 256, 8, iterations=2, cluster=Cluster(spec)
+        )
+        result = mp.run()
+        stage_times = [
+            sum(
+                spec.gpu.layer_train_time(p, mp.micro_batch)
+                for p in stage
+            )
+            for stage in mp.stages
+        ]
+        bound = predict_pipeline_flush(
+            stage_times, len(mp.micro_batches())
+        )
+        # The simulated pipeline also pays transfers: the closed form
+        # bounds it from below but stays within the right magnitude.
+        assert result.mean_iteration_time >= 0.5 * bound
+        assert result.mean_iteration_time < 3.0 * bound
+
+    def test_degenerate(self):
+        assert predict_pipeline_flush([], 4) == 0.0
+        assert predict_pipeline_flush([1.0], 0) == 0.0
+
+
+class TestRelativeError:
+    def test_zero_cases(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)

@@ -1,0 +1,175 @@
+"""End-to-end shape tests: the qualitative claims of the evaluation.
+
+These are the reproduction's acceptance tests.  Absolute numbers are not
+expected to match the paper (our substrate is an analytic simulator, not
+the authors' testbed), but *who wins, by roughly what factor, and where
+the crossovers fall* must hold.  Iteration counts are kept small; every
+simulation is deterministic, so small runs are stable.
+"""
+
+import pytest
+
+from repro.harness import ExperimentRunner, ExperimentSpec
+from repro.metrics import per_iteration_delay
+from repro.stragglers import ProbabilityStraggler, RoundRobinStraggler
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+def spec(model, batch, iterations=4):
+    return ExperimentSpec(
+        model_name=model, total_batch=batch, iterations=iterations
+    )
+
+
+class TestNonStragglerOrdering:
+    """Fig. 8: Fela > HP/DP > MP on VGG19 across the batch axis."""
+
+    @pytest.mark.parametrize("batch", [128, 512, 1024])
+    def test_vgg19_fela_beats_all_baselines(self, runner, batch):
+        results = runner.run_all(spec("vgg19", batch))
+        fela = results["fela"].average_throughput
+        for kind in ("dp", "mp", "hp"):
+            assert fela > results[kind].average_throughput, (
+                f"Fela must beat {kind} at batch {batch}"
+            )
+
+    @pytest.mark.parametrize("batch", [128, 512, 1024])
+    def test_vgg19_mp_is_worst(self, runner, batch):
+        results = runner.run_all(spec("vgg19", batch))
+        mp = results["mp"].average_throughput
+        for kind in ("fela", "dp", "hp"):
+            assert results[kind].average_throughput > mp
+
+    def test_hp_beats_dp_small_batch_not_large(self, runner):
+        """The Fig. 8 crossover: HP wins small, DP catches up large."""
+        small = runner.run_all(spec("vgg19", 128), kinds=("dp", "hp"))
+        assert (
+            small["hp"].average_throughput
+            > small["dp"].average_throughput
+        )
+        large = runner.run_all(spec("vgg19", 2048), kinds=("dp", "hp"))
+        ratio_large = (
+            large["hp"].average_throughput
+            / large["dp"].average_throughput
+        )
+        ratio_small = (
+            small["hp"].average_throughput
+            / small["dp"].average_throughput
+        )
+        assert ratio_large < ratio_small  # HP's edge shrinks with batch
+
+    def test_vgg19_speedup_magnitudes_in_paper_ballpark(self, runner):
+        """Paper: Fela/DP up to 3.23x, Fela/MP 5.18-8.12x (VGG19)."""
+        results = runner.run_all(spec("vgg19", 128))
+        fela = results["fela"].average_throughput
+        assert 1.05 < fela / results["dp"].average_throughput < 4.0
+        assert 3.0 < fela / results["mp"].average_throughput < 15.0
+        assert 1.0 < fela / results["hp"].average_throughput < 2.0
+
+    def test_googlenet_fela_never_loses(self, runner):
+        results = runner.run_all(spec("googlenet", 512))
+        fela = results["fela"].average_throughput
+        for kind in ("dp", "mp", "hp"):
+            assert fela >= 0.99 * results[kind].average_throughput
+
+
+class TestStragglerScenarios:
+    """Figs. 9-10: Fela's AT stays highest; its PID undercuts DP/HP."""
+
+    def test_round_robin_fela_smallest_pid(self, runner):
+        workload = spec("vgg19", 256, iterations=6)
+        base = {
+            kind: runner.run(kind, workload)
+            for kind in ("fela", "dp", "hp")
+        }
+        injector = RoundRobinStraggler(6.0)
+        slowed = {
+            kind: runner.run(kind, workload, injector)
+            for kind in ("fela", "dp", "hp")
+        }
+        pid = {
+            kind: per_iteration_delay(slowed[kind], base[kind])
+            for kind in slowed
+        }
+        assert pid["fela"] < pid["dp"]
+        assert pid["fela"] < pid["hp"]
+
+    def test_round_robin_fela_highest_at(self, runner):
+        workload = spec("vgg19", 256, iterations=6)
+        injector = RoundRobinStraggler(6.0)
+        results = {
+            kind: runner.run(kind, workload, injector)
+            for kind in ("fela", "dp", "mp", "hp")
+        }
+        fela = results["fela"].average_throughput
+        for kind in ("dp", "mp", "hp"):
+            assert fela > results[kind].average_throughput
+
+    def test_probability_pid_monotone_in_p(self, runner):
+        workload = spec("vgg19", 256, iterations=6)
+        base = runner.run("fela", workload)
+        pids = []
+        for p in (0.1, 0.3, 0.5):
+            slowed = runner.run(
+                "fela", workload, ProbabilityStraggler(p, 6.0)
+            )
+            pids.append(per_iteration_delay(slowed, base))
+        assert pids[0] < pids[1] < pids[2]
+
+    def test_dp_pays_full_delay_fela_does_not(self, runner):
+        """DP under BSP eats ~d per iteration; Fela absorbs most of it."""
+        d = 6.0
+        workload = spec("vgg19", 256, iterations=6)
+        injector = RoundRobinStraggler(d)
+        dp_pid = per_iteration_delay(
+            runner.run("dp", workload, injector),
+            runner.run("dp", workload),
+        )
+        fela_pid = per_iteration_delay(
+            runner.run("fela", workload, injector),
+            runner.run("fela", workload),
+        )
+        assert dp_pid == pytest.approx(d, rel=0.1)
+        assert fela_pid < 0.5 * d
+
+    def test_googlenet_straggler_ordering(self, runner):
+        workload = spec("googlenet", 1024, iterations=6)
+        injector = RoundRobinStraggler(3.0)
+        results = {
+            kind: runner.run(kind, workload, injector)
+            for kind in ("fela", "dp")
+        }
+        assert (
+            results["fela"].average_throughput
+            > results["dp"].average_throughput
+        )
+
+
+class TestAblationDirections:
+    """Table III: each policy helps (direction, not magnitude)."""
+
+    def test_hf_policy_helps(self, runner):
+        workload = spec("vgg19", 256, iterations=4)
+        with_hf = runner.run("fela", workload)
+        without_hf = runner.run("fela", workload, hf_enabled=False)
+        assert (
+            with_hf.average_throughput > without_hf.average_throughput
+        )
+
+    def test_ads_policy_never_hurts(self, runner):
+        workload = spec("vgg19", 256, iterations=4)
+        with_ads = runner.run("fela", workload)
+        without_ads = runner.run("fela", workload, ads_enabled=False)
+        assert (
+            with_ads.average_throughput
+            >= 0.99 * without_ads.average_throughput
+        )
+
+    def test_tuning_gap_is_material(self, runner):
+        """Fig. 6(b): the best configuration saves real time."""
+        tuning = runner.tuning(spec("vgg19", 256))
+        assert tuning.overall_gap() > 0.05

@@ -1,0 +1,111 @@
+"""Unit tests for the paper's metrics (Equations 3 and 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    IterationRecord,
+    RunResult,
+    average_throughput,
+    per_iteration_delay,
+)
+
+
+def make_result(total_time=10.0, iterations=5, batch=128, name="fela"):
+    records = tuple(
+        IterationRecord(
+            iteration=i,
+            start=i * total_time / iterations,
+            end=(i + 1) * total_time / iterations,
+        )
+        for i in range(iterations)
+    )
+    return RunResult(
+        runtime_name=name,
+        model_name="vgg19",
+        total_batch=batch,
+        iterations=iterations,
+        total_time=total_time,
+        records=records,
+    )
+
+
+class TestEquation3:
+    def test_formula(self):
+        assert average_throughput(128, 100, 64.0) == 200.0
+
+    def test_result_property(self):
+        result = make_result(total_time=10.0, iterations=5, batch=128)
+        assert result.average_throughput == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            average_throughput(128, 100, 0.0)
+        with pytest.raises(ConfigurationError):
+            average_throughput(0, 100, 1.0)
+
+
+class TestEquation4:
+    def test_formula(self):
+        straggler = make_result(total_time=20.0)
+        baseline = make_result(total_time=10.0)
+        assert per_iteration_delay(straggler, baseline) == 2.0
+
+    def test_iteration_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_iteration_delay(
+                make_result(iterations=5), make_result(iterations=4)
+            )
+
+    def test_zero_when_no_slowdown(self):
+        assert per_iteration_delay(make_result(), make_result()) == 0.0
+
+
+class TestRunResult:
+    def test_record_count_enforced(self):
+        with pytest.raises(ConfigurationError):
+            RunResult(
+                runtime_name="dp",
+                model_name="vgg19",
+                total_batch=128,
+                iterations=5,
+                total_time=10.0,
+                records=(),
+            )
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_result(total_time=0.0)
+
+    def test_iteration_times(self):
+        result = make_result(total_time=10.0, iterations=5)
+        assert result.iteration_times() == pytest.approx([2.0] * 5)
+        assert result.mean_iteration_time == pytest.approx(2.0)
+
+    def test_record_duration(self):
+        record = IterationRecord(iteration=0, start=1.5, end=4.0)
+        assert record.duration == 2.5
+
+
+class TestDescribe:
+    def test_describe_contains_key_metrics(self):
+        result = make_result(total_time=10.0, iterations=5, batch=128)
+        text = result.describe()
+        assert "fela on vgg19" in text
+        assert "avg throughput" in text
+        assert "64.0" in text
+
+    def test_describe_includes_stats_when_present(self, vgg19_partition):
+        from repro.core import FelaConfig, FelaRuntime
+
+        config = FelaConfig(
+            partition=vgg19_partition,
+            total_batch=128,
+            num_workers=8,
+            weights=(1, 2, 8),
+            iterations=2,
+        )
+        text = FelaRuntime(config).run().describe()
+        assert "network" in text
+        assert "fetching conflicts" in text
+        assert "work (last iter)" in text

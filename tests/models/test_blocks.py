@@ -1,0 +1,90 @@
+"""Tests for generic computation blocks (MF / PageRank workloads)."""
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.errors import ConfigurationError
+from repro.models import (
+    BlockSpec,
+    build_matrix_factorization,
+    build_pagerank,
+)
+from repro.partition import partition_by_counts
+
+
+class TestBlockSpec:
+    def test_costs_pass_through(self):
+        block = BlockSpec(
+            name="b", flops_per_sample=100.0, params=50, output_floats=8
+        )
+        assert block.forward_flops((8,)) == 100.0
+        assert block.param_count((8,)) == 50
+        assert block.output_shape((8,)) == (8,)
+        assert block.activation_floats((8,)) == 8
+
+    def test_zero_param_block_not_trainable(self):
+        block = BlockSpec(
+            name="loss", flops_per_sample=2.0, params=0, output_floats=1
+        )
+        assert not block.trainable
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockSpec(name="b", flops_per_sample=-1, params=0,
+                      output_floats=1)
+        with pytest.raises(ConfigurationError):
+            BlockSpec(name="b", flops_per_sample=1, params=0,
+                      output_floats=0)
+
+    def test_signature_distinguishes_blocks(self):
+        a = BlockSpec(name="a", flops_per_sample=1, params=0, output_floats=1)
+        b = BlockSpec(name="b", flops_per_sample=1, params=0, output_floats=1)
+        assert a.shape_signature(()) != b.shape_signature(())
+
+
+class TestMatrixFactorization:
+    def test_parameter_budget(self):
+        mf = build_matrix_factorization(users=1000, items=100, rank=16)
+        assert mf.param_count == 1000 * 16 + 100 * 16
+
+    def test_blocks_are_communication_intensive(self):
+        mf = build_matrix_factorization()
+        partition = partition_by_counts(mf, [1, 1])
+        assert all(sm.communication_intensive for sm in partition)
+
+    def test_runs_under_fela(self):
+        mf = build_matrix_factorization(users=100_000, items=10_000)
+        partition = partition_by_counts(mf, [1, 1])
+        config = FelaConfig(
+            partition=partition,
+            total_batch=16384,
+            num_workers=8,
+            weights=(1, 1),
+            conditional_subset_size=2,
+            iterations=2,
+        )
+        result = FelaRuntime(config).run()
+        assert result.average_throughput > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_matrix_factorization(users=0)
+
+
+class TestPageRank:
+    def test_stripe_structure(self):
+        pr = build_pagerank(nodes=1000, partitions=4)
+        # 4 scatter blocks + 1 normalize; normalize has no params.
+        assert len(pr) == 5
+        assert len(pr.trainable_layers) == 4
+        assert pr.param_count == 4 * 250
+
+    def test_ctd_applies_to_rank_stripes(self):
+        pr = build_pagerank()
+        partition = partition_by_counts(pr, [2, 2])
+        # Rank-vector stripes: huge state, almost no compute.
+        assert all(sm.communication_intensive for sm in partition)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_pagerank(partitions=0)

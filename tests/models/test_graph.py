@@ -1,0 +1,83 @@
+"""Unit tests for ModelGraph shape/cost resolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import ConvSpec, LinearSpec, ModelGraph, PoolSpec
+
+
+def tiny_model():
+    return ModelGraph(
+        "tiny",
+        (3, 8, 8),
+        [
+            ConvSpec(name="conv", out_channels=4),
+            PoolSpec(name="pool"),
+            LinearSpec(name="fc", out_features=10),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_shapes_propagate(self):
+        model = tiny_model()
+        assert model[0].in_shape == (3, 8, 8)
+        assert model[0].out_shape == (4, 8, 8)
+        assert model[1].out_shape == (4, 4, 4)
+        assert model[2].out_shape == (10,)
+        assert model.output_shape == (10,)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelGraph("empty", (3, 8, 8), [])
+
+    def test_len_and_iteration(self):
+        model = tiny_model()
+        assert len(model) == 3
+        assert [p.name for p in model] == ["conv", "pool", "fc"]
+
+    def test_trainable_layers_skip_pool(self):
+        model = tiny_model()
+        assert [p.name for p in model.trainable_layers] == ["conv", "fc"]
+
+
+class TestAggregates:
+    def test_param_count_sums_layers(self):
+        model = tiny_model()
+        expected = (3 * 3 * 3 * 4 + 4) + (4 * 4 * 4 * 10 + 10)
+        assert model.param_count == expected
+        assert model.param_bytes == expected * 4
+
+    def test_flops_sums_layers(self):
+        model = tiny_model()
+        assert model.forward_flops == pytest.approx(
+            sum(p.forward_flops for p in model)
+        )
+        assert model.train_flops == pytest.approx(3 * model.forward_flops)
+
+    def test_input_bytes(self):
+        model = tiny_model()
+        assert model.input_floats == 3 * 8 * 8
+        assert model.input_bytes == 3 * 8 * 8 * 4
+
+    def test_layer_profile_derived_quantities(self):
+        conv = tiny_model()[0]
+        assert conv.backward_flops == pytest.approx(2 * conv.forward_flops)
+        assert conv.train_flops == pytest.approx(3 * conv.forward_flops)
+        assert conv.activation_bytes == conv.activation_floats * 4
+        assert conv.param_bytes == conv.param_count * 4
+
+
+class TestSlice:
+    def test_slice_returns_range(self):
+        model = tiny_model()
+        assert [p.name for p in model.slice(0, 2)] == ["conv", "pool"]
+
+    def test_slice_validation(self):
+        model = tiny_model()
+        with pytest.raises(ConfigurationError):
+            model.slice(2, 2)
+        with pytest.raises(ConfigurationError):
+            model.slice(0, 99)
+        with pytest.raises(ConfigurationError):
+            model.slice(-1, 2)

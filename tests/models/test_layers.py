@@ -1,0 +1,121 @@
+"""Unit tests for the layer algebra."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    BYTES_PER_FLOAT,
+    ConvSpec,
+    GlobalPoolSpec,
+    InceptionBranch,
+    InceptionSpec,
+    LinearSpec,
+    PoolSpec,
+)
+
+
+class TestConv:
+    def test_output_shape_same_padding(self):
+        conv = ConvSpec(name="c", out_channels=64)
+        assert conv.output_shape((3, 224, 224)) == (64, 224, 224)
+
+    def test_output_shape_stride(self):
+        conv = ConvSpec(name="c", out_channels=96, kernel=11, stride=4, padding=0)
+        assert conv.output_shape((3, 227, 227)) == (96, 55, 55)
+
+    def test_flops_formula(self):
+        conv = ConvSpec(name="c", out_channels=64)
+        # 2 * k^2 * C_in * C_out * H_out * W_out
+        expected = 2 * 9 * 64 * 64 * 224 * 224
+        assert conv.forward_flops((64, 224, 224)) == expected
+
+    def test_param_count(self):
+        conv = ConvSpec(name="c", out_channels=64)
+        assert conv.param_count((3, 224, 224)) == 3 * 3 * 3 * 64 + 64
+
+    def test_signature_uses_paper_format(self):
+        conv = ConvSpec(name="c", out_channels=64)
+        sig = conv.shape_signature((64, 224, 224))
+        assert sig[:5] == ("conv", 64, 64, 224, 224)
+
+    def test_rejects_flat_input(self):
+        conv = ConvSpec(name="c", out_channels=8)
+        with pytest.raises(ConfigurationError):
+            conv.output_shape((128,))
+
+    def test_rejects_vanishing_spatial_size(self):
+        conv = ConvSpec(name="c", out_channels=8, kernel=7, stride=1, padding=0)
+        with pytest.raises(ConfigurationError):
+            conv.output_shape((3, 4, 4))
+
+    def test_trainable(self):
+        assert ConvSpec(name="c", out_channels=8).trainable
+
+
+class TestLinear:
+    def test_flattens_spatial_input(self):
+        fc = LinearSpec(name="f", out_features=4096)
+        assert fc.output_shape((512, 7, 7)) == (4096,)
+        assert fc.forward_flops((512, 7, 7)) == 2 * 25088 * 4096
+
+    def test_param_count_includes_bias(self):
+        fc = LinearSpec(name="f", out_features=10)
+        assert fc.param_count((84,)) == 84 * 10 + 10
+
+    def test_signature(self):
+        fc = LinearSpec(name="f", out_features=4096)
+        assert fc.shape_signature((4096,)) == ("fc", 4096, 4096)
+
+
+class TestPool:
+    def test_halves_spatial_size(self):
+        pool = PoolSpec(name="p")
+        assert pool.output_shape((64, 224, 224)) == (64, 112, 112)
+
+    def test_no_params_and_not_trainable(self):
+        pool = PoolSpec(name="p")
+        assert pool.param_count((64, 8, 8)) == 0
+        assert not pool.trainable
+
+    def test_global_pool(self):
+        gp = GlobalPoolSpec(name="g")
+        assert gp.output_shape((1024, 7, 7)) == (1024, 1, 1)
+        assert gp.param_count((1024, 7, 7)) == 0
+
+
+class TestInception:
+    def make_module(self):
+        return InceptionSpec(
+            name="i3a",
+            branches=(
+                InceptionBranch(out_channels=64, kernel=1),
+                InceptionBranch(out_channels=128, kernel=3, reduce_channels=96),
+                InceptionBranch(out_channels=32, kernel=5, reduce_channels=16),
+                InceptionBranch(out_channels=32, pool_proj=True),
+            ),
+        )
+
+    def test_output_concatenates_channels(self):
+        module = self.make_module()
+        assert module.output_shape((192, 28, 28)) == (256, 28, 28)
+
+    def test_param_count_matches_hand_computation(self):
+        module = self.make_module()
+        c_in, expected = 192, 0
+        expected += c_in * 64 + 64  # 1x1 branch
+        expected += c_in * 96 + 96 + 9 * 96 * 128 + 128  # 3x3 branch
+        expected += c_in * 16 + 16 + 25 * 16 * 32 + 32  # 5x5 branch
+        expected += c_in * 32 + 32  # pool-proj branch
+        assert module.param_count((192, 28, 28)) == expected
+
+    def test_flops_positive_and_scale_with_spatial(self):
+        module = self.make_module()
+        small = module.forward_flops((192, 14, 14))
+        large = module.forward_flops((192, 28, 28))
+        assert large == pytest.approx(4 * small)
+
+    def test_activation_bytes(self):
+        module = self.make_module()
+        floats = module.activation_floats((192, 28, 28))
+        assert floats == 256 * 28 * 28
+        assert BYTES_PER_FLOAT == 4

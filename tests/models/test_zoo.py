@@ -1,0 +1,114 @@
+"""Unit tests for the CNN zoo: layer counts, parameter counts, Table I."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    TABLE_I,
+    available_models,
+    get_model,
+)
+
+
+class TestLayerCounts:
+    """Trainable-layer counts must match the literature (paper Table I)."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("lenet5", 5),
+            ("alexnet", 8),
+            ("zfnet", 8),
+            ("vgg16", 16),
+            ("vgg19", 19),
+            ("resnet152", 152),
+        ],
+    )
+    def test_trainable_layer_count(self, name, expected):
+        assert len(get_model(name).trainable_layers) == expected
+
+    def test_googlenet_partition_units(self):
+        """GoogLeNet is modelled at the paper's 12-unit granularity
+        (2 stem convs + 9 inception modules + 1 FC)."""
+        assert len(get_model("googlenet").trainable_layers) == 12
+
+
+class TestParameterCounts:
+    """Well-known parameter totals, within 5% (we omit LRN/dropout etc.)."""
+
+    @pytest.mark.parametrize(
+        "name,expected_m",
+        [
+            ("vgg16", 138.4),
+            ("vgg19", 143.7),
+            ("alexnet", 62.4),
+            ("googlenet", 7.0),
+        ],
+    )
+    def test_param_totals(self, name, expected_m):
+        params = get_model(name).param_count / 1e6
+        assert params == pytest.approx(expected_m, rel=0.05)
+
+    def test_vgg19_forward_flops(self):
+        """VGG19 forward is ~19.6 GMACs = ~39 GFLOPs per 224x224 sample."""
+        flops = get_model("vgg19").forward_flops / 1e9
+        assert flops == pytest.approx(39.3, rel=0.05)
+
+
+class TestShapes:
+    def test_vgg19_ends_in_1000_classes(self):
+        assert get_model("vgg19").output_shape == (1000,)
+
+    def test_googlenet_default_input_is_32(self):
+        """Paper footnote 17: GoogLeNet input is (batch, 3, 32, 32)."""
+        assert get_model("googlenet").input_shape == (3, 32, 32)
+
+    def test_googlenet_custom_input(self):
+        model = get_model("googlenet", (3, 224, 224))
+        assert model.input_shape == (3, 224, 224)
+        assert model.output_shape == (1000,)
+
+    def test_vgg19_anchor_layer_shapes_present(self):
+        """The Fig. 1 anchor shapes must exist inside VGG19."""
+        signatures = {p.shape_signature for p in get_model("vgg19").layers}
+        assert ("conv", 64, 64, 224, 224, 3, 1) in signatures
+        assert ("conv", 512, 512, 14, 14, 3, 1) in signatures
+        assert ("fc", 4096, 4096) in signatures
+
+
+class TestRegistry:
+    def test_table_i_rows(self):
+        names = [entry.name for entry in TABLE_I]
+        assert names == [
+            "LeNet-5",
+            "AlexNet",
+            "ZF Net",
+            "VGG16",
+            "VGG19",
+            "GoogleNet",
+            "ResNet-152",
+            "CUImage",
+            "SENet",
+        ]
+
+    def test_table_i_years_ascend(self):
+        years = [entry.year for entry in TABLE_I]
+        assert years == sorted(years)
+
+    def test_builders_cross_check(self):
+        """Builders (except GoogLeNet's unit-granular model) reproduce the
+        quoted layer number."""
+        for entry in TABLE_I:
+            if entry.builder is None or entry.name == "GoogleNet":
+                continue
+            model = entry.builder()
+            assert len(model.trainable_layers) == entry.layer_number
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_model("transformer-9000")
+
+    def test_available_models_sorted(self):
+        models = available_models()
+        assert models == sorted(models)
+        assert "vgg19" in models

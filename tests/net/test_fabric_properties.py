@@ -1,0 +1,93 @@
+"""Property-based tests for the network fabric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Fabric
+from repro.sim import Environment
+
+transfer_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),  # src
+    st.integers(min_value=0, max_value=3),  # dst
+    st.floats(min_value=1.0, max_value=1e6),  # size
+    st.floats(min_value=0.0, max_value=10.0),  # start offset
+)
+
+
+@given(transfers=st.lists(transfer_strategy, min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_all_transfers_complete_and_respect_capacity(transfers):
+    """Every flow completes, never faster than line rate allows."""
+    bandwidth = 100.0
+    env = Environment()
+    fabric = Fabric(env, num_nodes=4, link_bandwidth=bandwidth, latency=0.0)
+    completions = []
+
+    def xfer(src, dst, size, start):
+        if start:
+            yield env.timeout(start)
+        began = env.now
+        yield fabric.transfer(src, dst, size)
+        completions.append((src, dst, size, env.now - began))
+
+    for src, dst, size, start in transfers:
+        env.process(xfer(src, dst, size, start))
+    env.run()
+
+    assert len(completions) == len(transfers)
+    for src, dst, size, duration in completions:
+        if src == dst:
+            assert duration == 0.0
+        else:
+            # A flow can never beat its share of the line rate.
+            assert duration >= size / bandwidth - 1e-6
+
+
+@given(
+    sizes=st.lists(
+        st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=10
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_byte_conservation(sizes):
+    """Bytes accounted by the fabric equal the bytes submitted."""
+    env = Environment()
+    fabric = Fabric(env, num_nodes=3, link_bandwidth=50.0, latency=0.0)
+
+    def xfer(index, size):
+        yield fabric.transfer(index % 2, 2, size)
+
+    for index, size in enumerate(sizes):
+        env.process(xfer(index, size))
+    env.run()
+    assert fabric.stats.bytes_transferred == pytest.approx(
+        sum(sizes), rel=1e-6
+    )
+    assert fabric.stats.flows_completed == len(sizes)
+
+
+@given(
+    n_senders=st.integers(min_value=1, max_value=6),
+    size=st.floats(min_value=10.0, max_value=1e4),
+)
+@settings(max_examples=40, deadline=None)
+def test_incast_completion_time_scales_linearly(n_senders, size):
+    """n equal flows into one NIC finish at n x the solo duration."""
+    bandwidth = 100.0
+    env = Environment()
+    fabric = Fabric(
+        env, num_nodes=n_senders + 1, link_bandwidth=bandwidth, latency=0.0
+    )
+    finish = []
+
+    def xfer(src):
+        yield fabric.transfer(src, n_senders, size)
+        finish.append(env.now)
+
+    for src in range(n_senders):
+        env.process(xfer(src))
+    env.run()
+    expected = n_senders * size / bandwidth
+    for time in finish:
+        assert time == pytest.approx(expected, rel=1e-6)

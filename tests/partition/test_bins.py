@@ -1,0 +1,150 @@
+"""Unit tests for the bin-partitioned method and published partitions."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.models import get_model
+from repro.partition import (
+    bin_partition,
+    layer_thresholds,
+    paper_partition,
+    partition_by_counts,
+)
+
+
+class TestPaperPartition:
+    def test_vgg19_published_split(self, vgg19, profiler):
+        partition = paper_partition(vgg19, profiler)
+        counts = [len(sm.trainable_layers) for sm in partition]
+        assert counts == [8, 8, 3]  # L1-8 / L9-16 / L17-19
+
+    def test_googlenet_published_split(self, googlenet, profiler):
+        partition = paper_partition(googlenet, profiler)
+        counts = [len(sm.trainable_layers) for sm in partition]
+        assert counts == [4, 5, 3]  # units 1-4 / 5-9 / 10-12
+
+    def test_vgg19_thresholds_increase_with_depth(self, vgg19_partition):
+        thresholds = vgg19_partition.thresholds
+        assert thresholds == sorted(thresholds)
+        assert thresholds[0] < thresholds[-1]
+
+    def test_only_fc_submodel_is_comm_intensive(self, vgg19_partition):
+        flags = [sm.communication_intensive for sm in vgg19_partition]
+        assert flags == [False, False, True]
+
+    def test_unknown_model_rejected(self, profiler):
+        with pytest.raises(PartitionError):
+            paper_partition(get_model("alexnet"), profiler)
+
+
+class TestBinPartition:
+    def test_vgg19_groups_convs_before_fcs(self, vgg19, profiler):
+        partition = bin_partition(vgg19, profiler)
+        # Front convs together; the FC tail split off.
+        assert len(partition) >= 3
+        assert partition[0].threshold_batch < partition[-1].threshold_batch
+        assert not partition[0].communication_intensive
+        assert partition[len(partition) - 1].communication_intensive
+
+    def test_strict_binning_makes_finer_groups(self, vgg19, profiler):
+        loose = bin_partition(vgg19, profiler, jitter_bins=1.0)
+        strict = bin_partition(vgg19, profiler, jitter_bins=0.0)
+        assert len(strict) >= len(loose)
+
+    def test_bad_bin_width(self, vgg19, profiler):
+        with pytest.raises(PartitionError):
+            bin_partition(vgg19, profiler, bin_width=0)
+
+    def test_synthetic_monotone_thresholds_three_groups(self):
+        """Thresholds 16,16,16,64,64,2048 split at the two jumps."""
+        model = get_model("alexnet")  # 8 trainable layers
+        trainable = model.trainable_layers
+        fake = {}
+        values = [16, 16, 16, 16, 64, 64, 2048, 2048]
+        for profile, value in zip(trainable, values):
+            fake[profile.index] = value
+        partition = partition_by_counts(model, [4, 2, 2], fake)
+        assert partition.thresholds == [16, 64, 2048]
+
+
+class TestPartitionByCounts:
+    def test_counts_must_sum(self, vgg19, profiler):
+        with pytest.raises(PartitionError):
+            partition_by_counts(vgg19, [8, 8], profiler=profiler)
+
+    def test_zero_count_rejected(self, vgg19, profiler):
+        with pytest.raises(PartitionError):
+            partition_by_counts(vgg19, [0, 16, 3], profiler=profiler)
+
+    def test_covers_model_exactly(self, vgg19_partition, vgg19):
+        covered = [
+            p.index for sm in vgg19_partition for p in sm.layers
+        ]
+        assert covered == list(range(len(vgg19)))
+
+    def test_pools_attach_to_preceding_group(self, vgg19, profiler):
+        partition = partition_by_counts(vgg19, [8, 8, 3], profiler=profiler)
+        # The pool after conv16 belongs to SM-2, not SM-3.
+        sm2_names = [p.name for p in partition[1].layers]
+        assert any(name.startswith("pool") for name in sm2_names)
+        sm3_names = [p.name for p in partition[2].layers]
+        assert sm3_names == ["fc1", "fc2", "fc3"]
+
+
+class TestLayerThresholds:
+    def test_maps_trainable_indices(self, vgg19, profiler):
+        thresholds = layer_thresholds(vgg19, profiler)
+        trainable_indices = {p.index for p in vgg19.trainable_layers}
+        assert set(thresholds) == trainable_indices
+        assert all(t >= 1 for t in thresholds.values())
+
+
+class TestQuantilePartition:
+    def test_requested_group_count(self, vgg19, profiler):
+        from repro.partition import quantile_partition
+
+        for k in (1, 2, 3, 5):
+            partition = quantile_partition(vgg19, k, profiler)
+            assert len(partition) == k
+
+    def test_googlenet_flat_thresholds_fall_back_to_even(
+        self, googlenet, profiler
+    ):
+        """GoogLeNet@32x32's analytic thresholds are flat (all at the
+        sweep cap): the quantile method falls back to near-even counts,
+        close to the paper's 4/5/3."""
+        from repro.partition import quantile_partition
+
+        partition = quantile_partition(googlenet, 3, profiler)
+        counts = [len(sm.trainable_layers) for sm in partition]
+        assert counts == [4, 4, 4]
+
+    def test_boundaries_sit_on_threshold_jumps(self, vgg19, profiler):
+        from repro.partition import quantile_partition
+
+        partition = quantile_partition(vgg19, 3, profiler)
+        # Monotone group thresholds, strictly increasing at the cuts.
+        thresholds = partition.thresholds
+        assert thresholds[0] < thresholds[1] < thresholds[2]
+
+    def test_validation(self, vgg19, profiler):
+        from repro.partition import quantile_partition
+
+        with pytest.raises(PartitionError):
+            quantile_partition(vgg19, 0, profiler)
+        with pytest.raises(PartitionError):
+            quantile_partition(vgg19, 100, profiler)
+
+    def test_runs_under_fela(self, googlenet, profiler):
+        from repro.core import FelaConfig, FelaRuntime
+        from repro.partition import quantile_partition
+
+        partition = quantile_partition(googlenet, 3, profiler)
+        config = FelaConfig(
+            partition=partition,
+            total_batch=256,
+            num_workers=8,
+            weights=(1, 1, 2),
+            iterations=2,
+        )
+        assert FelaRuntime(config).run().average_throughput > 0

@@ -1,0 +1,79 @@
+"""Unit tests for SubModel / Partition invariants."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import Partition, SubModel, make_submodel
+from repro.partition.submodel import _round_pow2
+
+
+class TestRoundPow2:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (2, 2), (3, 2), (5, 4), (6, 4), (7, 8), (48, 32), (100, 128)],
+    )
+    def test_rounding(self, value, expected):
+        assert _round_pow2(value) == expected
+
+    def test_below_one_clamps(self):
+        assert _round_pow2(0.3) == 1
+
+
+class TestSubModel:
+    def test_costs_aggregate_members(self, vgg19_partition):
+        sm = vgg19_partition[0]
+        assert sm.forward_flops == pytest.approx(
+            sum(p.forward_flops for p in sm.layers)
+        )
+        assert sm.param_bytes == sm.param_count * 4
+
+    def test_boundary_sizes(self, vgg19_partition):
+        sm1, sm2, sm3 = vgg19_partition
+        # SM-1 output shape feeds SM-2's input.
+        assert sm1.output_floats > 0
+        assert sm2.input_floats == sm1.output_floats
+        assert sm3.input_floats == sm2.output_floats
+
+    def test_names_are_one_based(self, vgg19_partition):
+        assert [sm.name for sm in vgg19_partition] == ["SM-1", "SM-2", "SM-3"]
+
+    def test_empty_submodel_rejected(self):
+        with pytest.raises(PartitionError):
+            SubModel(index=0, layers=(), threshold_batch=16)
+
+    def test_threshold_uses_max_member(self, vgg19, profiler):
+        from repro.partition import layer_thresholds
+
+        thresholds = layer_thresholds(vgg19, profiler)
+        layers = vgg19.layers[:2]  # conv1, conv2
+        sm = make_submodel(0, layers, thresholds)
+        assert sm.threshold_batch == max(
+            thresholds[p.index] for p in layers if p.trainable
+        )
+
+    def test_pool_only_submodel_threshold_one(self, vgg19, profiler):
+        pool = next(p for p in vgg19.layers if not p.trainable)
+        sm = make_submodel(0, [pool], {})
+        assert sm.threshold_batch == 1
+        assert not sm.communication_intensive
+
+
+class TestPartition:
+    def test_non_contiguous_coverage_rejected(self, vgg19, vgg19_partition):
+        broken = (vgg19_partition[0], vgg19_partition[2])
+        with pytest.raises(PartitionError):
+            Partition(model=vgg19, submodels=broken)
+
+    def test_empty_partition_rejected(self, vgg19):
+        with pytest.raises(PartitionError):
+            Partition(model=vgg19, submodels=())
+
+    def test_describe_mentions_every_submodel(self, vgg19_partition):
+        text = vgg19_partition.describe()
+        for sm in vgg19_partition:
+            assert sm.name in text
+
+    def test_indexing(self, vgg19_partition):
+        assert len(vgg19_partition) == 3
+        assert vgg19_partition[1].index == 1
+        assert [sm.index for sm in vgg19_partition] == [0, 1, 2]

@@ -1,0 +1,92 @@
+"""Unit tests for threshold-batch-size profiling (Fig. 1 / Fig. 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.profiling import ThroughputProfiler
+
+
+class TestPaperAnchors:
+    """The published threshold batch sizes, recovered exactly."""
+
+    def test_vgg19_anchor_thresholds(self, profiler, vgg19):
+        by_name = {
+            p.name: t for p, t in profiler.model_thresholds(vgg19)
+        }
+        assert by_name["conv2"] == 16  # CONV (64,64,224,224)
+        assert by_name["conv16"] == 64  # CONV (512,512,14,14)
+        assert by_name["fc2"] == 2048  # FC (4096,4096)
+
+    def test_footnote12_similar_shapes_similar_thresholds(
+        self, profiler, vgg19
+    ):
+        """(64,64,224,224) and (128,128,112,112) both land near 16."""
+        by_name = {p.name: t for p, t in profiler.model_thresholds(vgg19)}
+        assert by_name["conv2"] == by_name["conv4"] == 16
+
+    def test_thresholds_nondecreasing_block_medians(self, profiler, vgg19):
+        """Deeper VGG19 blocks need larger batches (the paper's prior)."""
+        thresholds = [t for _, t in profiler.model_thresholds(vgg19)]
+        convs, fcs = thresholds[:16], thresholds[16:]
+        assert max(convs) < min(fcs)
+        assert max(convs[:8]) <= min(convs[12:])
+
+
+class TestMechanics:
+    def test_repository_memoizes_shapes(self, vgg19):
+        profiler = ThroughputProfiler()
+        profiler.model_thresholds(vgg19)
+        size_after_first = profiler.repository_size
+        profiler.model_thresholds(vgg19)
+        assert profiler.repository_size == size_after_first
+        # VGG19 has few distinct shapes (paper: 5 CONV types + FC types).
+        assert size_after_first < len(vgg19.trainable_layers)
+
+    def test_sweep_is_ascending_and_throughput_positive(self, vgg19):
+        profiler = ThroughputProfiler()
+        profile = profiler.profile_layer(vgg19.trainable_layers[0])
+        batches = [point.batch for point in profile.sweep]
+        assert batches == sorted(batches)
+        assert all(point.throughput > 0 for point in profile.sweep)
+
+    def test_threshold_is_in_sweep(self, vgg19):
+        profiler = ThroughputProfiler()
+        for layer in vgg19.trainable_layers:
+            profile = profiler.profile_layer(layer)
+            assert profile.threshold_batch in profiler.batch_sweep
+
+    def test_threshold_reaches_saturation_fraction(self, vgg19):
+        profiler = ThroughputProfiler()
+        profile = profiler.profile_layer(vgg19.trainable_layers[1])
+        at_threshold = next(
+            p.throughput
+            for p in profile.sweep
+            if p.batch == profile.threshold_batch
+        )
+        assert at_threshold >= 0.95 * profile.max_throughput
+
+    def test_shared_shapes_across_models(self):
+        """The repository is reused across tasks (paper footnote 11)."""
+        profiler = ThroughputProfiler()
+        profiler.model_thresholds(get_model("vgg16"))
+        size_after_vgg16 = profiler.repository_size
+        profiler.model_thresholds(get_model("vgg19"))
+        # VGG19 shares most shapes with VGG16: few new entries.
+        assert profiler.repository_size <= size_after_vgg16 + 4
+
+
+class TestValidation:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler(batch_sweep=())
+
+    def test_unsorted_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler(batch_sweep=(4, 2, 1))
+
+    def test_bad_saturation_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler(saturation_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler(saturation_fraction=1.5)

@@ -1,0 +1,197 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+class TestProcessBasics:
+    def test_process_runs_and_returns(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2)
+            return "done"
+
+        assert env.run(env.process(proc(env))) == "done"
+        assert env.now == 2
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+
+        def not_a_generator():
+            return 42
+
+        with pytest.raises(SimulationError):
+            env.process(not_a_generator())  # type: ignore[arg-type]
+
+    def test_yielding_non_event_raises_into_process(self):
+        env = Environment()
+
+        def proc(env):
+            try:
+                yield 42  # type: ignore[misc]
+            except SimulationError:
+                return "caught"
+
+        assert env.run(env.process(proc(env))) == "caught"
+
+    def test_process_is_alive_until_done(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env, target):
+            try:
+                yield target
+            except ValueError as exc:
+                return f"saw {exc}"
+
+        target = env.process(failing(env))
+        w = env.process(waiter(env, target))
+        assert env.run(w) == "saw inner"
+
+    def test_unhandled_process_exception_surfaces(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("unhandled")
+
+        env.process(failing(env))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_processes_wait_for_each_other(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(3)
+            return "child-value"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return (env.now, value)
+
+        assert env.run(env.process(parent(env))) == (3, "child-value")
+
+    def test_already_processed_event_feeds_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            done = env.event().succeed("early")
+            yield env.timeout(1)
+            value = yield done  # processed long ago
+            return value
+
+        assert env.run(env.process(proc(env))) == "early"
+
+    def test_name_reflects_generator(self):
+        env = Environment()
+
+        def my_process(env):
+            yield env.timeout(0)
+
+        assert env.process(my_process(env)).name == "my_process"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        def waker(env, target):
+            yield env.timeout(5)
+            target.interrupt("cause!")
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        assert env.run(target) == ("interrupted", "cause!", 5)
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(10)
+            return env.now
+
+        def waker(env, target):
+            yield env.timeout(5)
+            target.interrupt()
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        assert env.run(target) == 15
+
+    def test_interrupting_terminated_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self):
+        env = Environment()
+        failures = []
+
+        def proc(env):
+            try:
+                env.active_process.interrupt()
+            except SimulationError:
+                failures.append(True)
+            yield env.timeout(0)
+
+        env.process(proc(env))
+        env.run()
+        assert failures == [True]
+
+    def test_interrupt_unsubscribes_from_target(self):
+        """After an interrupt, the stale wait target must not re-resume."""
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10)
+                log.append("slept-through")
+            except Interrupt:
+                log.append("interrupted")
+            yield env.timeout(20)
+            log.append("second-sleep-done")
+
+        def waker(env, target):
+            yield env.timeout(1)
+            target.interrupt()
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert log == ["interrupted", "second-sleep-done"]
+        assert env.now == 21

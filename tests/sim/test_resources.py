@@ -1,0 +1,285 @@
+"""Unit tests for Resource / Store / Container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, FilterStore, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_exclusive_use_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, res, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((name, "start", env.now))
+                yield env.timeout(hold)
+            log.append((name, "end", env.now))
+
+        env.process(user(env, res, "a", 3))
+        env.process(user(env, res, "b", 2))
+        env.run()
+        assert log == [
+            ("a", "start", 0),
+            ("a", "end", 3),
+            ("b", "start", 3),
+            ("b", "end", 5),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        starts = []
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                starts.append(env.now)
+                yield env.timeout(5)
+
+        for _ in range(3):
+            env.process(user(env))
+        env.run()
+        assert starts == [0, 0, 5]
+
+    def test_release_of_non_holder_raises(self):
+        env = Environment()
+        res = Resource(env)
+        req = res.request()
+        env.run()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_priority_admission(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def user(env, name, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        env.process(holder(env))
+        env.process(user(env, "low", 5.0, 1))
+        env.process(user(env, "high", 1.0, 2))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        env.run()
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    def test_cancel_unfulfilled_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        first = res.request()
+        second = res.request()
+        env.run()
+        second.cancel()
+        res.release(first)
+        env.run()
+        assert res.count == 0
+        assert res.queue_length == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for item in "abc":
+                yield store.put(item)
+                yield env.timeout(1)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append((env.now, item))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert [item for _, item in got] == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(4)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(4, "late")]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put(1)
+            times.append(env.now)
+            yield store.put(2)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0, 5]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+
+class TestFilterStore:
+    def test_get_by_predicate(self):
+        env = Environment()
+        store = FilterStore(env)
+        for item in (1, 2, 3, 4):
+            store.put(item)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get(lambda x: x % 2 == 0)))
+            got.append((yield store.get(lambda x: x % 2 == 0)))
+            got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [2, 4, 1]
+
+    def test_blocks_until_matching_item(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env):
+            got.append((yield store.get(lambda x: x == "wanted")))
+            got.append(env.now)
+
+        def producer(env):
+            yield store.put("other")
+            yield env.timeout(3)
+            yield store.put("wanted")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == ["wanted", 3]
+
+
+class TestContainer:
+    def test_level_tracking(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=50)
+
+        def proc(env):
+            yield tank.get(20)
+            assert tank.level == 30
+            yield tank.put(40)
+            assert tank.level == 70
+
+        env.process(proc(env))
+        env.run()
+
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=0)
+        times = []
+
+        def consumer(env):
+            yield tank.get(30)
+            times.append(env.now)
+
+        def producer(env):
+            for _ in range(3):
+                yield env.timeout(1)
+                yield tank.put(10)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [3]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=10)
+        times = []
+
+        def producer(env):
+            yield tank.put(5)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(2)
+            yield tank.get(5)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [2]
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, init=20)
+        tank = Container(env, capacity=10)
+        with pytest.raises(SimulationError):
+            tank.put(0)
+        with pytest.raises(SimulationError):
+            tank.get(-1)

@@ -1,0 +1,63 @@
+"""Tuner behaviour on memory-infeasible configuration cases."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.hardware import ClusterSpec, GpuSpec
+from repro.tuning import ConfigurationTuner
+from repro.tuning.search import normalize_times
+
+
+class TestInfeasibleCases:
+    def test_oom_cases_profile_as_inf(self, vgg19_partition):
+        """At N=16 with total batch 512, w_2=16 gives a single SM-2 token
+        of batch 512 — beyond the K40c's memory.  The tuner must skip
+        it, not crash."""
+        tuner = ConfigurationTuner(
+            vgg19_partition,
+            total_batch=512,
+            num_workers=16,
+            cluster_spec=ClusterSpec(num_nodes=16),
+            profile_iterations=1,
+        )
+        result = tuner.tune()
+        infinite = [
+            c for c in result.cases
+            if c.per_iteration_time == float("inf")
+        ]
+        assert infinite, "the sweep should contain infeasible cases"
+        assert result.best_case.per_iteration_time < float("inf")
+
+    def test_gaps_ignore_infeasible_cases(self, vgg19_partition):
+        tuner = ConfigurationTuner(
+            vgg19_partition,
+            total_batch=512,
+            num_workers=16,
+            cluster_spec=ClusterSpec(num_nodes=16),
+            profile_iterations=1,
+        )
+        result = tuner.tune()
+        assert 0 <= result.overall_gap() < 1
+
+    def test_all_infeasible_raises(self, vgg19_partition):
+        tiny_gpu = GpuSpec(memory_bytes=2e9)
+        tuner = ConfigurationTuner(
+            vgg19_partition,
+            total_batch=128,
+            num_workers=8,
+            cluster_spec=ClusterSpec(num_nodes=8, gpu=tiny_gpu),
+            profile_iterations=1,
+        )
+        with pytest.raises(TuningError):
+            tuner.tune()
+
+
+class TestNormalizationWithInf:
+    def test_inf_normalizes_to_one(self):
+        normalized = normalize_times([1.0, 2.0, float("inf")])
+        assert normalized[2] == 1.0
+        assert normalized[0] == 0.0
+
+    def test_all_inf_rejected(self):
+        with pytest.raises(TuningError):
+            normalize_times([float("inf"), float("inf")])

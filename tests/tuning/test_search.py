@@ -1,0 +1,92 @@
+"""Unit tests for tuning search-space enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TuningError
+from repro.tuning import (
+    enumerate_weight_candidates,
+    normalize_times,
+    subset_size_candidates,
+    weight_values,
+)
+
+
+class TestWeightValues:
+    def test_paper_setting(self):
+        """N = 8 gives {1, 2, 4, 8}."""
+        assert weight_values(8) == [1, 2, 4, 8]
+
+    def test_non_power_of_two_workers(self):
+        assert weight_values(6) == [1, 2, 4]
+
+    def test_single_worker(self):
+        assert weight_values(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(TuningError):
+            weight_values(0)
+
+
+class TestWeightCandidates:
+    def test_paper_count_10(self):
+        """M = 3, N = 8: the paper's 4 + 3 + 2 + 1 = 10 cases."""
+        candidates = enumerate_weight_candidates(3, 8)
+        assert len(candidates) == 10
+
+    def test_all_start_with_one_and_nondecreasing(self):
+        for candidate in enumerate_weight_candidates(4, 8):
+            assert candidate[0] == 1
+            assert list(candidate) == sorted(candidate)
+
+    def test_single_level(self):
+        assert enumerate_weight_candidates(1, 8) == [(1,)]
+
+    def test_no_duplicates(self):
+        candidates = enumerate_weight_candidates(3, 8)
+        assert len(set(candidates)) == len(candidates)
+
+    @given(
+        levels=st.integers(min_value=1, max_value=5),
+        workers=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50)
+    def test_property_valid_fela_weights(self, levels, workers):
+        """Every candidate satisfies FelaConfig's weight constraints."""
+        for candidate in enumerate_weight_candidates(levels, workers):
+            assert candidate[0] == 1
+            for a, b in zip(candidate, candidate[1:]):
+                assert b >= a
+                assert b % a == 0
+                assert (b & (b - 1)) == 0
+
+
+class TestSubsetSizes:
+    def test_paper_setting(self):
+        """N = 8: sizes 8, 4, 2, 1 (log2(8)+1 = 4 cases)."""
+        assert subset_size_candidates(8) == [8, 4, 2, 1]
+
+    def test_non_power_of_two(self):
+        assert subset_size_candidates(6) == [6, 3, 1]
+
+    def test_single_worker(self):
+        assert subset_size_candidates(1) == [1]
+
+
+class TestNormalization:
+    def test_paper_footnote16_formula(self):
+        """(t - min) / max, NOT (t - min) / (max - min)."""
+        times = [2.0, 4.0, 8.0]
+        assert normalize_times(times) == [0.0, 0.25, 0.75]
+
+    def test_constant_series_is_zero(self):
+        assert normalize_times([3.0, 3.0]) == [0.0, 0.0]
+
+    def test_values_bounded(self):
+        normalized = normalize_times([1.0, 5.0, 9.0, 2.0])
+        assert all(0 <= v < 1 for v in normalized)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TuningError):
+            normalize_times([])
