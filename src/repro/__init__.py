@@ -17,7 +17,9 @@ substrate:
 * :mod:`repro.baselines` — the DP / MP / HP baselines;
 * :mod:`repro.stragglers` — straggler injection;
 * :mod:`repro.metrics` / :mod:`repro.harness` — the paper's metrics and a
-  generator per published table and figure.
+  generator per published table and figure;
+* :mod:`repro.analysis` — determinism linter (``python -m repro.analysis
+  lint``) and the opt-in runtime invariant checker.
 
 Quickstart::
 
@@ -31,6 +33,7 @@ Quickstart::
         print(kind, result.average_throughput)
 """
 
+from repro.analysis import InvariantChecker
 from repro.baselines import DataParallel, HybridParallel, ModelParallel
 from repro.core import (
     FelaConfig,
@@ -39,8 +42,10 @@ from repro.core import (
     SyncMode,
 )
 from repro.errors import (
+    AnalysisError,
     CapacityError,
     ConfigurationError,
+    InvariantViolation,
     PartitionError,
     ReproError,
     SchedulingError,
@@ -64,6 +69,7 @@ from repro.tuning import ConfigurationTuner
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
     "CapacityError",
     "Cluster",
     "ClusterSpec",
@@ -76,6 +82,8 @@ __all__ = [
     "FelaRuntime",
     "GpuSpec",
     "HybridParallel",
+    "InvariantChecker",
+    "InvariantViolation",
     "ModelGraph",
     "ModelParallel",
     "NoStraggler",

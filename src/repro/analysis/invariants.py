@@ -1,0 +1,383 @@
+"""Runtime invariant checking for the token machinery and the simulator.
+
+An :class:`InvariantChecker` is handed to
+:class:`~repro.core.runtime.FelaRuntime` (and through it to the
+:class:`~repro.core.server.TokenServer`); it is **off by default** and
+costs nothing when absent.  With a checker attached, every token
+lifecycle transition, every gradient synchronization, and every event-
+loop step is validated against the conservation laws the paper's
+accounting relies on:
+
+* **token conservation** — at all times
+  ``minted == buffered + in-flight + completed`` and the buffered count
+  matches the Token Bucket's actual size, across the ADS/HF/CTD
+  distribution paths; a token is distributed exactly once and completed
+  exactly once;
+* **iteration hygiene** — an iteration may only close once every one of
+  its tokens completed, with per-level counts matching the configured
+  ``token_counts()``;
+* **clock monotonicity** — the event loop's timestamps never move
+  backwards (:meth:`InvariantChecker.attach_env` installs a step
+  monitor on the :class:`~repro.sim.core.Environment`);
+* **gradient-bucket accounting** — each (iteration, level) is ring-
+  synchronized exactly once, only after the level completed, and the
+  bytes the collective put on the wire match the
+  ``2 * (k-1)/k * size`` ledger expectation (see
+  :class:`GradientLedger`, fed by
+  :func:`repro.core.collectives.ring_allreduce`).
+
+The first breach raises :class:`~repro.errors.InvariantViolation`
+carrying a serializable snapshot of the checker's counters.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import InvariantViolation
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import FelaConfig
+    from repro.core.server import TokenServer
+    from repro.core.tokens import Token
+    from repro.sim.core import Environment
+    from repro.sim.events import Event
+
+#: Token lifecycle states tracked per token id.
+_BUFFERED = "buffered"
+_ASSIGNED = "assigned"
+_COMPLETED = "completed"
+
+#: Relative tolerance for wire-byte accounting (floating chunk sizes).
+_BYTES_RTOL = 1e-9
+
+
+class GradientLedger:
+    """Open/close accounting for gradient collectives.
+
+    :func:`~repro.core.collectives.ring_allreduce` opens an entry before
+    its first round and closes it with the bytes actually put on the
+    wire; the ledger checks the total against the analytic
+    ``2 * (k-1)/k * size`` per participant and remembers unclosed
+    entries so a sync that silently died mid-run is caught at run end.
+    """
+
+    def __init__(self) -> None:
+        self._next_handle = 0
+        #: handle -> (context, expected wire bytes).
+        self.open_entries: dict[int, tuple[_t.Any, float]] = {}
+        self.closed = 0
+        self.bytes_expected = 0.0
+        self.bytes_observed = 0.0
+
+    def open(
+        self,
+        workers: _t.Sequence[int],
+        size_bytes: float,
+        context: _t.Any = None,
+    ) -> int:
+        k = len(workers)
+        expected = (
+            2 * (k - 1) * size_bytes if k > 1 and size_bytes > 0 else 0.0
+        )
+        handle = self._next_handle
+        self._next_handle += 1
+        self.open_entries[handle] = (context, expected)
+        return handle
+
+    def close(self, handle: int, wire_bytes: float) -> None:
+        if handle not in self.open_entries:
+            raise InvariantViolation(
+                "gradient collective closed twice or never opened",
+                snapshot={"handle": handle, "closed": self.closed},
+            )
+        context, expected = self.open_entries.pop(handle)
+        tolerance = _BYTES_RTOL * max(expected, 1.0)
+        if abs(wire_bytes - expected) > tolerance:
+            raise InvariantViolation(
+                "gradient collective moved unexpected byte volume",
+                snapshot={
+                    "context": repr(context),
+                    "expected_bytes": expected,
+                    "observed_bytes": wire_bytes,
+                },
+            )
+        self.closed += 1
+        self.bytes_expected += expected
+        self.bytes_observed += wire_bytes
+
+    def assert_drained(self) -> None:
+        if self.open_entries:
+            raise InvariantViolation(
+                "gradient collectives still open at run end",
+                snapshot={
+                    "open": [
+                        repr(context)
+                        for context, _ in self.open_entries.values()
+                    ]
+                },
+            )
+
+
+class InvariantChecker:
+    """Validates token conservation and scheduling invariants at run time.
+
+    Construct one per run and pass it to ``FelaRuntime(...,
+    invariants=checker)``.  All hook methods are cheap (O(1) except at
+    iteration/run boundaries) so tests can leave the checker on for
+    full experiments.
+    """
+
+    def __init__(self) -> None:
+        self.config: "FelaConfig | None" = None
+        self.ledger = GradientLedger()
+        #: tid -> lifecycle state.
+        self._state: dict[int, str] = {}
+        #: tid -> (iteration, level).
+        self._token_info: dict[int, tuple[int, int]] = {}
+        #: (iteration, level) -> counters.
+        self._minted: dict[tuple[int, int], int] = {}
+        self._assigned: dict[tuple[int, int], int] = {}
+        self._completed: dict[tuple[int, int], int] = {}
+        self._buffered_count = 0
+        self._inflight_count = 0
+        self._closed_iterations: set[int] = set()
+        self._synced_levels: set[tuple[int, int]] = set()
+        self._last_clock = float("-inf")
+        #: Total hook invocations (for tests / reporting).
+        self.checks = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, config: "FelaConfig") -> None:
+        """Attach the run configuration (done by the TokenServer)."""
+        self.config = config
+
+    def attach_env(self, env: "Environment") -> None:
+        """Install the clock-monotonicity monitor on the event loop."""
+        env.attach_monitor(self._on_step)
+
+    def _on_step(self, now: float, event: "Event") -> None:
+        self.checks += 1
+        if now < self._last_clock:
+            self._fail(
+                "event loop time moved backwards",
+                now=now,
+                previous=self._last_clock,
+                event=repr(event),
+            )
+        self._last_clock = now
+
+    # -- token lifecycle hooks ----------------------------------------------
+
+    def on_minted(self, token: "Token") -> None:
+        self.checks += 1
+        if token.iteration in self._closed_iterations:
+            self._fail(
+                "token minted into an already-ended iteration",
+                token=repr(token),
+            )
+        if token.tid in self._state:
+            self._fail(
+                "token minted twice",
+                token=repr(token),
+                state=self._state[token.tid],
+            )
+        self._state[token.tid] = _BUFFERED
+        self._token_info[token.tid] = (token.iteration, token.level)
+        key = (token.iteration, token.level)
+        self._minted[key] = self._minted.get(key, 0) + 1
+        self._buffered_count += 1
+
+    def on_assigned(self, token: "Token", wid: int) -> None:
+        self.checks += 1
+        state = self._state.get(token.tid)
+        if state is None:
+            self._fail(
+                "token distributed before it was minted",
+                token=repr(token),
+                worker=wid,
+            )
+        if state != _BUFFERED:
+            self._fail(
+                "token distributed twice (duplicated work unit)",
+                token=repr(token),
+                worker=wid,
+                state=state,
+            )
+        self._state[token.tid] = _ASSIGNED
+        key = (token.iteration, token.level)
+        self._assigned[key] = self._assigned.get(key, 0) + 1
+        self._buffered_count -= 1
+        self._inflight_count += 1
+
+    def on_completed(self, token: "Token", wid: int) -> None:
+        self.checks += 1
+        state = self._state.get(token.tid)
+        if state != _ASSIGNED:
+            self._fail(
+                "token completed without being assigned "
+                "(lost or duplicated work unit)",
+                token=repr(token),
+                worker=wid,
+                state=state,
+            )
+        self._state[token.tid] = _COMPLETED
+        key = (token.iteration, token.level)
+        self._completed[key] = self._completed.get(key, 0) + 1
+        self._inflight_count -= 1
+
+    def verify_conservation(self, server: "TokenServer") -> None:
+        """The core conservation law, cross-checked against the bucket.
+
+        ``minted == buffered + in-flight + completed`` holds by counter
+        construction; the load-bearing check is that the checker's
+        buffered count matches the Token Bucket's real size — a token
+        the bucket lost (or holds twice) breaks the equality.
+        """
+        self.checks += 1
+        bucket_size = len(server.bucket)
+        if bucket_size != self._buffered_count:
+            self._fail(
+                "token bucket size disagrees with conservation ledger",
+                bucket_size=bucket_size,
+                buffered=self._buffered_count,
+            )
+        if self._inflight_count < 0 or self._buffered_count < 0:
+            self._fail("negative token population")
+
+    # -- iteration / run boundaries ------------------------------------------
+
+    def on_iteration_end(
+        self, iteration: int, server: "TokenServer"
+    ) -> None:
+        self.checks += 1
+        if iteration in self._closed_iterations:
+            self._fail("iteration ended twice", iteration=iteration)
+        expected = (
+            self.config.token_counts() if self.config is not None else None
+        )
+        stale = [
+            tid
+            for tid, (it, _level) in self._token_info.items()
+            if it == iteration
+        ]
+        for tid in stale:
+            if self._state[tid] != _COMPLETED:
+                self._fail(
+                    "iteration ended with an unfinished token",
+                    iteration=iteration,
+                    tid=tid,
+                    state=self._state[tid],
+                )
+        if expected is not None:
+            for level, count in enumerate(expected):
+                key = (iteration, level)
+                for name, ledger in (
+                    ("minted", self._minted),
+                    ("distributed", self._assigned),
+                    ("completed", self._completed),
+                ):
+                    if ledger.get(key, 0) != count:
+                        self._fail(
+                            f"iteration closed with wrong {name} count",
+                            iteration=iteration,
+                            level=level,
+                            expected=count,
+                            actual=ledger.get(key, 0),
+                        )
+        for token in server.bucket.all_tokens():
+            if token.iteration == iteration:
+                self._fail(
+                    "ended iteration left a token in the bucket",
+                    iteration=iteration,
+                    token=repr(token),
+                )
+        self._closed_iterations.add(iteration)
+        for tid in stale:
+            del self._state[tid]
+            del self._token_info[tid]
+
+    def on_sync_start(
+        self,
+        iteration: int,
+        level: int,
+        participants: _t.Sequence[int],
+    ) -> None:
+        self.checks += 1
+        key = (iteration, level)
+        if key in self._synced_levels:
+            self._fail(
+                "level synchronized twice",
+                iteration=iteration,
+                level=level,
+            )
+        if len(set(participants)) != len(participants):
+            self._fail(
+                "duplicate workers in synchronization",
+                iteration=iteration,
+                level=level,
+                participants=list(participants),
+            )
+        if self._completed.get(key, 0) != self._minted.get(key, 0):
+            self._fail(
+                "synchronization started before the level completed",
+                iteration=iteration,
+                level=level,
+                completed=self._completed.get(key, 0),
+                minted=self._minted.get(key, 0),
+            )
+        if self.config is not None:
+            workers = range(self.config.num_workers)
+            if not set(participants).issubset(workers):
+                self._fail(
+                    "synchronization includes unknown workers",
+                    iteration=iteration,
+                    level=level,
+                    participants=list(participants),
+                )
+        self._synced_levels.add(key)
+
+    def on_run_end(self, server: "TokenServer") -> None:
+        self.checks += 1
+        self.verify_conservation(server)
+        if self._inflight_count:
+            self._fail(
+                "run ended with tokens still in flight",
+                in_flight=self._inflight_count,
+            )
+        if self._buffered_count:
+            self._fail(
+                "run ended with tokens still buffered",
+                buffered=self._buffered_count,
+            )
+        levels = self.config.levels if self.config is not None else 0
+        for iteration in self._closed_iterations:
+            for level in range(levels):
+                if (iteration, level) not in self._synced_levels:
+                    self._fail(
+                        "iteration closed without synchronizing a level",
+                        iteration=iteration,
+                        level=level,
+                    )
+        self.ledger.assert_drained()
+
+    # -- internals ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, _t.Any]:
+        """Serializable view of the checker's counters (for debugging)."""
+        return {
+            "buffered": self._buffered_count,
+            "in_flight": self._inflight_count,
+            "minted_total": sum(self._minted.values()),
+            "completed_total": sum(self._completed.values()),
+            "closed_iterations": sorted(self._closed_iterations),
+            "synced_levels": sorted(self._synced_levels),
+            "collectives_closed": self.ledger.closed,
+            "checks": self.checks,
+        }
+
+    def _fail(self, message: str, **details: _t.Any) -> _t.NoReturn:
+        snapshot = self.snapshot()
+        snapshot.update(details)
+        raise InvariantViolation(message, snapshot=snapshot)

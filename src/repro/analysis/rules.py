@@ -1,0 +1,442 @@
+"""Lint rules and the rule framework.
+
+A rule is a small class declaring which AST node types it wants to see
+(:attr:`LintRule.node_types`) and which files it applies to
+(:meth:`LintRule.applies_to`).  The linter parses each file once, builds
+a :class:`LintContext` (path scope + import resolution table), and
+dispatches every node of the tree to the interested rules — one walk per
+file regardless of how many rules are registered.
+
+Rule ids are ``FELA###``.  ``FELA000`` is reserved for parse failures
+reported by the linter itself.
+
+The initial rule set targets the determinism contract of this codebase:
+
+=========  =============================================================
+FELA001    no wall-clock reads inside ``repro.sim`` / ``repro.core``
+FELA002    no unseeded RNG (``random.*`` module functions, legacy
+           ``numpy.random.*``) anywhere
+FELA003    simulation processes must yield events, never bare literals
+FELA004    no mutable default arguments
+FELA005    no floating-point ``==`` in convergence/metrics/tuning code
+=========  =============================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One lint finding, sortable into report order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+class LintContext:
+    """Per-file state shared by all rules: scope and import resolution."""
+
+    def __init__(self, path: str, tree: ast.AST) -> None:
+        self.path = path
+        #: Module path inside the ``repro`` package, e.g.
+        #: ``("repro", "sim", "events")``; files outside the package get
+        #: their bare stem so path-scoped rules simply never match.
+        self.module_parts = self._module_parts(path)
+        #: local name -> dotted origin ("np" -> "numpy",
+        #: "perf_counter" -> "time.perf_counter").
+        self.imports: dict[str, str] = {}
+        self._collect_imports(tree)
+
+    @staticmethod
+    def _module_parts(path: str) -> tuple[str, ...]:
+        parts = path.replace("\\", "/").split("/")
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if "repro" in parts:
+            return tuple(parts[parts.index("repro"):])
+        return tuple(parts[-1:])
+
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue  # relative imports cannot name stdlib clocks
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # -- queries rules use -------------------------------------------------
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this file lives under any dotted ``repro.x`` package."""
+        dotted = ".".join(self.module_parts)
+        return any(
+            dotted == pkg or dotted.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of an attribute/name chain, through imports.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; a bare ``perf_counter`` resolves to
+        ``time.perf_counter`` under ``from time import perf_counter``.
+        Locally defined names resolve to ``None`` (never flagged).
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+class LintRule(abc.ABC):
+    """One lint rule: node interest + file scope + the check itself."""
+
+    rule_id: _t.ClassVar[str]
+    summary: _t.ClassVar[str]
+    node_types: _t.ClassVar[tuple[type[ast.AST], ...]]
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return True
+
+    @abc.abstractmethod
+    def check_node(
+        self, node: ast.AST, ctx: LintContext
+    ) -> _t.Iterator[Violation]:
+        """Yield violations for one AST node."""
+
+    def violation(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, in rule-id order."""
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    if rule_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[rule_id]
+
+
+# ---------------------------------------------------------------------------
+# The FELA rule set.
+# ---------------------------------------------------------------------------
+
+#: Callables that read the host's wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(LintRule):
+    """FELA001: simulation code must use the event-loop clock.
+
+    ``Environment.now`` is the only clock the simulator may observe;
+    reading the host's wall clock makes timelines irreproducible.
+    """
+
+    rule_id = "FELA001"
+    summary = (
+        "no wall-clock reads (time.time/perf_counter/datetime.now) in "
+        "repro.sim / repro.core; use the event-loop clock (env.now)"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro.sim", "repro.core")
+
+    def check_node(self, node, ctx):
+        assert isinstance(node, ast.Call)
+        origin = ctx.resolve(node.func)
+        if origin in _WALL_CLOCK:
+            yield self.violation(
+                ctx,
+                node,
+                f"wall-clock call {origin}() in simulation code; "
+                "use the event-loop clock (env.now) instead",
+            )
+
+
+#: ``numpy.random`` attributes that are part of the seedable new-style
+#: API (everything else on the module is the legacy global-state API).
+_NUMPY_RANDOM_ALLOWED = frozenset({"default_rng"})
+
+
+@register
+class UnseededRandomRule(LintRule):
+    """FELA002: all randomness must flow from an explicit seed.
+
+    Module-level ``random.*`` functions and the legacy ``numpy.random.*``
+    API draw from hidden global state; use ``random.Random(seed)`` or
+    ``numpy.random.default_rng(seed)`` threaded from configuration.
+    """
+
+    rule_id = "FELA002"
+    summary = (
+        "no unseeded RNG: random.* module functions and legacy "
+        "numpy.random.* are banned; thread a seeded generator instead"
+    )
+    node_types = (ast.Call,)
+
+    def check_node(self, node, ctx):
+        assert isinstance(node, ast.Call)
+        origin = ctx.resolve(node.func)
+        if origin is None:
+            return
+        if origin.startswith("random."):
+            attr = origin[len("random."):]
+            # Seedable generator classes (Random, SystemRandom) are the
+            # sanctioned pattern; module-level functions are not.
+            if "." not in attr and not attr[:1].isupper():
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{origin}() uses the global RNG; construct "
+                    "random.Random(seed) with a seed from configuration",
+                )
+        elif origin.startswith("numpy.random."):
+            attr = origin[len("numpy.random."):]
+            if (
+                "." not in attr
+                and not attr[:1].isupper()
+                and attr not in _NUMPY_RANDOM_ALLOWED
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy numpy.random API {origin}(); use "
+                    "numpy.random.default_rng(seed) instead",
+                )
+
+
+@register
+class SimProtocolRule(LintRule):
+    """FELA003: simulation processes yield events, not values.
+
+    A generator registered with the event loop communicates only by
+    yielding :class:`~repro.sim.events.Event` objects; yielding a bare
+    literal or a container display deadlocks or crashes the process at
+    runtime, so catch it at lint time.
+    """
+
+    rule_id = "FELA003"
+    summary = (
+        "generators in simulation packages must yield events; literal "
+        "or container yields are protocol violations"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _BAD_YIELD = (
+        ast.Constant,
+        ast.List,
+        ast.Tuple,
+        ast.Dict,
+        ast.Set,
+        ast.ListComp,
+        ast.DictComp,
+        ast.SetComp,
+        ast.GeneratorExp,
+        ast.JoinedStr,
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package(
+            "repro.sim",
+            "repro.core",
+            "repro.net",
+            "repro.hardware",
+            "repro.baselines",
+        )
+
+    def check_node(self, node, ctx):
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for yield_node in self._own_yields(node):
+            value = yield_node.value
+            if value is None:
+                yield self.violation(
+                    ctx,
+                    yield_node,
+                    "bare 'yield' in a simulation process; processes "
+                    "must yield Event objects",
+                )
+            elif isinstance(value, self._BAD_YIELD):
+                yield self.violation(
+                    ctx,
+                    yield_node,
+                    "simulation process yields a literal/container, not "
+                    "an Event; yield env.timeout(...)/env.event()/... "
+                    "instead",
+                )
+
+    @staticmethod
+    def _own_yields(func: ast.AST) -> _t.Iterator[ast.Yield]:
+        """Yield nodes belonging to ``func`` itself, not nested defs."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Yield):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class MutableDefaultRule(LintRule):
+    """FELA004: no mutable default arguments."""
+
+    rule_id = "FELA004"
+    summary = "no mutable default arguments (list/dict/set displays)"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_DISPLAYS = (
+        ast.List,
+        ast.Dict,
+        ast.Set,
+        ast.ListComp,
+        ast.DictComp,
+        ast.SetComp,
+    )
+    _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check_node(self, node, ctx):
+        assert isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        args = node.args
+        defaults = list(args.defaults) + [
+            default for default in args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                yield self.violation(
+                    ctx,
+                    default,
+                    "mutable default argument; default to None and "
+                    "create the container inside the function",
+                )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, self._MUTABLE_DISPLAYS):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CONSTRUCTORS
+            and not node.args
+            and not node.keywords
+        )
+
+
+@register
+class FloatEqualityRule(LintRule):
+    """FELA005: metrics code must not compare floats with ``==``.
+
+    Comparisons against float literals in convergence/metrics/tuning
+    code hide accumulated rounding error; use ``math.isclose`` or an
+    explicit tolerance.  Comparisons against ``float("inf")`` /
+    ``math.inf`` are exact and therefore not flagged.
+    """
+
+    rule_id = "FELA005"
+    summary = (
+        "no floating-point ==/!= against float literals in "
+        "convergence/metrics/tuning code; use math.isclose"
+    )
+    node_types = (ast.Compare,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package(
+            "repro.convergence", "repro.metrics", "repro.tuning"
+        )
+
+    def check_node(self, node, ctx):
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, (left, right) in zip(
+            node.ops, zip(operands, operands[1:])
+        ):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"float equality against literal "
+                        f"{operand.value!r}; use math.isclose or an "
+                        "explicit tolerance",
+                    )
+                    break

@@ -15,6 +15,8 @@ Commands map onto the library's public API:
     Fig. 8-style comparison across all runtimes.
 ``tune MODEL --batch B``
     The two-phase configuration tuning (Fig. 6 diagnostics).
+``analyze [PATHS...]``
+    The FELA determinism lint pass (see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -174,6 +176,16 @@ def _cmd_figures(args: argparse.Namespace) -> str:
     return "\n\n".join(chunks)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.analysis.linter import format_rules, run_lint
+
+    if args.list_rules:
+        return format_rules(), 0
+    return run_lint(
+        args.paths, output_format=args.format, select=args.select
+    )
+
+
 def _cmd_tune(args: argparse.Namespace) -> str:
     from repro.tuning import ConfigurationTuner
 
@@ -255,10 +267,28 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--list", action="store_true")
     figures.add_argument("--iterations", type=int, default=8)
 
+    analyze = sub.add_parser(
+        "analyze", help="run the FELA determinism lint rules"
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    analyze.add_argument(
+        "--select", default=None, help="comma-separated rule ids"
+    )
+    analyze.add_argument("--list-rules", action="store_true")
+
     return parser
 
 
-_COMMANDS: dict[str, _t.Callable[[argparse.Namespace], str]] = {
+#: Handlers return the report text, optionally with an explicit exit
+#: code (the ``analyze`` command exits 1 when violations are found).
+_COMMANDS: dict[
+    str, _t.Callable[[argparse.Namespace], str | tuple[str, int]]
+] = {
     "list-models": _cmd_list_models,
     "profile": _cmd_profile,
     "partition": _cmd_partition,
@@ -266,6 +296,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], str]] = {
     "compare": _cmd_compare,
     "tune": _cmd_tune,
     "figures": _cmd_figures,
+    "analyze": _cmd_analyze,
 }
 
 
@@ -278,11 +309,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     try:
-        print(output)
+        print(output, file=sys.stderr if code == 2 else sys.stdout)
     except BrokenPipeError:  # e.g. `repro figures --list | head`
         return 0
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,13 +16,22 @@ from repro.hardware import Cluster
 
 
 def ring_allreduce(
-    cluster: Cluster, workers: _t.Sequence[int], size_bytes: float
+    cluster: Cluster,
+    workers: _t.Sequence[int],
+    size_bytes: float,
+    ledger: _t.Any | None = None,
+    context: _t.Any = None,
 ):
     """Bandwidth-optimal ring all-reduce among ``workers``.
 
     Each participant sends and receives ``2 * (k-1)/k * size`` bytes in
     ``2 * (k-1)`` rounds of ``size / k`` chunks (reduce-scatter followed by
     all-gather).  A single participant (or an empty payload) is free.
+
+    With a :class:`~repro.analysis.invariants.GradientLedger` attached,
+    the collective opens a ledger entry before its first round and closes
+    it with the bytes actually put on the wire, so lost or duplicated
+    gradient chunks are caught by the invariant checker.
     """
     workers = list(workers)
     if not workers:
@@ -31,9 +40,17 @@ def ring_allreduce(
         raise ConfigurationError(f"duplicate workers in allreduce: {workers}")
     k = len(workers)
     if k == 1 or size_bytes <= 0:
+        if ledger is not None:
+            ledger.close(ledger.open(workers, size_bytes, context), 0.0)
         return
     env = cluster.env
     chunk = size_bytes / k
+    handle = (
+        ledger.open(workers, size_bytes, context)
+        if ledger is not None
+        else None
+    )
+    wire_bytes = 0.0
     for _round in range(2 * (k - 1)):
         transfers = [
             cluster.fabric.transfer(
@@ -41,7 +58,10 @@ def ring_allreduce(
             )
             for i in range(k)
         ]
+        wire_bytes += chunk * k
         yield env.all_of(transfers)
+    if ledger is not None and handle is not None:
+        ledger.close(handle, wire_bytes)
 
 
 def tree_allreduce(

@@ -43,13 +43,18 @@ class FelaRuntime:
         cluster: Cluster | None = None,
         straggler: StragglerInjector | None = None,
         recorder: _t.Any | None = None,
+        invariants: _t.Any | None = None,
     ) -> None:
         self.config = config
         self.cluster = cluster or Cluster(
             ClusterSpec(num_nodes=config.num_workers)
         )
         self.straggler = straggler or NoStraggler()
-        self.server = TokenServer(config, self.cluster)
+        #: Optional :class:`~repro.analysis.invariants.InvariantChecker`
+        #: validating token conservation and sync accounting (off by
+        #: default; tests turn it on).
+        self.invariants = invariants
+        self.server = TokenServer(config, self.cluster, invariants=invariants)
         #: Optional :class:`~repro.metrics.timeline.TimelineRecorder`.
         self.recorder = recorder
         self.workers = [
@@ -84,6 +89,8 @@ class FelaRuntime:
         env = self.cluster.env
         main = env.process(self._main())
         env.run(main)
+        if self.invariants is not None:
+            self.invariants.on_run_end(self.server)
         total_time = env.now
         stats = {
             "ts_requests": self.server.requests,
@@ -196,8 +203,16 @@ class FelaRuntime:
         yield self.server.level_done_event(level, iteration)
         participants = self.server.participants(level, iteration)
         submodel = self.config.partition[level]
+        ledger = None
+        if self.invariants is not None:
+            self.invariants.on_sync_start(iteration, level, participants)
+            ledger = self.invariants.ledger
         yield from ring_allreduce(
-            self.cluster, participants, submodel.param_bytes
+            self.cluster,
+            participants,
+            submodel.param_bytes,
+            ledger=ledger,
+            context=(iteration, level),
         )
 
 

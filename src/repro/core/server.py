@@ -37,7 +37,12 @@ from repro.sim import Event
 class TokenServer:
     """Scheduler state shared by all workers of one Fela run."""
 
-    def __init__(self, config: FelaConfig, cluster: Cluster) -> None:
+    def __init__(
+        self,
+        config: FelaConfig,
+        cluster: Cluster,
+        invariants: _t.Any | None = None,
+    ) -> None:
         if config.num_workers > cluster.num_nodes:
             raise SchedulingError(
                 f"{config.num_workers} workers exceed the "
@@ -46,6 +51,12 @@ class TokenServer:
         self.config = config
         self.cluster = cluster
         self.env = cluster.env
+        #: Optional :class:`~repro.analysis.invariants.InvariantChecker`;
+        #: ``None`` (the default) costs nothing on the hot paths.
+        self.invariants = invariants
+        if invariants is not None:
+            invariants.bind(config)
+            invariants.attach_env(self.env)
         self.generator = TokenGenerator(config)
         self.bucket = TokenBucket(config.num_workers)
         self.distributor = TokenDistributor(config)
@@ -94,6 +105,10 @@ class TokenServer:
         self.distributor.reset_iteration()
         for token in self.generator.start_iteration(iteration):
             self.bucket.add(token)
+            if self.invariants is not None:
+                self.invariants.on_minted(token)
+        if self.invariants is not None:
+            self.invariants.verify_conservation(self)
         self._broadcast()
 
     def end_iteration(self, iteration: int | None = None) -> None:
@@ -106,6 +121,8 @@ class TokenServer:
             raise SchedulingError(
                 f"iteration {iteration} ended before all tokens completed"
             )
+        if self.invariants is not None:
+            self.invariants.on_iteration_end(iteration, self)
         del self._assigned[iteration]
         self.tokens_by_worker_per_iteration.pop(iteration, None)
         for level in range(self.config.levels):
@@ -158,6 +175,9 @@ class TokenServer:
                 token = selection.token
                 self.bucket.remove(token)
                 self.info.record_assignment(token.tid, wid)
+                if self.invariants is not None:
+                    self.invariants.on_assigned(token, wid)
+                    self.invariants.verify_conservation(self)
                 self._assigned[token.iteration][token.level] += 1
                 self.tokens_by_worker[wid] += 1
                 per_iteration = self.tokens_by_worker_per_iteration.get(
@@ -187,8 +207,14 @@ class TokenServer:
         yield self.env.timeout(latency)
         yield self.env.timeout(self.config.ts_service_time)
         self.info.record_completion(token.tid, wid)
+        if self.invariants is not None:
+            self.invariants.on_completed(token, wid)
         for fresh in self.generator.on_completion(token.tid, wid):
             self.bucket.add(fresh)
+            if self.invariants is not None:
+                self.invariants.on_minted(fresh)
+        if self.invariants is not None:
+            self.invariants.verify_conservation(self)
         if self.generator.level_complete(token.iteration, token.level):
             done = self._level_done.get((token.iteration, token.level))
             if done is not None and not done.triggered:

@@ -42,3 +42,36 @@ class PartitionError(ReproError):
 
 class TuningError(ReproError):
     """The runtime configuration tuner was given an infeasible search space."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis tooling was invoked incorrectly."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant of the token machinery or simulator broke.
+
+    Raised by :class:`repro.analysis.invariants.InvariantChecker` when
+    token conservation, iteration hygiene, clock monotonicity, or
+    gradient-sync accounting fails.  Carries a ``snapshot`` dict of the
+    checker's counters at the moment of the breach;
+    :meth:`serialized_snapshot` renders it as stable JSON for logs and
+    bug reports.
+    """
+
+    def __init__(
+        self, message: str, snapshot: dict[str, object] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.snapshot: dict[str, object] = dict(snapshot or {})
+
+    def serialized_snapshot(self) -> str:
+        import json
+
+        return json.dumps(self.snapshot, sort_keys=True, default=repr)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.snapshot:
+            return base
+        return f"{base} [snapshot: {self.serialized_snapshot()}]"

@@ -36,7 +36,7 @@ from repro.stragglers import (
     ProbabilityStraggler,
     RoundRobinStraggler,
 )
-from repro.tuning import ConfigurationTuner, TuningResult
+from repro.tuning import TuningResult
 
 #: The paper's batch-size axis for the throughput figures.
 DEFAULT_BATCHES: tuple[int, ...] = (64, 128, 256, 512, 1024)

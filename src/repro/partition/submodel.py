@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import dataclasses
-import statistics
 import typing as _t
 
 from repro.errors import PartitionError

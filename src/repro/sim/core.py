@@ -47,6 +47,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid: int = 0
         self._active_proc: Process | None = None
+        #: Step monitors (e.g. the invariant checker's clock-monotonicity
+        #: probe); called as ``monitor(now, event)`` after each pop.
+        self._monitors: list[_t.Callable[[float, Event], None]] = []
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} queued={len(self._queue)}>"
@@ -62,6 +65,17 @@ class Environment:
     def active_process(self) -> Process | None:
         """The process currently being resumed, if any."""
         return self._active_proc
+
+    def attach_monitor(
+        self, monitor: _t.Callable[[float, Event], None]
+    ) -> None:
+        """Register a step monitor called as ``monitor(now, event)``.
+
+        Monitors observe every processed event (the invariant checker
+        uses one to assert timestamp monotonicity).  They run before the
+        event's callbacks and must not mutate simulation state.
+        """
+        self._monitors.append(monitor)
 
     # -- event factories ----------------------------------------------------
 
@@ -109,6 +123,10 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+
+        if self._monitors:
+            for monitor in self._monitors:
+                monitor(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"

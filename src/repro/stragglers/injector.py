@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import abc
 import random
-import typing as _t
 
 from repro.errors import ConfigurationError
 

@@ -1,0 +1,223 @@
+"""Runtime invariant checker: unit breaches + full-run integration.
+
+The integration half is the acceptance test of ISSUE 1: the token
+runtime must pass token conservation with invariants enabled across all
+three scheduling policies (ADS/HF/CTD, each toggled) and under
+straggler injection, on all three sync modes and the pipelined runtime.
+"""
+
+import pytest
+
+from repro.analysis import GradientLedger, InvariantChecker
+from repro.core import (
+    FelaConfig,
+    FelaRuntime,
+    PipelinedFelaRuntime,
+    SyncMode,
+)
+from repro.core.tokens import SampleRange, Token
+from repro.errors import InvariantViolation
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Environment
+from repro.stragglers import ProbabilityStraggler, RoundRobinStraggler
+
+
+def make_token(tid, level=0, iteration=0, ordinal=0, home=0, deps=()):
+    return Token(
+        tid=tid,
+        level=level,
+        iteration=iteration,
+        ordinal=ordinal,
+        samples=SampleRange(0, 16),
+        deps=deps,
+        home_worker=home,
+    )
+
+
+class TestLifecycleBreaches:
+    def test_duplicate_distribution_raises(self):
+        checker = InvariantChecker()
+        token = make_token(0)
+        checker.on_minted(token)
+        checker.on_assigned(token, 0)
+        with pytest.raises(InvariantViolation, match="distributed twice"):
+            checker.on_assigned(token, 1)
+
+    def test_completion_without_assignment_raises(self):
+        checker = InvariantChecker()
+        token = make_token(0)
+        checker.on_minted(token)
+        with pytest.raises(InvariantViolation, match="without being"):
+            checker.on_completed(token, 0)
+
+    def test_double_mint_raises(self):
+        checker = InvariantChecker()
+        token = make_token(0)
+        checker.on_minted(token)
+        with pytest.raises(InvariantViolation, match="minted twice"):
+            checker.on_minted(token)
+
+    def test_assignment_before_mint_raises(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="before it was"):
+            checker.on_assigned(make_token(0), 0)
+
+    def test_violation_carries_serializable_snapshot(self):
+        checker = InvariantChecker()
+        token = make_token(0)
+        checker.on_minted(token)
+        checker.on_assigned(token, 0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.on_assigned(token, 1)
+        snapshot = excinfo.value.snapshot
+        assert snapshot["minted_total"] == 1
+        assert "snapshot" in str(excinfo.value)
+        assert excinfo.value.serialized_snapshot().startswith("{")
+
+    def test_sync_before_level_complete_raises(self):
+        checker = InvariantChecker()
+        token = make_token(0)
+        checker.on_minted(token)
+        with pytest.raises(InvariantViolation, match="before the level"):
+            checker.on_sync_start(0, 0, [0, 1])
+
+    def test_double_sync_raises(self):
+        checker = InvariantChecker()
+        token = make_token(0)
+        checker.on_minted(token)
+        checker.on_assigned(token, 0)
+        checker.on_completed(token, 0)
+        checker.on_sync_start(0, 0, [0])
+        with pytest.raises(InvariantViolation, match="twice"):
+            checker.on_sync_start(0, 0, [0])
+
+
+class TestClockMonotonicity:
+    def test_monitor_accepts_forward_time(self):
+        env = Environment()
+        checker = InvariantChecker()
+        checker.attach_env(env)
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert checker.checks >= 2
+
+    def test_monitor_rejects_backwards_time(self):
+        checker = InvariantChecker()
+        checker._on_step(5.0, None)
+        with pytest.raises(InvariantViolation, match="backwards"):
+            checker._on_step(4.0, None)
+
+
+class TestGradientLedger:
+    def test_balanced_collective_passes(self):
+        ledger = GradientLedger()
+        handle = ledger.open([0, 1, 2, 3], 100.0)
+        ledger.close(handle, 2 * 3 * 100.0)
+        ledger.assert_drained()
+        assert ledger.closed == 1
+
+    def test_wrong_byte_volume_raises(self):
+        ledger = GradientLedger()
+        handle = ledger.open([0, 1, 2, 3], 100.0)
+        with pytest.raises(InvariantViolation, match="byte volume"):
+            ledger.close(handle, 100.0)
+
+    def test_unclosed_collective_raises_at_drain(self):
+        ledger = GradientLedger()
+        ledger.open([0, 1], 10.0, context=(0, 1))
+        with pytest.raises(InvariantViolation, match="still open"):
+            ledger.assert_drained()
+
+    def test_double_close_raises(self):
+        ledger = GradientLedger()
+        handle = ledger.open([0, 1], 10.0)
+        ledger.close(handle, 2 * 10.0)
+        with pytest.raises(InvariantViolation, match="closed twice"):
+            ledger.close(handle, 2 * 10.0)
+
+
+def run_checked(partition, runtime_cls=FelaRuntime, straggler=None,
+                **kwargs):
+    defaults = dict(
+        partition=partition,
+        total_batch=128,
+        num_workers=8,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=3,
+    )
+    defaults.update(kwargs)
+    config = FelaConfig(**defaults)
+    checker = InvariantChecker()
+    cluster = Cluster(ClusterSpec(num_nodes=config.num_workers))
+    result = runtime_cls(
+        config, cluster, straggler=straggler, invariants=checker
+    ).run()
+    return checker, result
+
+
+class TestIntegration:
+    """Full runs with the checker on: conservation must hold throughout."""
+
+    @pytest.mark.parametrize(
+        "toggles",
+        [
+            {},
+            {"ads_enabled": False},
+            {"hf_enabled": False},
+            {"ctd_enabled": False},
+            {"ads_enabled": False, "hf_enabled": False,
+             "ctd_enabled": False},
+        ],
+        ids=["all-on", "no-ads", "no-hf", "no-ctd", "all-off"],
+    )
+    def test_policy_matrix_conserves_tokens(self, vgg19_partition,
+                                            toggles):
+        checker, result = run_checked(vgg19_partition, **toggles)
+        assert result.total_time > 0
+        snapshot = checker.snapshot()
+        assert snapshot["buffered"] == 0
+        assert snapshot["in_flight"] == 0
+        assert snapshot["minted_total"] == snapshot["completed_total"]
+        assert snapshot["collectives_closed"] == 3 * 3  # iters x levels
+
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            {"sync_mode": SyncMode.BSP},
+            {"sync_mode": SyncMode.SSP, "staleness": 2},
+            {"sync_mode": SyncMode.ASP},
+        ],
+        ids=["bsp", "ssp", "asp"],
+    )
+    def test_sync_modes_conserve_tokens(self, vgg19_partition, mode):
+        checker, _ = run_checked(vgg19_partition, **mode)
+        assert checker.snapshot()["in_flight"] == 0
+
+    def test_straggler_scenario_conserves_tokens(self, vgg19_partition):
+        checker, result = run_checked(
+            vgg19_partition,
+            straggler=ProbabilityStraggler(0.3, 2.0, seed=7),
+            iterations=4,
+        )
+        assert len(result.records) == 4
+        assert checker.snapshot()["closed_iterations"] == [0, 1, 2, 3]
+
+    def test_round_robin_straggler_with_pipelining(self, vgg19_partition):
+        checker, result = run_checked(
+            vgg19_partition,
+            runtime_cls=PipelinedFelaRuntime,
+            straggler=RoundRobinStraggler(2.0),
+            sync_mode=SyncMode.SSP,
+            staleness=2,
+        )
+        assert len(result.records) == 3
+        snapshot = checker.snapshot()
+        assert snapshot["buffered"] == 0
+        assert snapshot["in_flight"] == 0
+
+    def test_checker_actually_ran(self, vgg19_partition):
+        checker, _ = run_checked(vgg19_partition)
+        assert checker.checks > 100
+        assert checker.ledger.bytes_observed > 0

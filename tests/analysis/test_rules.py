@@ -1,0 +1,323 @@
+"""Per-rule unit tests: positive, negative, and noqa cases."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules, get_rule, lint_source
+
+SIM_PATH = "src/repro/sim/module.py"
+CORE_PATH = "src/repro/core/module.py"
+METRICS_PATH = "src/repro/metrics/module.py"
+OTHER_PATH = "src/repro/harness/module.py"
+
+
+def lint(source, path=SIM_PATH, select=None):
+    rules = None if select is None else [get_rule(select)]
+    return lint_source(textwrap.dedent(source), path, rules)
+
+
+def rule_ids(violations):
+    return [violation.rule_id for violation in violations]
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == [
+            "FELA001", "FELA002", "FELA003", "FELA004", "FELA005",
+        ]
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("FELA999")
+
+
+class TestWallClock:
+    def test_flags_time_time_in_sim(self):
+        violations = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rule_ids(violations) == ["FELA001"]
+        assert "time.time" in violations[0].message
+
+    def test_flags_from_import_and_alias(self):
+        violations = lint(
+            """
+            from time import perf_counter
+            import time as clock
+
+            def stamp():
+                return perf_counter() + clock.monotonic()
+            """,
+            path=CORE_PATH,
+        )
+        assert rule_ids(violations) == ["FELA001", "FELA001"]
+
+    def test_flags_datetime_now(self):
+        violations = lint(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        )
+        assert rule_ids(violations) == ["FELA001"]
+
+    def test_ignores_env_now_and_local_names(self):
+        violations = lint(
+            """
+            def advance(env, self):
+                now = env.now
+                return self.time() + now
+            """
+        )
+        assert violations == []
+
+    def test_not_scoped_outside_sim_core(self):
+        violations = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            path=OTHER_PATH,
+            select="FELA001",
+        )
+        assert violations == []
+
+    def test_noqa_suppresses(self):
+        violations = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: noqa-FELA001
+            """
+        )
+        assert violations == []
+
+
+class TestUnseededRandom:
+    def test_flags_module_level_random(self):
+        violations = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random() + random.randint(0, 4)
+            """,
+            path=OTHER_PATH,
+        )
+        assert rule_ids(violations) == ["FELA002", "FELA002"]
+
+    def test_flags_legacy_numpy_api(self):
+        violations = lint(
+            """
+            import numpy as np
+
+            def noise():
+                return np.random.rand(3)
+            """,
+            path=OTHER_PATH,
+        )
+        assert rule_ids(violations) == ["FELA002"]
+        assert "default_rng" in violations[0].message
+
+    def test_allows_seeded_generators(self):
+        violations = lint(
+            """
+            import random
+            import numpy as np
+
+            def seeded(seed):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                return rng.random(), gen.normal()
+            """,
+            path=OTHER_PATH,
+        )
+        assert violations == []
+
+    def test_blanket_noqa_suppresses(self):
+        violations = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro: noqa
+            """,
+            path=OTHER_PATH,
+        )
+        assert violations == []
+
+
+class TestSimProtocol:
+    def test_flags_literal_yield(self):
+        violations = lint(
+            """
+            def proc(env):
+                yield 5
+            """
+        )
+        assert rule_ids(violations) == ["FELA003"]
+
+    def test_flags_bare_yield_and_container(self):
+        violations = lint(
+            """
+            def proc(env):
+                yield
+                yield [env.timeout(1)]
+            """
+        )
+        assert rule_ids(violations) == ["FELA003", "FELA003"]
+
+    def test_accepts_event_yields(self):
+        violations = lint(
+            """
+            def proc(env, events):
+                yield env.timeout(1)
+                yield env.all_of(events)
+                token = yield from request(env)
+                return token
+            """
+        )
+        assert violations == []
+
+    def test_nested_function_yields_attributed_correctly(self):
+        violations = lint(
+            """
+            def outer(env):
+                def helper():
+                    yield 1
+                yield env.timeout(1)
+            """
+        )
+        # The literal yield belongs to ``helper``, still flagged once.
+        assert rule_ids(violations) == ["FELA003"]
+
+    def test_not_scoped_to_metrics(self):
+        violations = lint(
+            """
+            def rows():
+                yield "header"
+            """,
+            path=METRICS_PATH,
+            select="FELA003",
+        )
+        assert violations == []
+
+
+class TestMutableDefault:
+    def test_flags_display_defaults(self):
+        violations = lint(
+            """
+            def f(a, items=[], mapping={}, tags=set()):
+                return a
+            """,
+            path=OTHER_PATH,
+        )
+        assert rule_ids(violations) == ["FELA004"] * 3
+
+    def test_flags_kwonly_and_lambda(self):
+        violations = lint(
+            """
+            def f(*, acc=list()):
+                g = lambda xs=[]: xs
+                return g, acc
+            """,
+            path=OTHER_PATH,
+        )
+        assert rule_ids(violations) == ["FELA004", "FELA004"]
+
+    def test_accepts_immutable_defaults(self):
+        violations = lint(
+            """
+            def f(a=None, b=(), c="x", d=0, e=frozenset()):
+                return a, b, c, d, e
+            """,
+            path=OTHER_PATH,
+        )
+        assert violations == []
+
+    def test_noqa_suppresses(self):
+        violations = lint(
+            """
+            def f(items=[]):  # repro: noqa-FELA004
+                return items
+            """,
+            path=OTHER_PATH,
+        )
+        assert violations == []
+
+
+class TestFloatEquality:
+    def test_flags_float_literal_equality(self):
+        violations = lint(
+            """
+            def converged(loss):
+                return loss == 0.97
+            """,
+            path=METRICS_PATH,
+        )
+        assert rule_ids(violations) == ["FELA005"]
+
+    def test_flags_not_equals(self):
+        violations = lint(
+            """
+            def drifted(x):
+                return x != 1.5
+            """,
+            path="src/repro/tuning/module.py",
+        )
+        assert rule_ids(violations) == ["FELA005"]
+
+    def test_allows_inf_and_int_comparisons(self):
+        violations = lint(
+            """
+            import math
+
+            def ok(t, n):
+                return t == float("inf") or t == math.inf or n == 0
+            """,
+            path=METRICS_PATH,
+        )
+        assert violations == []
+
+    def test_allows_ordering_comparisons(self):
+        violations = lint(
+            """
+            def ok(t):
+                return t <= 0.5 or t > 1.5
+            """,
+            path=METRICS_PATH,
+        )
+        assert violations == []
+
+    def test_not_scoped_to_sim(self):
+        violations = lint(
+            """
+            def check(x):
+                return x == 0.5
+            """,
+            path=SIM_PATH,
+            select="FELA005",
+        )
+        assert violations == []
+
+    def test_noqa_with_rule_list(self):
+        violations = lint(
+            """
+            def check(x, items=[]):  # repro: noqa-FELA004,FELA005
+                return x == 0.5  # repro: noqa-FELA005
+            """,
+            path=METRICS_PATH,
+        )
+        assert violations == []
