@@ -19,7 +19,10 @@ substrate:
 * :mod:`repro.metrics` / :mod:`repro.harness` — the paper's metrics and a
   generator per published table and figure;
 * :mod:`repro.analysis` — determinism linter (``python -m repro.analysis
-  lint``) and the opt-in runtime invariant checker.
+  lint``) and the opt-in runtime invariant checker;
+* :mod:`repro.obs` — structured tracing (Chrome trace / Perfetto
+  export), the metrics registry, and the plain-text run report (see
+  ``docs/observability.md``).
 
 Quickstart::
 
@@ -46,6 +49,7 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     InvariantViolation,
+    ObservabilityError,
     PartitionError,
     ReproError,
     SchedulingError,
@@ -56,6 +60,12 @@ from repro.hardware import Cluster, ClusterSpec, GpuSpec
 from repro.harness import ExperimentRunner, ExperimentSpec
 from repro.metrics import RunResult, average_throughput, per_iteration_delay
 from repro.models import ModelGraph, available_models, get_model
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
 from repro.partition import Partition, SubModel, bin_partition, paper_partition
 from repro.profiling import ThroughputProfiler
 from repro.stragglers import (
@@ -84,9 +94,12 @@ __all__ = [
     "HybridParallel",
     "InvariantChecker",
     "InvariantViolation",
+    "MetricsRegistry",
     "ModelGraph",
     "ModelParallel",
     "NoStraggler",
+    "NullTracer",
+    "ObservabilityError",
     "Partition",
     "PipelinedFelaRuntime",
     "PartitionError",
@@ -99,6 +112,8 @@ __all__ = [
     "SubModel",
     "SyncMode",
     "ThroughputProfiler",
+    "TraceEvent",
+    "Tracer",
     "TransientStraggler",
     "TuningError",
     "available_models",

@@ -10,7 +10,12 @@ Commands map onto the library's public API:
     Offline bin-partitioned method output (and the paper's published
     partition when one exists).
 ``run MODEL --runtime {fela,dp,mp,hp,proactive}``
-    One training run; optional straggler injection.
+    One training run; optional straggler injection.  ``--trace-out F``
+    additionally writes a Chrome trace (Fela runtime only).
+``trace MODEL``
+    A traced Fela run: Chrome trace JSON (open in Perfetto or
+    ``chrome://tracing``), optional metrics CSV, and a plain-text run
+    report with critical-path and straggler-attribution analysis.
 ``compare MODEL --batches 64,128,...``
     Fig. 8-style comparison across all runtimes.
 ``tune MODEL --batch B``
@@ -111,6 +116,8 @@ def _cmd_partition(args: argparse.Namespace) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
+    from repro.obs import Tracer, write_chrome_trace
+
     runner = ExperimentRunner()
     spec = ExperimentSpec(
         model_name=args.model,
@@ -118,8 +125,9 @@ def _cmd_run(args: argparse.Namespace) -> str:
         num_workers=args.workers,
         iterations=args.iterations,
     )
+    tracer = Tracer() if args.trace_out else None
     result = runner.run(
-        args.runtime, spec, parse_straggler(args.straggler)
+        args.runtime, spec, parse_straggler(args.straggler), tracer=tracer
     )
     rows = [
         ["runtime", result.runtime_name],
@@ -130,7 +138,47 @@ def _cmd_run(args: argparse.Namespace) -> str:
         ["AT (samples/s)", result.average_throughput],
         ["s/iteration", result.mean_iteration_time],
     ]
-    return render_table(["Metric", "Value"], rows)
+    table = render_table(["Metric", "Value"], rows)
+    if tracer is not None:
+        count = write_chrome_trace(args.trace_out, tracer.events)
+        table += f"\nwrote {count} trace events to {args.trace_out}"
+    return table
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        render_run_report,
+        write_chrome_trace,
+        write_metrics_csv,
+    )
+
+    runner = ExperimentRunner()
+    spec = ExperimentSpec(
+        model_name=args.model,
+        total_batch=args.batch,
+        num_workers=args.workers,
+        iterations=args.iterations,
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = runner.run(
+        "fela",
+        spec,
+        parse_straggler(args.straggler),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    lines = []
+    count = write_chrome_trace(args.out, tracer.events)
+    lines.append(f"wrote {count} trace events to {args.out}")
+    if args.metrics_csv:
+        write_metrics_csv(args.metrics_csv, metrics)
+        lines.append(f"wrote metrics CSV to {args.metrics_csv}")
+    lines.append("")
+    lines.append(render_run_report(result, tracer.events, metrics))
+    return "\n".join(lines)
 
 
 def _cmd_compare(args: argparse.Namespace) -> str:
@@ -248,6 +296,33 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="'none', 'rr:D' (round-robin, D s) or 'prob:P:D'",
     )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="also write a Chrome trace JSON (fela runtime only)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="traced Fela run: Chrome trace + run report"
+    )
+    trace.add_argument("model")
+    trace.add_argument("--batch", type=int, default=256)
+    trace.add_argument("--workers", type=int, default=8)
+    trace.add_argument("--iterations", type=int, default=3)
+    trace.add_argument(
+        "--straggler",
+        default="none",
+        help="'none', 'rr:D' (round-robin, D s) or 'prob:P:D'",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="Chrome trace JSON output path",
+    )
+    trace.add_argument(
+        "--metrics-csv", default=None, metavar="FILE",
+        help="also dump the metrics registry as CSV",
+    )
 
     compare = sub.add_parser("compare", help="compare all runtimes")
     compare.add_argument("model")
@@ -293,6 +368,7 @@ _COMMANDS: dict[
     "profile": _cmd_profile,
     "partition": _cmd_partition,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "tune": _cmd_tune,
     "figures": _cmd_figures,

@@ -32,24 +32,35 @@ def ring_allreduce(
     the collective opens a ledger entry before its first round and closes
     it with the bytes actually put on the wire, so lost or duplicated
     gradient chunks are caught by the invariant checker.
+
+    With a tracer attached to the cluster's environment, the collective
+    records one ``sync.allreduce`` span covering all its rounds (emitted
+    even for the trivial single-participant case, so every level's
+    causal chain ends in a synchronization span).
     """
     workers = list(workers)
     if not workers:
         raise ConfigurationError("allreduce needs at least one worker")
     if len(set(workers)) != len(workers):
         raise ConfigurationError(f"duplicate workers in allreduce: {workers}")
+    env = cluster.env
+    tracer = env.tracer
     k = len(workers)
     if k == 1 or size_bytes <= 0:
         if ledger is not None:
             ledger.close(ledger.open(workers, size_bytes, context), 0.0)
+        if tracer.enabled:
+            tracer.allreduce(
+                workers, size_bytes, 0.0, env.now, env.now, context
+            )
         return
-    env = cluster.env
     chunk = size_bytes / k
     handle = (
         ledger.open(workers, size_bytes, context)
         if ledger is not None
         else None
     )
+    start = env.now
     wire_bytes = 0.0
     for _round in range(2 * (k - 1)):
         transfers = [
@@ -62,6 +73,10 @@ def ring_allreduce(
         yield env.all_of(transfers)
     if ledger is not None and handle is not None:
         ledger.close(handle, wire_bytes)
+    if tracer.enabled:
+        tracer.allreduce(
+            workers, size_bytes, wire_bytes, start, env.now, context
+        )
 
 
 def tree_allreduce(

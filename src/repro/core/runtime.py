@@ -28,8 +28,13 @@ from repro.core.worker import Worker
 from repro.errors import ConfigurationError
 from repro.hardware import Cluster, ClusterSpec
 from repro.metrics import IterationRecord, RunResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.sim import Event
 from repro.stragglers import NoStraggler, StragglerInjector
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.obs.protocols import InvariantMonitor, SpanSink
 
 
 class FelaRuntime:
@@ -42,8 +47,10 @@ class FelaRuntime:
         config: FelaConfig,
         cluster: Cluster | None = None,
         straggler: StragglerInjector | None = None,
-        recorder: _t.Any | None = None,
-        invariants: _t.Any | None = None,
+        recorder: "SpanSink | None" = None,
+        invariants: "InvariantMonitor | None" = None,
+        tracer: NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config
         self.cluster = cluster or Cluster(
@@ -54,11 +61,27 @@ class FelaRuntime:
         #: validating token conservation and sync accounting (off by
         #: default; tests turn it on).
         self.invariants = invariants
-        self.server = TokenServer(config, self.cluster, invariants=invariants)
-        #: Optional :class:`~repro.metrics.timeline.TimelineRecorder`.
+        #: Metrics registry shared with the token server; ``run()``
+        #: derives ``RunResult.stats`` from it.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional :class:`~repro.metrics.timeline.TimelineRecorder` (or
+        #: any :class:`~repro.obs.protocols.SpanSink`): fed from the trace
+        #: stream after the run, so the timeline and the trace exporters
+        #: share one instrumentation surface.
         self.recorder = recorder
+        if tracer is None:
+            # A recorder without a tracer still needs the event stream;
+            # otherwise tracing stays off (the shared null tracer).
+            tracer = Tracer() if recorder is not None else NULL_TRACER
+        self.tracer = tracer
+        env = self.cluster.env
+        env.tracer = self.tracer  # the one wiring point for all components
+        self.tracer.attach_env(env)
+        self.server = TokenServer(
+            config, self.cluster, invariants=invariants, metrics=self.metrics
+        )
         self.workers = [
-            Worker(self.server, self.cluster[wid], wid, recorder=recorder)
+            Worker(self.server, self.cluster[wid], wid)
             for wid in range(config.num_workers)
         ]
         self._validate_memory()
@@ -92,18 +115,10 @@ class FelaRuntime:
         if self.invariants is not None:
             self.invariants.on_run_end(self.server)
         total_time = env.now
-        stats = {
-            "ts_requests": self.server.requests,
-            "ts_conflicts": self.server.conflicts,
-            "tokens_by_worker": dict(self.server.tokens_by_worker),
-            "bytes_fetched": sum(w.bytes_fetched for w in self.workers),
-            "network_bytes": self.cluster.fabric.stats.bytes_transferred,
-            "compute_seconds_by_worker": [
-                w.compute_seconds for w in self.workers
-            ],
-            "weights": self.config.weights,
-            "subset_size": self.config.subset_size,
-        }
+        if self.recorder is not None:
+            # The timeline is a post-run *view* of the trace stream, not a
+            # second instrumentation surface.
+            self.recorder.ingest(self.tracer.events)
         return RunResult(
             runtime_name=self.name,
             model_name=self.config.partition.model.name,
@@ -111,8 +126,68 @@ class FelaRuntime:
             iterations=self.config.iterations,
             total_time=total_time,
             records=tuple(self._records),
-            stats=stats,
+            stats=self._final_stats(total_time),
         )
+
+    def _final_stats(self, total_time: float) -> dict[str, _t.Any]:
+        """Fold per-worker end-of-run gauges into the registry and build
+        the backward-compatible ``stats`` payload from it."""
+        metrics = self.metrics
+        for worker in self.workers:
+            wid = worker.wid
+            metrics.gauge("worker.compute_seconds", worker=wid).set(
+                worker.compute_seconds
+            )
+            metrics.gauge("worker.fetch_seconds", worker=wid).set(
+                worker.fetch_seconds
+            )
+            metrics.gauge("worker.delay_seconds", worker=wid).set(
+                worker.delay_seconds
+            )
+            metrics.gauge("worker.idle_seconds", worker=wid).set(
+                max(
+                    0.0,
+                    total_time
+                    - worker.compute_seconds
+                    - worker.fetch_seconds
+                    - worker.delay_seconds,
+                )
+            )
+            metrics.gauge("worker.bytes_fetched", worker=wid).set(
+                worker.bytes_fetched
+            )
+        metrics.gauge("net.bytes").set(
+            self.cluster.fabric.stats.bytes_transferred
+        )
+        wids = range(self.config.num_workers)
+        latency = self.server._request_latency
+        return {
+            "ts_requests": self.server.requests,
+            "ts_conflicts": self.server.conflicts,
+            "tokens_by_worker": dict(self.server.tokens_by_worker),
+            "bytes_fetched": sum(w.bytes_fetched for w in self.workers),
+            "network_bytes": metrics.gauge("net.bytes").value,
+            "compute_seconds_by_worker": [
+                metrics.gauge("worker.compute_seconds", worker=wid).value
+                for wid in wids
+            ],
+            "fetch_seconds_by_worker": [
+                metrics.gauge("worker.fetch_seconds", worker=wid).value
+                for wid in wids
+            ],
+            "idle_seconds_by_worker": [
+                metrics.gauge("worker.idle_seconds", worker=wid).value
+                for wid in wids
+            ],
+            "straggler_delay_seconds_by_worker": [
+                metrics.gauge("worker.delay_seconds", worker=wid).value
+                for wid in wids
+            ],
+            "sync_bytes_by_level": metrics.series("sync.bytes", "level"),
+            "ts_request_latency": latency.fields(),
+            "weights": self.config.weights,
+            "subset_size": self.config.subset_size,
+        }
 
     # -- worker-facing coordination ----------------------------------------------------
 
@@ -207,6 +282,7 @@ class FelaRuntime:
         if self.invariants is not None:
             self.invariants.on_sync_start(iteration, level, participants)
             ledger = self.invariants.ledger
+        start = self.cluster.env.now
         yield from ring_allreduce(
             self.cluster,
             participants,
@@ -214,6 +290,20 @@ class FelaRuntime:
             ledger=ledger,
             context=(iteration, level),
         )
+        env = self.cluster.env
+        k = len(participants)
+        wire = (
+            2 * (k - 1) * submodel.param_bytes
+            if k > 1 and submodel.param_bytes > 0
+            else 0.0
+        )
+        self.metrics.counter("sync.bytes", level=level).inc(wire)
+        self.metrics.counter("sync.count", level=level).inc()
+        self.metrics.histogram("sync.seconds", level=level).observe(
+            env.now - start
+        )
+        if self.tracer.enabled:
+            self.tracer.level_synced(iteration, level, participants, wire)
 
 
 class PipelinedFelaRuntime(FelaRuntime):

@@ -31,7 +31,11 @@ from repro.core.generator import TokenGenerator
 from repro.core.tokens import InfoMapping, Token
 from repro.errors import SchedulingError
 from repro.hardware import Cluster
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.protocols import InvariantMonitor
 
 
 class TokenServer:
@@ -41,7 +45,8 @@ class TokenServer:
         self,
         config: FelaConfig,
         cluster: Cluster,
-        invariants: _t.Any | None = None,
+        invariants: "InvariantMonitor | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if config.num_workers > cluster.num_nodes:
             raise SchedulingError(
@@ -70,15 +75,40 @@ class TokenServer:
         #: (iteration, level) -> completion event.
         self._level_done: dict[tuple[int, int], Event] = {}
         self._bucket_changed: Event = self.env.event()
-        # Statistics.
-        self.conflicts: int = 0
-        self.requests: int = 0
-        self.tokens_by_worker: dict[int, int] = {
-            wid: 0 for wid in range(config.num_workers)
-        }
+        #: Statistics live in the metrics registry (the runtime shares
+        #: its registry so ``RunResult.stats`` reads the same numbers).
+        #: Metric handles are resolved once — the request path is hot.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests = self.metrics.counter("ts.requests")
+        self._conflicts = self.metrics.counter("ts.conflicts")
+        self._request_latency = self.metrics.histogram("ts.request_latency")
+        self._tokens_assigned = [
+            self.metrics.counter("ts.tokens_assigned", worker=wid)
+            for wid in range(config.num_workers)
+        ]
         #: iteration -> wid -> tokens assigned (per-iteration attribution,
         #: needed when iterations overlap).
         self.tokens_by_worker_per_iteration: dict[int, dict[int, int]] = {}
+
+    # -- statistics views ---------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        """Total TS request round-trips served."""
+        return int(self._requests.value)
+
+    @property
+    def conflicts(self) -> int:
+        """Contended shared-pool requests that paid the locking penalty."""
+        return int(self._conflicts.value)
+
+    @property
+    def tokens_by_worker(self) -> dict[int, int]:
+        """Tokens assigned per worker over the whole run."""
+        return {
+            wid: int(counter.value)
+            for wid, counter in enumerate(self._tokens_assigned)
+        }
 
     # -- iteration lifecycle ------------------------------------------------------
 
@@ -103,8 +133,13 @@ class TokenServer:
         for level in range(self.config.levels):
             self._level_done[(iteration, level)] = self.env.event()
         self.distributor.reset_iteration()
+        tracer = self.env.tracer
         for token in self.generator.start_iteration(iteration):
+            if tracer.enabled:
+                tracer.token_minted(token)
             self.bucket.add(token)
+            if tracer.enabled:
+                tracer.token_buffered(token)
             if self.invariants is not None:
                 self.invariants.on_minted(token)
         if self.invariants is not None:
@@ -154,6 +189,8 @@ class TokenServer:
         ``yield from`` this inside a worker process.
         """
         latency = self.cluster.spec.latency
+        tracer = self.env.tracer
+        request_start = self.env.now
         while True:
             yield self.env.timeout(latency)  # request travels to TS
 
@@ -166,7 +203,7 @@ class TokenServer:
             selection = self.distributor.select(wid, self.bucket, self.info)
             if not own_stb_first:
                 self.distributor.request_finished()
-            self.requests += 1
+            self._requests.inc()
 
             if selection.token is not None:
                 # Selection and removal are atomic (no simulated time may
@@ -175,27 +212,49 @@ class TokenServer:
                 token = selection.token
                 self.bucket.remove(token)
                 self.info.record_assignment(token.tid, wid)
+                if tracer.enabled:
+                    tracer.token_assigned(token, wid)
                 if self.invariants is not None:
                     self.invariants.on_assigned(token, wid)
                     self.invariants.verify_conservation(self)
                 self._assigned[token.iteration][token.level] += 1
-                self.tokens_by_worker[wid] += 1
+                self._tokens_assigned[wid].inc()
                 per_iteration = self.tokens_by_worker_per_iteration.get(
                     token.iteration
                 )
                 if per_iteration is not None:
                     per_iteration[wid] += 1
                 self._broadcast()
-                if selection.contended and not selection.from_own_stb:
+                contended = selection.contended and not selection.from_own_stb
+                if contended:
                     # Locking: this request raced others on the shared pool
                     # and pays the serialization/retry cost (Section III-E).
-                    self.conflicts += 1
+                    self._conflicts.inc()
                     yield self.env.timeout(self.config.conflict_overhead)
                 yield self.env.timeout(latency)  # reply travels back
+                self._request_latency.observe(self.env.now - request_start)
+                if tracer.enabled:
+                    tracer.ts_request(
+                        wid,
+                        request_start,
+                        self.env.now,
+                        granted=True,
+                        conflict=contended,
+                        token=token.tid,
+                    )
                 return token
 
             if self._exhausted_for(wid):
                 yield self.env.timeout(latency)
+                self._request_latency.observe(self.env.now - request_start)
+                if tracer.enabled:
+                    tracer.ts_request(
+                        wid,
+                        request_start,
+                        self.env.now,
+                        granted=False,
+                        conflict=False,
+                    )
                 return None
 
             # Tokens may still be generated: wait for bucket activity.
@@ -204,13 +263,20 @@ class TokenServer:
     def report_completion(self, wid: int, token: Token):
         """Process generator: report ``token`` complete; mint successors."""
         latency = self.cluster.spec.latency
+        tracer = self.env.tracer
         yield self.env.timeout(latency)
         yield self.env.timeout(self.config.ts_service_time)
         self.info.record_completion(token.tid, wid)
+        if tracer.enabled:
+            tracer.token_reported(token, wid)
         if self.invariants is not None:
             self.invariants.on_completed(token, wid)
         for fresh in self.generator.on_completion(token.tid, wid):
+            if tracer.enabled:
+                tracer.token_minted(fresh)
             self.bucket.add(fresh)
+            if tracer.enabled:
+                tracer.token_buffered(fresh)
             if self.invariants is not None:
                 self.invariants.on_minted(fresh)
         if self.invariants is not None:

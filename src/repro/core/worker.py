@@ -15,6 +15,10 @@ Per token, the worker:
 The Coordinator is modelled implicitly: remote parameter fetches are
 pull-based fabric transfers from the holder recorded in Info Mapping —
 byte-for-byte what the paper's push-based notification achieves.
+
+Workers emit fetch, compute, and straggler-delay spans through
+``env.tracer`` (see :mod:`repro.obs.tracer`); the ASCII timeline is now
+derived from that trace stream rather than recorded directly here.
 """
 
 from __future__ import annotations
@@ -36,18 +40,6 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
         def start_delay(self, iteration: int, wid: int) -> float: ...
 
-    class _RecorderProtocol(_t.Protocol):
-        """What a worker needs from a timeline recorder."""
-
-        def record(
-            self,
-            worker: int,
-            kind: str,
-            start: float,
-            end: float,
-            label: str = "",
-        ) -> None: ...
-
 
 class Worker:
     """One Fela worker bound to a cluster node."""
@@ -57,14 +49,11 @@ class Worker:
         server: TokenServer,
         node: Node,
         wid: int,
-        recorder: "_RecorderProtocol | None" = None,
     ) -> None:
         self.server = server
         self.node = node
         self.wid = wid
         self.config = server.config
-        #: Optional timeline recorder (fetch/compute spans per token).
-        self.recorder = recorder
         #: Parameter Chunks: token ids whose output activations are stored
         #: locally (authoritative or fetched copies).
         self.chunks: set[int] = set()
@@ -72,6 +61,8 @@ class Worker:
         self.tokens_trained: int = 0
         self.bytes_fetched: float = 0.0
         self.compute_seconds: float = 0.0
+        self.fetch_seconds: float = 0.0
+        self.delay_seconds: float = 0.0
 
     def __repr__(self) -> str:
         return f"<Worker {self.wid}>"
@@ -95,7 +86,13 @@ class Worker:
             if start_delay > 0:
                 # Straggler injection: the worker may not start work until
                 # ``start_delay`` seconds into the iteration.
+                delay_from = env.now
                 yield env.timeout(start_delay)
+                self.delay_seconds += env.now - delay_from
+                if env.tracer.enabled:
+                    env.tracer.straggler_delay(
+                        self.wid, iteration, delay_from, env.now
+                    )
             while True:
                 token = yield from self.server.request_token(self.wid)
                 if token is None:
@@ -107,12 +104,20 @@ class Worker:
 
     def _train_token(self, token: Token):
         env = self.server.env
+        tracer = env.tracer
         fetch_start = env.now
+        bytes_before = self.bytes_fetched
         yield from self._fetch_inputs(token)
-        if self.recorder is not None and env.now > fetch_start:
-            self.recorder.record(
-                self.wid, "fetch", fetch_start, env.now, token.type_name
-            )
+        if env.now > fetch_start:
+            self.fetch_seconds += env.now - fetch_start
+            if tracer.enabled:
+                tracer.fetch(
+                    self.wid,
+                    token,
+                    fetch_start,
+                    env.now,
+                    self.bytes_fetched - bytes_before,
+                )
         submodel = self.config.partition[token.level]
         duration = self.node.gpu_spec.train_time(
             submodel.layers, token.batch
@@ -120,10 +125,8 @@ class Worker:
         before = env.now
         yield from self.node.compute(duration)
         self.compute_seconds += env.now - before
-        if self.recorder is not None:
-            self.recorder.record(
-                self.wid, "compute", before, env.now, token.type_name
-            )
+        if tracer.enabled:
+            tracer.token_trained(token, self.wid, before, env.now)
         self.chunks.add(token.tid)
         self.tokens_trained += 1
         yield from self.server.report_completion(self.wid, token)

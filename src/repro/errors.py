@@ -48,6 +48,15 @@ class AnalysisError(ReproError):
     """The static-analysis tooling was invoked incorrectly."""
 
 
+class ObservabilityError(ReproError):
+    """The tracing/metrics subsystem was used or fed incorrectly.
+
+    Examples: emitting events from a tracer that was never attached to a
+    simulation environment, registering the same metric name with two
+    different metric types, or exporting/validating a malformed trace.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant of the token machinery or simulator broke.
 

@@ -112,9 +112,17 @@ class ExperimentRunner:
         kind: str,
         spec: ExperimentSpec,
         straggler: StragglerInjector | None = None,
+        tracer: _t.Any | None = None,
+        metrics: _t.Any | None = None,
         **overrides: _t.Any,
     ) -> RunResult:
-        """Run one runtime kind against a spec and return its result."""
+        """Run one runtime kind against a spec and return its result.
+
+        ``tracer`` / ``metrics`` (a :class:`~repro.obs.tracer.Tracer` and
+        a :class:`~repro.obs.metrics.MetricsRegistry`) attach observability
+        to the run; only the Fela runtime is instrumented, so passing
+        either with a baseline kind is a configuration error.
+        """
         straggler = straggler or NoStraggler()
         cluster = Cluster(spec.resolved_cluster_spec())
         model = self.model(spec.model_name)
@@ -124,7 +132,18 @@ class ExperimentRunner:
                 # Apply atomically: interdependent fields (e.g. sync_mode
                 # + staleness) must be validated together.
                 config = config.replace(**overrides)
-            return FelaRuntime(config, cluster, straggler=straggler).run()
+            return FelaRuntime(
+                config,
+                cluster,
+                straggler=straggler,
+                tracer=tracer,
+                metrics=metrics,
+            ).run()
+        if tracer is not None or metrics is not None:
+            raise ConfigurationError(
+                f"tracing/metrics are only supported for the 'fela' "
+                f"runtime, not {kind!r}"
+            )
         baseline_cls = {
             "dp": DataParallel,
             "mp": ModelParallel,

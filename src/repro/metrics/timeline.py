@@ -60,6 +60,28 @@ class TimelineRecorder:
     ) -> None:
         self._spans.append(Span(worker, kind, start, end, label))
 
+    def ingest(self, events: _t.Iterable[_t.Any]) -> None:
+        """Replay compute/fetch spans from a trace-event stream.
+
+        ``events`` is a sequence of :class:`~repro.obs.events.TraceEvent`
+        (a :class:`~repro.obs.tracer.Tracer`'s ``events``); the runtime
+        calls this after a run so the timeline is a view of the same
+        trace stream the exporters consume.
+        """
+        # Imported lazily: repro.metrics must stay importable without
+        # dragging in the obs exporters (which import it back for types).
+        from repro.obs.exporters import timeline_spans
+
+        for worker, kind, start, end, label in timeline_spans(events):
+            self.record(worker, kind, start, end, label)
+
+    @classmethod
+    def from_trace(cls, events: _t.Iterable[_t.Any]) -> "TimelineRecorder":
+        """Build a recorder directly from a trace-event stream."""
+        recorder = cls()
+        recorder.ingest(events)
+        return recorder
+
     # -- queries -----------------------------------------------------------------
 
     def spans(
@@ -127,7 +149,12 @@ class TimelineRecorder:
                 if glyph is None:
                     continue
                 first = min(width - 1, int(span.start * scale))
-                last = min(width - 1, max(first, int(span.end * scale) - 1))
+                last = min(width - 1, int(span.end * scale) - 1)
+                if last < first:
+                    # A span shorter than one cell still paints one cell:
+                    # dropping it entirely would hide short fetches (and
+                    # whole fast tokens) from the chart.
+                    last = first
                 for cell in range(first, last + 1):
                     # Compute wins over fetch when spans round onto the
                     # same cell.

@@ -297,10 +297,21 @@ class Fabric:
             )
             if due is not None:
                 finished = [due]
+        tracer = self.env.tracer
         for flow in finished:
             del self._flows[flow.fid]
             self.stats.flows_completed += 1
             duration = self.env.now - flow.started_at + self.latency
+            if tracer.enabled:
+                # The span covers wire time up to last-byte arrival; the
+                # tracer only records, so tracing never perturbs the sim.
+                tracer.transfer(
+                    flow.src,
+                    flow.dst,
+                    flow.size,
+                    flow.started_at,
+                    self.env.now + self.latency,
+                )
             assert flow.done is not None
             # The last byte arrives ``latency`` seconds after it was put on
             # the wire; trigger the completion event with that delay.

@@ -1,0 +1,118 @@
+"""Observability: structured tracing + metrics for the token lifecycle.
+
+The paper's central claims — elastic straggler absorption, sync/compute
+overlap, the two-phase tuner's cost model — are temporal claims; this
+package makes them *visible*:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.tracer` — causally-linked
+  structured events for the full token lifecycle (minted -> buffered ->
+  assigned -> trained -> reported -> level-synced) plus network-transfer,
+  straggler-delay, and TS-request spans.  The default
+  :class:`NullTracer` makes instrumentation free when tracing is off.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters /
+  gauges / histograms that the runtime derives ``RunResult.stats`` from.
+* :mod:`repro.obs.exporters` — Chrome trace-event JSON (open in
+  Perfetto or ``chrome://tracing``), CSV metric dumps, schema validation,
+  and the bridge feeding the ASCII timeline from the trace stream.
+* :mod:`repro.obs.report` — plain-text run report with critical-path and
+  straggler-attribution analysis.
+* :mod:`repro.obs.protocols` — typed seams (``TracerLike``,
+  ``SpanSink``, ``InvariantMonitor``) for the runtime's attachments.
+
+CLI entry points: ``repro trace <model>``, ``--trace-out`` on
+``repro run``, and ``python -m repro.obs.validate`` for trace files.
+"""
+
+from repro.obs.events import (
+    CAT_NETWORK,
+    CAT_STRAGGLER,
+    CAT_SYNC,
+    CAT_TOKEN,
+    CAT_TS,
+    CAT_WORKER,
+    EV_ALLREDUCE,
+    EV_ASSIGNED,
+    EV_BUFFERED,
+    EV_DELAY,
+    EV_FETCH,
+    EV_LEVEL_SYNCED,
+    EV_MINTED,
+    EV_REPORTED,
+    EV_TRAINED,
+    EV_TRANSFER,
+    EV_TS_REQUEST,
+    TOKEN_LIFECYCLE,
+    TS_TRACK,
+    TraceEvent,
+)
+from repro.obs.exporters import (
+    chrome_trace,
+    complete_events,
+    dump_chrome_trace,
+    metrics_to_csv,
+    read_chrome_trace,
+    timeline_spans,
+    validate_chrome_trace,
+    verify_causal_chains,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.protocols import InvariantMonitor, SpanSink, TracerLike
+from repro.obs.report import (
+    critical_path,
+    render_run_report,
+    straggler_attribution,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "CAT_NETWORK",
+    "CAT_STRAGGLER",
+    "CAT_SYNC",
+    "CAT_TOKEN",
+    "CAT_TS",
+    "CAT_WORKER",
+    "Counter",
+    "EV_ALLREDUCE",
+    "EV_ASSIGNED",
+    "EV_BUFFERED",
+    "EV_DELAY",
+    "EV_FETCH",
+    "EV_LEVEL_SYNCED",
+    "EV_MINTED",
+    "EV_REPORTED",
+    "EV_TRAINED",
+    "EV_TRANSFER",
+    "EV_TS_REQUEST",
+    "Gauge",
+    "Histogram",
+    "InvariantMonitor",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanSink",
+    "TOKEN_LIFECYCLE",
+    "TS_TRACK",
+    "TraceEvent",
+    "Tracer",
+    "TracerLike",
+    "chrome_trace",
+    "complete_events",
+    "critical_path",
+    "dump_chrome_trace",
+    "metrics_to_csv",
+    "read_chrome_trace",
+    "render_run_report",
+    "straggler_attribution",
+    "timeline_spans",
+    "validate_chrome_trace",
+    "verify_causal_chains",
+    "write_chrome_trace",
+    "write_metrics_csv",
+]

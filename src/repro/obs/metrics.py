@@ -1,0 +1,235 @@
+"""Metrics: counters, gauges, and histograms for the simulated runtime.
+
+A :class:`MetricsRegistry` is the structured replacement for the
+hand-rolled ``stats`` dict :class:`~repro.core.runtime.FelaRuntime` used
+to assemble: instrumented components register named (and optionally
+labelled) metrics, and the runtime derives its backward-compatible
+``RunResult.stats`` payload from a registry snapshot at the end of the
+run.
+
+Everything here is deterministic: metric iteration order is insertion
+order with a sorted tie-break in exports, histograms keep their
+observations in arrival order, and the CSV export is byte-stable across
+reruns of a seeded experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ObservabilityError
+
+#: Label sets are stored as sorted (key, value) tuples so that
+#: ``counter("x", a=1, b=2)`` and ``counter("x", b=2, a=1)`` are one metric.
+LabelKey = tuple[tuple[str, _t.Any], ...]
+
+
+def _label_key(labels: dict[str, _t.Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up; got increment {amount}"
+            )
+        self.value += amount
+
+    def fields(self) -> dict[str, _t.Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value (utilization, byte totals, ...)."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def fields(self) -> dict[str, _t.Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Distribution of observations (latencies, span lengths, ...).
+
+    Observations are kept verbatim — simulation-scale cardinalities are
+    small enough that exact percentiles beat bucketing.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return self.total / len(self._values)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not 0 <= fraction <= 1:
+            raise ObservabilityError(
+                f"percentile fraction must be in [0, 1]: {fraction}"
+            )
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+    def fields(self) -> dict[str, _t.Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+
+Metric = _t.Union[Counter, Gauge, Histogram]
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSample:
+    """One exported metric row: name + labels + the metric's fields."""
+
+    name: str
+    kind: str
+    labels: LabelKey
+    fields: dict[str, _t.Any]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(
+        self,
+        name: str,
+        factory: type[Metric],
+        labels: dict[str, _t.Any],
+    ) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, factory):
+            raise ObservabilityError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{factory.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: _t.Any) -> Counter:
+        return _t.cast(Counter, self._get(name, Counter, labels))
+
+    def gauge(self, name: str, **labels: _t.Any) -> Gauge:
+        return _t.cast(Gauge, self._get(name, Gauge, labels))
+
+    def histogram(self, name: str, **labels: _t.Any) -> Histogram:
+        return _t.cast(Histogram, self._get(name, Histogram, labels))
+
+    # -- reads --------------------------------------------------------------
+
+    def series(self, name: str, label: str) -> dict[_t.Any, float]:
+        """Map one label's values to metric values, for labelled families.
+
+        ``series("ts.tokens_assigned", "worker")`` returns
+        ``{wid: count, ...}`` — the shape the legacy per-worker stats use.
+        """
+        out: dict[_t.Any, float] = {}
+        for (metric_name, labels), metric in self._metrics.items():
+            if metric_name != name:
+                continue
+            label_map = dict(labels)
+            if label not in label_map:
+                continue
+            if isinstance(metric, Histogram):
+                out[label_map[label]] = metric.total
+            else:
+                out[label_map[label]] = metric.value
+        return dict(sorted(out.items(), key=lambda item: repr(item[0])))
+
+    def samples(self) -> list[MetricSample]:
+        """All metrics as export rows, in deterministic sorted order."""
+        rows = [
+            MetricSample(
+                name=name,
+                kind=metric.kind,
+                labels=labels,
+                fields=metric.fields(),
+            )
+            for (name, labels), metric in self._metrics.items()
+        ]
+        rows.sort(key=lambda row: (row.name, repr(row.labels)))
+        return rows
+
+    def snapshot(self) -> dict[str, _t.Any]:
+        """Nested-dict view: ``{name: {label-repr: fields}}``.
+
+        Unlabelled metrics map straight to their fields (single-field
+        counters/gauges collapse to the bare value).
+        """
+        out: dict[str, _t.Any] = {}
+        for row in self.samples():
+            fields: _t.Any = row.fields
+            if set(fields) == {"value"}:
+                fields = fields["value"]
+            if not row.labels:
+                out[row.name] = fields
+            else:
+                label_text = ",".join(
+                    f"{key}={value}" for key, value in row.labels
+                )
+                out.setdefault(row.name, {})[label_text] = fields
+        return out

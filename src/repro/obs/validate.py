@@ -1,0 +1,73 @@
+"""Trace-file validation CLI: ``python -m repro.obs.validate TRACE...``.
+
+Checks an exported Chrome trace-event JSON file against the event schema
+(:func:`repro.obs.exporters.validate_chrome_trace`) and, with
+``--chains``, the Fela acceptance property: every (iteration, level) in
+the trace must contain at least one complete
+``minted -> buffered -> assigned -> trained -> reported -> synced``
+causal chain (:func:`repro.obs.exporters.verify_causal_chains`).
+
+CI runs this on the trace produced by a small traced experiment before
+uploading it as a build artifact.  Exit code 0 means every file passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.errors import ReproError
+from repro.obs.exporters import (
+    complete_events,
+    read_chrome_trace,
+    validate_chrome_trace,
+    verify_causal_chains,
+)
+
+
+def validate_file(path: str, check_chains: bool = False) -> list[str]:
+    """Validate one trace file; returns the list of problems found."""
+    try:
+        payload = read_chrome_trace(path)
+    except (OSError, ValueError, ReproError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    problems = validate_chrome_trace(payload)
+    if not problems and check_chains:
+        problems = verify_causal_chains(payload)
+    return problems
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="validate Chrome trace-event JSON files",
+    )
+    parser.add_argument("paths", nargs="+", help="trace JSON files")
+    parser.add_argument(
+        "--chains",
+        action="store_true",
+        help="also require a complete minted->synced causal chain per "
+        "(iteration, level)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.paths:
+        problems = validate_file(path, check_chains=args.chains)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            try:
+                count = len(complete_events(read_chrome_trace(path)))
+            except (OSError, ValueError, ReproError):
+                count = 0
+            print(f"{path}: OK ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -11,6 +11,8 @@ repository, backed by the analytic GPU model instead of a physical K40c.
 from __future__ import annotations
 
 import dataclasses
+import json
+import pathlib
 import typing as _t
 
 from repro.errors import ConfigurationError
@@ -122,3 +124,103 @@ class ThroughputProfiler:
     def repository_signatures(self) -> list[tuple]:
         """Shapes profiled so far (insertion order)."""
         return list(self._repository)
+
+    # -- persistence ---------------------------------------------------------------
+
+    #: On-disk repository format version.
+    _FORMAT_VERSION = 1
+
+    def save(self, path: str | pathlib.Path) -> int:
+        """Write the shape repository to ``path`` as JSON.
+
+        The paper's measurement is "executed once and for all"; saving
+        the repository lets later runs (and other tasks) reuse it without
+        re-profiling.  Returns the number of profiles written.
+        """
+        payload = {
+            "version": self._FORMAT_VERSION,
+            "saturation_fraction": self.saturation_fraction,
+            "batch_sweep": list(self.batch_sweep),
+            "profiles": [
+                {
+                    "signature": list(profile.signature),
+                    "threshold_batch": profile.threshold_batch,
+                    "max_throughput": profile.max_throughput,
+                    "sweep": [
+                        {
+                            "batch": point.batch,
+                            "throughput": point.throughput,
+                            "train_time": point.train_time,
+                        }
+                        for point in profile.sweep
+                    ],
+                }
+                for profile in self._repository.values()
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        pathlib.Path(path).write_text(text + "\n")
+        return len(self._repository)
+
+    def load(self, path: str | pathlib.Path) -> int:
+        """Merge a saved shape repository from ``path`` into this one.
+
+        The file's batch sweep and saturation fraction must match this
+        profiler's configuration — thresholds are only comparable when
+        measured the same way.  Existing in-memory profiles win over the
+        file's (they were computed by *this* GPU model).  Returns the
+        number of profiles actually added.
+        """
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read profiler repository {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"profiler repository {path} is not a JSON object"
+            )
+        version = payload.get("version")
+        if version != self._FORMAT_VERSION:
+            raise ConfigurationError(
+                f"profiler repository {path} has format version "
+                f"{version!r}; expected {self._FORMAT_VERSION}"
+            )
+        if tuple(payload.get("batch_sweep", ())) != self.batch_sweep:
+            raise ConfigurationError(
+                f"profiler repository {path} was measured with a "
+                f"different batch sweep"
+            )
+        if payload.get("saturation_fraction") != self.saturation_fraction:
+            raise ConfigurationError(
+                f"profiler repository {path} was measured with a "
+                f"different saturation fraction"
+            )
+        added = 0
+        for entry in payload.get("profiles", []):
+            signature = _freeze(entry["signature"])
+            if signature in self._repository:
+                continue
+            self._repository[signature] = ShapeProfile(
+                signature=signature,
+                sweep=tuple(
+                    SweepPoint(
+                        batch=int(point["batch"]),
+                        throughput=float(point["throughput"]),
+                        train_time=float(point["train_time"]),
+                    )
+                    for point in entry["sweep"]
+                ),
+                threshold_batch=int(entry["threshold_batch"]),
+                max_throughput=float(entry["max_throughput"]),
+            )
+            added += 1
+        return added
+
+
+def _freeze(value: _t.Any) -> _t.Any:
+    """Rebuild the nested-tuple shape signatures JSON turned into lists."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value

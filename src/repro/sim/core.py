@@ -11,6 +11,7 @@ import heapq
 import typing as _t
 
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.sim.events import (
     NORMAL,
     PENDING,
@@ -50,6 +51,11 @@ class Environment:
         #: Step monitors (e.g. the invariant checker's clock-monotonicity
         #: probe); called as ``monitor(now, event)`` after each pop.
         self._monitors: list[_t.Callable[[float, Event], None]] = []
+        #: The tracer observing this environment.  Components (fabric,
+        #: token server, workers, collectives) emit through this one
+        #: attribute; the default null tracer makes every emission a
+        #: no-op, so an untraced simulation pays nothing.
+        self.tracer: NullTracer = NULL_TRACER
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} queued={len(self._queue)}>"

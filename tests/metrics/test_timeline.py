@@ -69,6 +69,24 @@ class TestRecorder:
         with pytest.raises(ConfigurationError):
             self.make_recorder().render_gantt(width=3)
 
+    def test_gantt_paints_sub_cell_spans(self):
+        # A span much shorter than one cell must still paint one cell —
+        # regression for short fetches vanishing from the chart.
+        recorder = TimelineRecorder()
+        recorder.record(0, "compute", 0.0, 100.0)
+        recorder.record(1, "fetch", 50.0, 50.001)
+        gantt = recorder.render_gantt(width=20)
+        w1_row = gantt.splitlines()[2]
+        assert w1_row.startswith("W1: ")
+        assert "~" in w1_row
+
+    def test_gantt_sub_cell_span_at_the_horizon_edge(self):
+        recorder = TimelineRecorder()
+        recorder.record(0, "compute", 0.0, 10.0)
+        recorder.record(0, "fetch", 9.9999, 10.0)  # rounds past last cell
+        gantt = recorder.render_gantt(width=10)
+        assert "#" in gantt.splitlines()[1]  # still renders, no IndexError
+
 
 class TestRuntimeIntegration:
     def test_fela_records_compute_spans(self, vgg19_partition):

@@ -1,0 +1,82 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("x")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_summary_fields(self):
+        histogram = MetricsRegistry().histogram("x")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        fields = histogram.fields()
+        assert fields["count"] == 3
+        assert fields["total"] == 6.0
+        assert fields["min"] == 1.0
+        assert fields["max"] == 3.0
+        assert fields["mean"] == 2.0
+        assert fields["p50"] == 2.0
+
+    def test_empty_histogram_is_all_zero(self):
+        fields = MetricsRegistry().histogram("x").fields()
+        assert fields["count"] == 0
+        assert fields["mean"] == 0.0
+
+    def test_percentile_fraction_validated(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("x").percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_is_label_order_insensitive(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", worker=1, level=2)
+        b = registry.counter("x", level=2, worker=1)
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+
+    def test_series_maps_one_label(self):
+        registry = MetricsRegistry()
+        registry.counter("tokens", worker=0).inc(3)
+        registry.counter("tokens", worker=1).inc(5)
+        registry.counter("other", worker=0).inc(99)
+        assert registry.series("tokens", "worker") == {0: 3, 1: 5}
+
+    def test_samples_sorted_and_snapshot_collapses_scalars(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(1.0)
+        registry.counter("a", worker=1).inc()
+        samples = registry.samples()
+        assert [row.name for row in samples] == ["a", "b"]
+        snapshot = registry.snapshot()
+        assert snapshot["b"] == 1.0
+        assert snapshot["a"]["worker=1"] == 1

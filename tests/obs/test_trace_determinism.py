@@ -1,0 +1,46 @@
+"""Seeded determinism: traced reruns are byte-identical.
+
+Traces and metric dumps are comparison artifacts; they are only usable
+as such if a seeded experiment reproduces them byte for byte.
+"""
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.hardware import Cluster, ClusterSpec
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    dump_chrome_trace,
+    metrics_to_csv,
+)
+from repro.stragglers import ProbabilityStraggler
+
+
+def _dumps(partition) -> tuple[str, str]:
+    config = FelaConfig(
+        partition=partition,
+        total_batch=128,
+        num_workers=4,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=2,
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    FelaRuntime(
+        config,
+        Cluster(ClusterSpec(num_nodes=4)),
+        straggler=ProbabilityStraggler(0.4, 1.5, seed=11),
+        tracer=tracer,
+        metrics=metrics,
+    ).run()
+    return dump_chrome_trace(tracer.events), metrics_to_csv(metrics)
+
+
+def test_trace_and_metrics_are_byte_identical_across_reruns(
+    vgg19_partition,
+):
+    trace_a, csv_a = _dumps(vgg19_partition)
+    trace_b, csv_b = _dumps(vgg19_partition)
+    assert trace_a == trace_b
+    assert csv_a == csv_b
+    assert len(trace_a) > 1000  # non-trivial payload

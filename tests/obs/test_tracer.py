@@ -1,0 +1,107 @@
+"""Unit tests for the tracer pair (null + recording)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    CAT_TOKEN,
+    EV_MINTED,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+from repro.sim import Environment
+
+
+class TestNullTracer:
+    def test_disabled_and_empty(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.events == ()
+
+    def test_every_emission_is_a_noop(self):
+        tracer = NullTracer()
+        tracer.instant("x", CAT_TOKEN)
+        tracer.span("x", CAT_TOKEN, 0.0, 1.0)
+        tracer.transfer(0, 1, 10.0, 0.0, 1.0)
+        tracer.allreduce([0, 1], 10.0, 20.0, 0.0, 1.0)
+        tracer.ts_request(0, 0.0, 1.0, granted=True, conflict=False)
+        tracer.straggler_delay(0, 0, 0.0, 1.0)
+        tracer.level_synced(0, 0, [0], 0.0)
+        assert tracer.events == ()
+
+    def test_environment_defaults_to_the_shared_null_tracer(self):
+        env = Environment()
+        assert env.tracer is NULL_TRACER
+
+
+class TestTracer:
+    def test_requires_attached_env(self):
+        with pytest.raises(ObservabilityError):
+            Tracer().instant("x", CAT_TOKEN)
+
+    def test_clock_reads_from_env(self):
+        env = Environment()
+        tracer = Tracer()
+        tracer.attach_env(env)
+
+        def advance():
+            yield env.timeout(2.5)
+
+        env.process(advance())
+        env.run()
+        tracer.instant("x", CAT_TOKEN)
+        assert tracer.events[-1].start == 2.5
+
+    def test_sequence_numbers_follow_emission_order(self):
+        tracer = Tracer()
+        tracer.attach_env(Environment())
+        for _ in range(5):
+            tracer.instant("x", CAT_TOKEN)
+        assert [event.seq for event in tracer.events] == [0, 1, 2, 3, 4]
+
+    def test_span_rejects_negative_duration(self):
+        tracer = Tracer()
+        tracer.attach_env(Environment())
+        with pytest.raises(ObservabilityError):
+            tracer.span("x", CAT_TOKEN, 2.0, 1.0)
+
+
+class TestTraceEvent:
+    def test_frozen_and_validated(self):
+        event = TraceEvent(
+            name=EV_MINTED,
+            category=CAT_TOKEN,
+            start=1.0,
+            duration=0.5,
+            track=0,
+            seq=0,
+        )
+        assert event.end == 1.5
+        assert event.is_span
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.start = 2.0  # type: ignore[misc]
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ObservabilityError):
+            TraceEvent(
+                name="x",
+                category="nonsense",
+                start=0.0,
+                duration=0.0,
+                track=0,
+                seq=0,
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ObservabilityError):
+            TraceEvent(
+                name="x",
+                category=CAT_TOKEN,
+                start=0.0,
+                duration=-1.0,
+                track=0,
+                seq=0,
+            )

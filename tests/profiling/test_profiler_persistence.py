@@ -1,0 +1,103 @@
+"""JSON persistence of the throughput profiler's shape repository."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.profiling import ThroughputProfiler
+
+
+@pytest.fixture()
+def populated(vgg19):
+    profiler = ThroughputProfiler()
+    profiler.model_thresholds(vgg19)
+    return profiler
+
+
+class TestSaveLoad:
+    def test_round_trip_restores_every_profile(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        written = populated.save(path)
+        assert written == populated.repository_size > 0
+
+        fresh = ThroughputProfiler()
+        added = fresh.load(path)
+        assert added == written
+        assert (
+            fresh.repository_signatures()
+            == populated.repository_signatures()
+        )
+
+    def test_loaded_thresholds_match_recomputed(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        populated.save(path)
+        fresh = ThroughputProfiler()
+        fresh.load(path)
+        model = get_model("vgg19")
+        assert fresh.model_thresholds(model) == populated.model_thresholds(
+            model
+        )
+        # Everything was served from the repository: no new shapes.
+        assert fresh.repository_size == populated.repository_size
+
+    def test_signatures_are_tuples_after_load(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        populated.save(path)
+        fresh = ThroughputProfiler()
+        fresh.load(path)
+        for signature in fresh.repository_signatures():
+            assert isinstance(signature, tuple)
+
+    def test_existing_profiles_win_over_file(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        populated.save(path)
+        assert populated.load(path) == 0  # all already present
+
+    def test_save_is_deterministic(self, populated, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        populated.save(a)
+        populated.save(b)
+        assert a.read_text() == b.read_text()
+
+
+class TestLoadRejections:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler().load(tmp_path / "absent.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler().load(path)
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler().load(path)
+
+    def test_version_mismatch(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        populated.save(path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            ThroughputProfiler().load(path)
+
+    def test_sweep_mismatch(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        populated.save(path)
+        other = ThroughputProfiler(batch_sweep=(1, 2, 4))
+        with pytest.raises(ConfigurationError):
+            other.load(path)
+
+    def test_saturation_mismatch(self, populated, tmp_path):
+        path = tmp_path / "repo.json"
+        populated.save(path)
+        other = ThroughputProfiler(saturation_fraction=0.9)
+        with pytest.raises(ConfigurationError):
+            other.load(path)
