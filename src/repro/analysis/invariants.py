@@ -135,12 +135,21 @@ class InvariantChecker:
         self._state: dict[int, str] = {}
         #: tid -> (iteration, level).
         self._token_info: dict[int, tuple[int, int]] = {}
-        #: (iteration, level) -> counters.
+        #: (iteration, level) -> counters.  ``minted``/``assigned``/
+        #: ``completed`` are *gross* event counts; the fault-recovery
+        #: counters below reconcile them to net populations (a re-minted
+        #: token is assigned and completed twice, an invalidated token
+        #: was minted but never finishes).
         self._minted: dict[tuple[int, int], int] = {}
         self._assigned: dict[tuple[int, int], int] = {}
         self._completed: dict[tuple[int, int], int] = {}
+        self._reclaimed: dict[tuple[int, int], int] = {}
+        self._reminted: dict[tuple[int, int], int] = {}
+        self._invalidated: dict[tuple[int, int], int] = {}
+        self._revoked: dict[tuple[int, int], int] = {}
         self._buffered_count = 0
         self._inflight_count = 0
+        self._num_workers = 0
         self._closed_iterations: set[int] = set()
         self._synced_levels: set[tuple[int, int]] = set()
         self._last_clock = float("-inf")
@@ -152,6 +161,7 @@ class InvariantChecker:
     def bind(self, config: "FelaConfig") -> None:
         """Attach the run configuration (done by the TokenServer)."""
         self.config = config
+        self._num_workers = max(self._num_workers, config.num_workers)
 
     def attach_env(self, env: "Environment") -> None:
         """Install the clock-monotonicity monitor on the event loop."""
@@ -227,6 +237,72 @@ class InvariantChecker:
         self._completed[key] = self._completed.get(key, 0) + 1
         self._inflight_count -= 1
 
+    # -- fault-recovery hooks -------------------------------------------------
+
+    def on_reclaimed(self, token: "Token") -> None:
+        """An in-flight token taken back from a dead worker's hands."""
+        self.checks += 1
+        state = self._state.get(token.tid)
+        if state != _ASSIGNED:
+            self._fail(
+                "token reclaimed without being assigned",
+                token=repr(token),
+                state=state,
+            )
+        self._state[token.tid] = _BUFFERED
+        key = (token.iteration, token.level)
+        self._reclaimed[key] = self._reclaimed.get(key, 0) + 1
+        self._inflight_count -= 1
+        self._buffered_count += 1
+
+    def on_reminted(self, token: "Token") -> None:
+        """A completed token whose only activation copy died: back to
+        the bucket for retraining."""
+        self.checks += 1
+        state = self._state.get(token.tid)
+        if state != _COMPLETED:
+            self._fail(
+                "token re-minted without being completed",
+                token=repr(token),
+                state=state,
+            )
+        self._state[token.tid] = _BUFFERED
+        key = (token.iteration, token.level)
+        self._reminted[key] = self._reminted.get(key, 0) + 1
+        self._buffered_count += 1
+
+    def on_invalidated(self, token: "Token", was_assigned: bool) -> None:
+        """A downstream consumer withdrawn because a dependency died.
+
+        The generator will mint a *fresh* replacement once the missing
+        dependencies are re-trained, so the invalidated token leaves the
+        ledger entirely.
+        """
+        self.checks += 1
+        state = self._state.get(token.tid)
+        expected = _ASSIGNED if was_assigned else _BUFFERED
+        if state != expected:
+            self._fail(
+                "token invalidated from an unexpected state",
+                token=repr(token),
+                state=state,
+                expected=expected,
+            )
+        del self._state[token.tid]
+        del self._token_info[token.tid]
+        key = (token.iteration, token.level)
+        self._invalidated[key] = self._invalidated.get(key, 0) + 1
+        if was_assigned:
+            self._revoked[key] = self._revoked.get(key, 0) + 1
+            self._inflight_count -= 1
+        else:
+            self._buffered_count -= 1
+
+    def on_worker_joined(self, wid: int) -> None:
+        """An elastic worker joined mid-run; widen the participant set."""
+        self.checks += 1
+        self._num_workers = max(self._num_workers, wid + 1)
+
     def verify_conservation(self, server: "TokenServer") -> None:
         """The core conservation law, cross-checked against the bucket.
 
@@ -273,18 +349,36 @@ class InvariantChecker:
         if expected is not None:
             for level, count in enumerate(expected):
                 key = (iteration, level)
-                for name, ledger in (
-                    ("minted", self._minted),
-                    ("distributed", self._assigned),
-                    ("completed", self._completed),
-                ):
-                    if ledger.get(key, 0) != count:
+                # Net populations: recovery sweeps assign and complete
+                # re-minted tokens again, and invalidated consumers are
+                # replaced by fresh mints.
+                nets = (
+                    (
+                        "minted",
+                        self._minted.get(key, 0)
+                        - self._invalidated.get(key, 0),
+                    ),
+                    (
+                        "distributed",
+                        self._assigned.get(key, 0)
+                        - self._reclaimed.get(key, 0)
+                        - self._revoked.get(key, 0)
+                        - self._reminted.get(key, 0),
+                    ),
+                    (
+                        "completed",
+                        self._completed.get(key, 0)
+                        - self._reminted.get(key, 0),
+                    ),
+                )
+                for name, net in nets:
+                    if net != count:
                         self._fail(
                             f"iteration closed with wrong {name} count",
                             iteration=iteration,
                             level=level,
                             expected=count,
-                            actual=ledger.get(key, 0),
+                            actual=net,
                         )
         for token in server.bucket.all_tokens():
             if token.iteration == iteration:
@@ -319,16 +413,22 @@ class InvariantChecker:
                 level=level,
                 participants=list(participants),
             )
-        if self._completed.get(key, 0) != self._minted.get(key, 0):
+        net_completed = self._completed.get(key, 0) - self._reminted.get(
+            key, 0
+        )
+        net_minted = self._minted.get(key, 0) - self._invalidated.get(
+            key, 0
+        )
+        if net_completed != net_minted:
             self._fail(
                 "synchronization started before the level completed",
                 iteration=iteration,
                 level=level,
-                completed=self._completed.get(key, 0),
-                minted=self._minted.get(key, 0),
+                completed=net_completed,
+                minted=net_minted,
             )
         if self.config is not None:
-            workers = range(self.config.num_workers)
+            workers = range(self._num_workers)
             if not set(participants).issubset(workers):
                 self._fail(
                     "synchronization includes unknown workers",
@@ -371,6 +471,10 @@ class InvariantChecker:
             "in_flight": self._inflight_count,
             "minted_total": sum(self._minted.values()),
             "completed_total": sum(self._completed.values()),
+            "reclaimed_total": sum(self._reclaimed.values()),
+            "reminted_total": sum(self._reminted.values()),
+            "invalidated_total": sum(self._invalidated.values()),
+            "revoked_total": sum(self._revoked.values()),
             "closed_iterations": sorted(self._closed_iterations),
             "synced_levels": sorted(self._synced_levels),
             "collectives_closed": self.ledger.closed,

@@ -31,6 +31,7 @@ import sys
 import typing as _t
 
 from repro.errors import ConfigurationError, ReproError
+from repro.faults import parse_faults
 from repro.harness import (
     ExperimentRunner,
     ExperimentSpec,
@@ -126,8 +127,24 @@ def _cmd_run(args: argparse.Namespace) -> str:
         iterations=args.iterations,
     )
     tracer = Tracer() if args.trace_out else None
+    faults = None
+    injector = parse_faults(args.faults)
+    if injector is not None:
+        from repro.faults import FaultController
+
+        faults = FaultController(injector)
+    invariants = None
+    if args.check_invariants:
+        from repro.analysis.invariants import InvariantChecker
+
+        invariants = InvariantChecker()
     result = runner.run(
-        args.runtime, spec, parse_straggler(args.straggler), tracer=tracer
+        args.runtime,
+        spec,
+        parse_straggler(args.straggler),
+        tracer=tracer,
+        faults=faults,
+        invariants=invariants,
     )
     rows = [
         ["runtime", result.runtime_name],
@@ -138,6 +155,16 @@ def _cmd_run(args: argparse.Namespace) -> str:
         ["AT (samples/s)", result.average_throughput],
         ["s/iteration", result.mean_iteration_time],
     ]
+    summary = result.stats.get("faults")
+    if summary is not None:
+        rows += [
+            ["workers failed", len(summary["failures"])],
+            ["workers joined", len(summary["joined"])],
+            ["workers left", len(summary["left"])],
+            ["tokens reclaimed", summary["tokens_reclaimed"]],
+            ["tokens re-minted", summary["tokens_reminted"]],
+            ["lost compute (s)", summary["lost_compute_seconds"]],
+        ]
     table = render_table(["Metric", "Value"], rows)
     if tracer is not None:
         count = write_chrome_trace(args.trace_out, tracer.events)
@@ -301,6 +328,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="also write a Chrome trace JSON (fela runtime only)",
+    )
+    run.add_argument(
+        "--faults",
+        default="none",
+        help="'none', 'crash:W@T', 'leave:W@T', 'join@T', "
+        "'crashp:P[:SEED]', or several joined with ','"
+        " (fela runtime only)",
+    )
+    run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="attach the runtime invariant checker (fela runtime only)",
     )
 
     trace = sub.add_parser(

@@ -37,6 +37,14 @@ class TokenBucket:
 
     # -- mutation --------------------------------------------------------------
 
+    def ensure_worker(self, wid: int) -> None:
+        """Grow the bucket to hold an STB for ``wid`` (elastic join)."""
+        if wid < 0:
+            raise SchedulingError(f"worker id must be >= 0: {wid}")
+        while wid >= self.num_workers:
+            self._stbs.append({})
+            self.num_workers += 1
+
     def add(self, token: Token) -> None:
         """Insert a freshly generated token into its home STB."""
         if not 0 <= token.home_worker < self.num_workers:

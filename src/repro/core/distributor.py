@@ -50,6 +50,11 @@ class TokenDistributor:
             if submodel.communication_intensive
         )
         self.subset = config.conditional_subset
+        #: Fault-layer membership; None outside faulted runs (then the
+        #: static config subset applies unchanged).
+        self._membership: _t.Any = None
+        self._membership_epoch = -1
+        self._effective_subset = self.subset
         #: helper wid -> straggler wid currently being helped.
         self._helping: dict[int, int] = {}
         #: straggler wid -> set of current helper wids.
@@ -59,11 +64,32 @@ class TokenDistributor:
 
     # -- CTD ------------------------------------------------------------------
 
+    def attach_membership(self, membership: _t.Any) -> None:
+        """Derive the CTD subset from live membership (elastic runs)."""
+        self._membership = membership
+        self._membership_epoch = -1
+
+    def current_subset(self) -> frozenset[int]:
+        """The CTD conditional subset S, resized under elasticity.
+
+        Without a membership (fault layer off) this is the static config
+        subset.  With one, S is the first ``subset_size`` active workers,
+        recomputed whenever the membership epoch moves.
+        """
+        if self._membership is None:
+            return self.subset
+        if self._membership.epoch != self._membership_epoch:
+            size = self.config.subset_size
+            active = self._membership.active_workers()
+            self._effective_subset = frozenset(active[:size])
+            self._membership_epoch = self._membership.epoch
+        return self._effective_subset
+
     def may_take(self, wid: int, level: int) -> bool:
         """CTD filter: may ``wid`` train tokens of ``level``?"""
         if not self.config.ctd_enabled:
             return True
-        if level in self.comm_levels and wid not in self.subset:
+        if level in self.comm_levels and wid not in self.current_subset():
             return False
         return True
 
@@ -114,7 +140,7 @@ class TokenDistributor:
                 1
                 if (
                     self.config.ctd_enabled
-                    and wid in self.subset
+                    and wid in self.current_subset()
                     and token.level in self.comm_levels
                 )
                 else 0

@@ -56,6 +56,11 @@ class TokenGenerator:
         self._groups: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
         #: Completed token count per (iteration, level).
         self._completed: dict[tuple[int, int], int] = {}
+        #: Completed dep -> the consumer token minted from its group.
+        self._consumer: dict[TokenId, TokenId] = {}
+        #: Fault-layer hook: remaps the home worker of fresh tokens away
+        #: from failed/departed workers.  None outside faulted runs.
+        self.home_resolver: _t.Callable[[int], int] | None = None
         #: Sample ownership: worker holding each T-1 slice.  Samples are
         #: range-partitioned evenly across workers' local storage.
         self._sample_owner = self._assign_sample_owners()
@@ -117,6 +122,9 @@ class TokenGenerator:
         samples = members[0].samples
         for member in members[1:]:
             samples = samples.merge(member.samples)
+        home = self._majority_worker(group)
+        if self.home_resolver is not None:
+            home = self.home_resolver(home)
         fresh = Token(
             tid=next(self._tid_counter),
             level=token.level + 1,
@@ -124,9 +132,11 @@ class TokenGenerator:
             ordinal=group_index,
             samples=samples,
             deps=tuple(member_tid for _, member_tid, _ in group),
-            home_worker=self._majority_worker(group),
+            home_worker=home,
         )
         self.registry[fresh.tid] = fresh
+        for _, member_tid, _ in group:
+            self._consumer[member_tid] = fresh.tid
         return [fresh]
 
     @staticmethod
@@ -140,6 +150,66 @@ class TokenGenerator:
             votes[wid] = votes.get(wid, 0) + 1
         best = max(votes.items(), key=lambda item: (item[1], -item[0]))
         return best[0]
+
+    # -- failure recovery ---------------------------------------------------------
+
+    def consumer_of(self, tid: TokenId) -> TokenId | None:
+        """The next-level token minted from ``tid``'s group, if any."""
+        return self._consumer.get(tid)
+
+    def uncomplete(self, tid: TokenId) -> None:
+        """Roll back a completion whose output copy was lost.
+
+        The token stays in the registry (it will be re-assigned and
+        retrained under the same id); its completion count drops and its
+        pending-group entry, if one exists, is withdrawn.
+        """
+        token = self.registry.get(tid)
+        if token is None:
+            raise SchedulingError(f"unknown token {tid}")
+        key = (token.iteration, token.level)
+        count = self._completed.get(key, 0)
+        if count <= 0:
+            raise SchedulingError(
+                f"token {tid} has no completion to roll back"
+            )
+        self._completed[key] = count - 1
+        if token.level >= self.config.levels - 1:
+            return
+        ratio = self.config.generation_ratio(token.level)
+        group_key = (token.iteration, token.level, token.ordinal // ratio)
+        group = self._groups.get(group_key)
+        if group is not None:
+            remaining = [entry for entry in group if entry[1] != tid]
+            if remaining:
+                self._groups[group_key] = remaining
+            else:
+                del self._groups[group_key]
+
+    def invalidate_consumer(
+        self,
+        consumer_tid: TokenId,
+        survivors: list[tuple[int, int, int]],
+    ) -> Token:
+        """Destroy an unfinished consumer whose dependency was lost.
+
+        The consumer's id is retired (a fresh token is minted when its
+        group completes again) and the group is restored to
+        ``survivors`` — the (ordinal, tid, wid) entries of dependencies
+        that are still completed on live workers.
+        """
+        token = self.registry.get(consumer_tid)
+        if token is None:
+            raise SchedulingError(f"unknown token {consumer_tid}")
+        del self.registry[consumer_tid]
+        for dep_tid in token.deps:
+            self._consumer.pop(dep_tid, None)
+        group_key = (token.iteration, token.level - 1, token.ordinal)
+        if survivors:
+            self._groups[group_key] = sorted(survivors)
+        else:
+            self._groups.pop(group_key, None)
+        return token
 
     # -- progress queries -----------------------------------------------------------
 
@@ -169,6 +239,7 @@ class TokenGenerator:
         ]
         for tid in stale:
             del self.registry[tid]
+            self._consumer.pop(tid, None)
         for key in [k for k in self._completed if k[0] == iteration]:
             del self._completed[key]
         for key in [k for k in self._groups if k[0] == iteration]:

@@ -34,7 +34,9 @@ from repro.sim import Event
 from repro.stragglers import NoStraggler, StragglerInjector
 
 if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.faults.controller import FaultController
     from repro.obs.protocols import InvariantMonitor, SpanSink
+    from repro.sim import Process
 
 
 class FelaRuntime:
@@ -51,6 +53,7 @@ class FelaRuntime:
         invariants: "InvariantMonitor | None" = None,
         tracer: NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: "FaultController | None" = None,
     ) -> None:
         self.config = config
         self.cluster = cluster or Cluster(
@@ -92,6 +95,13 @@ class FelaRuntime:
         self._opened: dict[int, Event] = {}
         #: iteration -> per-worker start delays from the injector.
         self._delays: dict[int, list[float]] = {}
+        #: wid -> worker process (the fault controller interrupts these).
+        self._worker_procs: dict[int, "Process"] = {}
+        #: Optional fault controller; attaching wires the membership
+        #: state machine and lease monitor into this run.
+        self.faults = faults
+        if faults is not None:
+            faults.attach(self)
 
     def _validate_memory(self) -> None:
         """Every (sub-model, token batch) pair must fit in GPU memory."""
@@ -159,9 +169,9 @@ class FelaRuntime:
         metrics.gauge("net.bytes").set(
             self.cluster.fabric.stats.bytes_transferred
         )
-        wids = range(self.config.num_workers)
+        wids = [worker.wid for worker in self.workers]
         latency = self.server._request_latency
-        return {
+        stats = {
             "ts_requests": self.server.requests,
             "ts_conflicts": self.server.conflicts,
             "tokens_by_worker": dict(self.server.tokens_by_worker),
@@ -188,6 +198,9 @@ class FelaRuntime:
             "weights": self.config.weights,
             "subset_size": self.config.subset_size,
         }
+        if self.faults is not None:
+            stats["faults"] = self.faults.summary()
+        return stats
 
     # -- worker-facing coordination ----------------------------------------------------
 
@@ -201,14 +214,27 @@ class FelaRuntime:
 
     def start_delay(self, iteration: int, wid: int) -> float:
         """The straggler injector's start delay for a worker/iteration."""
-        return self._delays[iteration][wid]
+        delays = self._delays[iteration]
+        if wid >= len(delays):
+            # Joined after the injector drew this iteration's delays.
+            return 0.0
+        return delays[wid]
+
+    def provision_worker(self) -> Worker:
+        """Create a worker on the next free cluster node (elastic join)."""
+        wid = self.server.register_worker()
+        worker = Worker(self.server, self.cluster[wid], wid)
+        self.workers.append(worker)
+        return worker
 
     # -- iteration machinery ------------------------------------------------------------
 
     def _main(self):
         env = self.cluster.env
         for worker in self.workers:
-            env.process(worker.run_loop(self))
+            self._worker_procs[worker.wid] = env.process(
+                worker.run_loop(self)
+            )
         previous_counts = dict(self.server.tokens_by_worker)
         for iteration in range(self.config.iterations):
             yield from self._await_staleness_bound(iteration)
@@ -223,6 +249,8 @@ class FelaRuntime:
                 )
             self._delays[iteration] = list(delays)
             self.server.begin_iteration(iteration)
+            if self.faults is not None:
+                self.faults.iteration_started(iteration)
             sync_events = [
                 env.process(self._sync_level(iteration, level))
                 for level in range(self.config.levels)
@@ -239,6 +267,7 @@ class FelaRuntime:
             # still serving a straggler delay whose tokens were taken over
             # by helpers does not hold the cluster back.
             yield env.all_of(level_events)
+            yield from self._await_iteration_complete(iteration)
             if self.config.sync_mode == SyncMode.BSP:
                 yield self._sync_done.pop(iteration)
             counts = dict(self.server.tokens_by_worker)
@@ -248,8 +277,8 @@ class FelaRuntime:
                     start=start,
                     end=env.now,
                     work_by_worker=tuple(
-                        counts[wid] - previous_counts[wid]
-                        for wid in range(self.config.num_workers)
+                        counts.get(wid, 0) - previous_counts.get(wid, 0)
+                        for wid in range(self.server.worker_slots)
                     ),
                 )
             )
@@ -260,6 +289,19 @@ class FelaRuntime:
         for event in list(self._sync_done.values()):
             yield event
         self._sync_done.clear()
+
+    def _await_iteration_complete(self, iteration: int):
+        """Fault-layer gate: a crash after the last level-done event may
+        uncomplete tokens; wait until they are retrained before closing.
+
+        Without faults this is provably a no-op (level-done only fires
+        at full completion and nothing ever uncompletes), so the plain
+        path yields nothing.
+        """
+        if self.faults is None:
+            return
+        while not self.server.generator.iteration_complete(iteration):
+            yield self.server.bucket_changed_event()
 
     def _await_staleness_bound(self, iteration: int):
         """SSP gate: stay within ``staleness`` of the oldest unsynced iter."""
@@ -336,7 +378,9 @@ class PipelinedFelaRuntime(FelaRuntime):
     def _main(self):
         env = self.cluster.env
         for worker in self.workers:
-            env.process(worker.run_loop(self))
+            self._worker_procs[worker.wid] = env.process(
+                worker.run_loop(self)
+            )
         finish_events = []
         for iteration in range(self.config.iterations):
             yield from self._await_staleness_bound(iteration)
@@ -356,6 +400,8 @@ class PipelinedFelaRuntime(FelaRuntime):
             self._delays[iteration] = list(delays)
             start = env.now
             self.server.begin_iteration(iteration)
+            if self.faults is not None:
+                self.faults.iteration_started(iteration)
             sync_events = [
                 env.process(self._sync_level(iteration, level))
                 for level in range(self.config.levels)
@@ -384,6 +430,7 @@ class PipelinedFelaRuntime(FelaRuntime):
             for level in range(self.config.levels)
         ]
         yield env.all_of(level_events)
+        yield from self._await_iteration_complete(iteration)
         work = self.server.tokens_by_worker_per_iteration.get(
             iteration, {}
         )
@@ -394,7 +441,7 @@ class PipelinedFelaRuntime(FelaRuntime):
                 end=env.now,
                 work_by_worker=tuple(
                     work.get(wid, 0)
-                    for wid in range(self.config.num_workers)
+                    for wid in range(self.server.worker_slots)
                 ),
             )
         )

@@ -35,6 +35,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sim import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.faults.controller import FaultController
     from repro.obs.protocols import InvariantMonitor
 
 
@@ -68,6 +69,21 @@ class TokenServer:
         self.info = InfoMapping()
         self.counts = config.token_counts()
         self.current_iteration: int = -1
+        #: Fault controller, attached by :class:`repro.faults.FaultController`.
+        #: Every fault-path hook is gated on this being non-None, so
+        #: fault-free runs are untouched.
+        self.faults: "FaultController | None" = None
+        #: Worker id slots ever handed out (grows on elastic joins).
+        self.worker_slots = config.num_workers
+        #: Assignments revoked by a recovery sweep, awaiting the
+        #: assignee's acknowledgement (it must drop the token untrained).
+        self._revoked: set[int] = set()
+        #: Assignment counter roll-backs per worker (metric counters are
+        #: monotonic, so reclaims subtract through this side table).
+        self._assignment_adjustment: dict[int, int] = {}
+        #: (iteration, level) -> tids minted for it, so sync setup scans
+        #: only the level's tokens instead of the whole registry.
+        self._token_index: dict[tuple[int, int], list[int]] = {}
         #: Per-iteration assignment counters: iteration -> [per level].
         #: Under the BSP runtime only one iteration is ever active; the
         #: pipelined runtime keeps several open at once.
@@ -104,9 +120,14 @@ class TokenServer:
 
     @property
     def tokens_by_worker(self) -> dict[int, int]:
-        """Tokens assigned per worker over the whole run."""
+        """Tokens assigned per worker over the whole run (net of any
+        assignments rolled back by failure recovery)."""
         return {
-            wid: int(counter.value)
+            wid: max(
+                0,
+                int(counter.value)
+                - self._assignment_adjustment.get(wid, 0),
+            )
             for wid, counter in enumerate(self._tokens_assigned)
         }
 
@@ -128,13 +149,16 @@ class TokenServer:
         self.current_iteration = iteration
         self._assigned[iteration] = [0] * self.config.levels
         self.tokens_by_worker_per_iteration[iteration] = {
-            wid: 0 for wid in range(self.config.num_workers)
+            wid: 0 for wid in range(self.worker_slots)
         }
         for level in range(self.config.levels):
             self._level_done[(iteration, level)] = self.env.event()
         self.distributor.reset_iteration()
         tracer = self.env.tracer
         for token in self.generator.start_iteration(iteration):
+            self._token_index.setdefault((iteration, 0), []).append(
+                token.tid
+            )
             if tracer.enabled:
                 tracer.token_minted(token)
             self.bucket.add(token)
@@ -162,6 +186,7 @@ class TokenServer:
         self.tokens_by_worker_per_iteration.pop(iteration, None)
         for level in range(self.config.levels):
             self._level_done.pop((iteration, level), None)
+            self._token_index.pop((iteration, level), None)
         stale = self.generator.forget_iteration(iteration)
         self.info.forget_iteration(stale)
 
@@ -192,6 +217,9 @@ class TokenServer:
         tracer = self.env.tracer
         request_start = self.env.now
         while True:
+            if self.faults is not None and not self.faults.may_request(wid):
+                # Draining workers get no new tokens; they return home.
+                return None
             yield self.env.timeout(latency)  # request travels to TS
 
             own_stb_first = (
@@ -199,11 +227,19 @@ class TokenServer:
             )
             if not own_stb_first:
                 self.distributor.request_started()
-            yield self.env.timeout(self.config.ts_service_time)
-            selection = self.distributor.select(wid, self.bucket, self.info)
-            if not own_stb_first:
-                self.distributor.request_finished()
+            try:
+                yield self.env.timeout(self.config.ts_service_time)
+                selection = self.distributor.select(
+                    wid, self.bucket, self.info
+                )
+            finally:
+                # A crash interrupt mid-service must not leak an
+                # in-flight request into the conflict accounting.
+                if not own_stb_first:
+                    self.distributor.request_finished()
             self._requests.inc()
+            if self.faults is not None:
+                self.faults.touch(wid)
 
             if selection.token is not None:
                 # Selection and removal are atomic (no simulated time may
@@ -266,12 +302,23 @@ class TokenServer:
         tracer = self.env.tracer
         yield self.env.timeout(latency)
         yield self.env.timeout(self.config.ts_service_time)
+        if self.faults is not None:
+            self.faults.touch(wid)
+            if token.tid in self._revoked:
+                # Revoked while the report was in flight: the TS already
+                # rolled the assignment back, so completing it now would
+                # double-count.  Drop the report.
+                self._revoked.discard(token.tid)
+                return
         self.info.record_completion(token.tid, wid)
         if tracer.enabled:
             tracer.token_reported(token, wid)
         if self.invariants is not None:
             self.invariants.on_completed(token, wid)
         for fresh in self.generator.on_completion(token.tid, wid):
+            self._token_index.setdefault(
+                (fresh.iteration, fresh.level), []
+            ).append(fresh.tid)
             if tracer.enabled:
                 tracer.token_minted(fresh)
             self.bucket.add(fresh)
@@ -288,6 +335,193 @@ class TokenServer:
         self._broadcast()
         # No return latency: the paper combines report+request, so the
         # follow-up request_token call pays the next leg.
+
+    # -- elastic membership -----------------------------------------------------------
+
+    def register_worker(self) -> int:
+        """Open a slot for a joining worker; returns its new wid."""
+        wid = self.worker_slots
+        self.worker_slots += 1
+        self.bucket.ensure_worker(wid)
+        self._tokens_assigned.append(
+            self.metrics.counter("ts.tokens_assigned", worker=wid)
+        )
+        for counts in self.tokens_by_worker_per_iteration.values():
+            counts.setdefault(wid, 0)
+        return wid
+
+    def is_revoked(self, tid: int) -> bool:
+        return tid in self._revoked
+
+    def acknowledge_revocation(self, wid: int, token: Token) -> None:
+        """The assignee noticed its token was revoked and dropped it."""
+        self._revoked.discard(token.tid)
+
+    # -- failure recovery -------------------------------------------------------------
+
+    def recover_from_failure(
+        self,
+        dead_wid: int,
+        copy_holders: list[tuple[int, set[int]]],
+    ) -> dict[str, list[_t.Any]]:
+        """The recovery sweep run when a worker failure is detected.
+
+        Phase 1 reclaims tokens the dead worker was *training* (they go
+        straight back into the bucket under the same id).  Phase 2 walks
+        tokens the dead worker *held the completed output of*, consumers
+        before dependencies: an output nothing will ever read again is
+        harmless to lose; one whose consumer already fetched a copy is
+        promoted to that live copy; otherwise the consumer (if minted) is
+        invalidated — revoked from its assignee if necessary — and the
+        lost token is re-minted for retraining.
+
+        ``copy_holders`` lists live workers and their fetched-chunk sets
+        in deterministic (ascending wid) order.
+        """
+        summary: dict[str, list[_t.Any]] = {
+            "reclaimed": [],
+            "reminted": [],
+            "invalidated": [],
+            "revoked": [],
+            "promoted": [],
+        }
+        tracer = self.env.tracer
+        for tid in self.info.assigned_to(dead_wid):
+            token = self.generator.registry[tid]
+            self.info.unassign(tid)
+            self._assigned[token.iteration][token.level] -= 1
+            self._note_unassigned(dead_wid, token.iteration)
+            self.bucket.add(token)
+            if tracer.enabled:
+                tracer.token_reclaimed(token, dead_wid)
+                tracer.token_buffered(token)
+            if self.invariants is not None:
+                self.invariants.on_reclaimed(token)
+            summary["reclaimed"].append(tid)
+
+        lost = sorted(
+            self.info.held_by(dead_wid),
+            key=lambda tid: (-self.generator.registry[tid].level, tid),
+        )
+        for tid in lost:
+            token = self.generator.registry[tid]
+            if token.level >= self.config.levels - 1:
+                # Top level: the output is a gradient consumed by the
+                # level sync, not by another token.  Nothing to re-mint;
+                # its contribution is the documented lost work.
+                continue
+            consumer_tid = self.generator.consumer_of(tid)
+            consumer = (
+                self.generator.registry.get(consumer_tid)
+                if consumer_tid is not None
+                else None
+            )
+            if consumer is not None:
+                if self.info.is_completed(consumer.tid):
+                    # Already consumed; the activation is never read
+                    # again, so the loss is harmless.
+                    continue
+                assignee = self.info.assignee_of(consumer.tid)
+                if assignee is not None:
+                    copy = next(
+                        (
+                            holder
+                            for holder, chunks in copy_holders
+                            if tid in chunks
+                        ),
+                        None,
+                    )
+                    if copy is not None:
+                        # The trainer already fetched the activation;
+                        # its copy becomes the authoritative one.
+                        self.info.transfer_holding(tid, copy)
+                        summary["promoted"].append((tid, copy))
+                        continue
+                    self._revoke_consumer(consumer, assignee, summary)
+                else:
+                    self._invalidate_buffered(consumer, summary)
+            self._remint_lost(token, dead_wid, summary)
+
+        if self.invariants is not None:
+            self.invariants.verify_conservation(self)
+        self._broadcast()
+        return summary
+
+    def _surviving_deps(
+        self, consumer: Token
+    ) -> list[tuple[int, int, int]]:
+        """Group entries to restore for an invalidated consumer: its
+        dependencies that are still completed (any holder — entries whose
+        holder is also dying are withdrawn when their own re-mint runs)."""
+        survivors = []
+        for dep_tid in consumer.deps:
+            holder = self.info.holder_of(dep_tid)
+            if holder is None:
+                continue
+            dep = self.generator.registry[dep_tid]
+            survivors.append((dep.ordinal, dep_tid, holder))
+        return survivors
+
+    def _revoke_consumer(
+        self,
+        consumer: Token,
+        assignee: int,
+        summary: dict[str, list[_t.Any]],
+    ) -> None:
+        survivors = self._surviving_deps(consumer)
+        self.info.unassign(consumer.tid)
+        self._assigned[consumer.iteration][consumer.level] -= 1
+        self._note_unassigned(assignee, consumer.iteration)
+        self._revoked.add(consumer.tid)
+        self.generator.invalidate_consumer(consumer.tid, survivors)
+        if self.env.tracer.enabled:
+            self.env.tracer.token_invalidated(consumer, assignee)
+        if self.invariants is not None:
+            self.invariants.on_invalidated(consumer, was_assigned=True)
+        summary["revoked"].append(consumer.tid)
+        summary["invalidated"].append(consumer.tid)
+
+    def _invalidate_buffered(
+        self, consumer: Token, summary: dict[str, list[_t.Any]]
+    ) -> None:
+        survivors = self._surviving_deps(consumer)
+        self.bucket.remove(consumer)
+        self.generator.invalidate_consumer(consumer.tid, survivors)
+        if self.env.tracer.enabled:
+            self.env.tracer.token_invalidated(consumer, None)
+        if self.invariants is not None:
+            self.invariants.on_invalidated(consumer, was_assigned=False)
+        summary["invalidated"].append(consumer.tid)
+
+    def _remint_lost(
+        self,
+        token: Token,
+        dead_wid: int,
+        summary: dict[str, list[_t.Any]],
+    ) -> None:
+        holder = self.info.forget_completion(token.tid)
+        self.generator.uncomplete(token.tid)
+        self._assigned[token.iteration][token.level] -= 1
+        self._note_unassigned(holder, token.iteration)
+        self.bucket.add(token)
+        if self.env.tracer.enabled:
+            self.env.tracer.token_reminted(token, dead_wid)
+            self.env.tracer.token_buffered(token)
+        if self.invariants is not None:
+            self.invariants.on_reminted(token)
+        # The token object, not the tid: a later step of the same sweep
+        # may invalidate this token (its own dependency also died),
+        # deleting it from the registry.
+        summary["reminted"].append(token)
+
+    def _note_unassigned(self, wid: int, iteration: int) -> None:
+        """Roll one assignment out of the per-worker attribution."""
+        self._assignment_adjustment[wid] = (
+            self._assignment_adjustment.get(wid, 0) + 1
+        )
+        per_iteration = self.tokens_by_worker_per_iteration.get(iteration)
+        if per_iteration is not None and per_iteration.get(wid, 0) > 0:
+            per_iteration[wid] -= 1
 
     # -- queries ---------------------------------------------------------------------
 
@@ -309,11 +543,14 @@ class TokenServer:
         if iteration is None:
             iteration = self.current_iteration
         workers = set()
-        for tid, token in self.generator.registry.items():
-            if token.iteration == iteration and token.level == level:
-                holder = self.info.holder_of(tid)
-                if holder is not None:
-                    workers.add(holder)
+        for tid in self._token_index.get((iteration, level), ()):
+            holder = self.info.holder_of(tid)
+            if holder is not None:
+                workers.add(holder)
+        if self.faults is not None:
+            workers = {
+                wid for wid in workers if not self.faults.is_failed(wid)
+            }
         return sorted(workers)
 
     def _exhausted_for(self, wid: int) -> bool:

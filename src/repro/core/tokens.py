@@ -151,6 +151,31 @@ class InfoMapping:
                 self._held[wid].discard(tid)
             self._assigned.pop(tid, None)
 
+    def unassign(self, tid: TokenId) -> int:
+        """Revoke an assignment (failure recovery); returns the old wid."""
+        if tid not in self._assigned:
+            raise SchedulingError(f"token {tid} is not assigned")
+        return self._assigned.pop(tid)
+
+    def forget_completion(self, tid: TokenId) -> int:
+        """Un-complete a token whose only output copy was lost; returns
+        the worker that held it."""
+        wid = self._completed.pop(tid, None)
+        if wid is None:
+            raise SchedulingError(f"token {tid} is not completed")
+        self._held[wid].discard(tid)
+        return wid
+
+    def transfer_holding(self, tid: TokenId, new_wid: int) -> None:
+        """Promote ``new_wid``'s fetched copy of ``tid`` to the
+        authoritative one (the original holder failed)."""
+        old = self._completed.get(tid)
+        if old is None:
+            raise SchedulingError(f"token {tid} is not completed")
+        self._held[old].discard(tid)
+        self._completed[tid] = new_wid
+        self._held.setdefault(new_wid, set()).add(tid)
+
     # -- reads --------------------------------------------------------------------
 
     def holder_of(self, tid: TokenId) -> int | None:
@@ -164,6 +189,12 @@ class InfoMapping:
     def held_by(self, wid: int) -> frozenset[TokenId]:
         """Tokens whose outputs worker ``wid`` holds (Equation 1's H_wid)."""
         return frozenset(self._held.get(wid, ()))
+
+    def assigned_to(self, wid: int) -> list[TokenId]:
+        """Tokens currently assigned to ``wid``, sorted for determinism."""
+        return sorted(
+            tid for tid, owner in self._assigned.items() if owner == wid
+        )
 
     def is_completed(self, tid: TokenId) -> bool:
         return tid in self._completed

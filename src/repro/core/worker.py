@@ -28,7 +28,9 @@ import typing as _t
 from repro.core.server import TokenServer
 from repro.core.tokens import Token
 from repro.errors import SchedulingError
+from repro.faults.signals import ReviveWork, WorkerCrash
 from repro.hardware import Node
+from repro.sim import Interrupt
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Event
@@ -57,6 +59,10 @@ class Worker:
         #: Parameter Chunks: token ids whose output activations are stored
         #: locally (authoritative or fetched copies).
         self.chunks: set[int] = set()
+        #: Elastic-run state: parked means blocked awaiting new work and
+        #: safe to wake with a ReviveWork interrupt.
+        self._parked = False
+        self.crashed = False
         # Statistics.
         self.tokens_trained: int = 0
         self.bytes_fetched: float = 0.0
@@ -69,8 +75,10 @@ class Worker:
 
     # -- iteration driver -----------------------------------------------------
 
-    def run_loop(self, runtime: "_RuntimeProtocol"):
-        """Process generator: the worker's whole-run training loop.
+    def run_loop(
+        self, runtime: "_RuntimeProtocol", first_iteration: int = 0
+    ):
+        """The worker's whole-run training loop (a process generator).
 
         For every iteration: wait for the runtime to open it, serve the
         straggler injector's start delay, then pull-train-report tokens
@@ -78,7 +86,17 @@ class Worker:
         still sleeping when its iteration ends simply joins the next one
         late — the cluster does not wait for it (that elasticity is the
         point of token-based scheduling).
+
+        With the fault layer attached the loop additionally survives
+        crash interrupts, drains on leave, joins mid-run (at
+        ``first_iteration``), and wakes from parking when a recovery
+        sweep re-mints tokens.
         """
+        if self.server.faults is not None:
+            return self._run_elastic(runtime, first_iteration)
+        return self._run_plain(runtime)
+
+    def _run_plain(self, runtime: "_RuntimeProtocol"):
         env = self.server.env
         for iteration in range(self.config.iterations):
             yield runtime.iteration_opened(iteration)
@@ -100,11 +118,97 @@ class Worker:
                 yield from self._train_token(token)
             self.chunks.clear()  # Parameter Chunks are per-iteration
 
+    # -- elastic driver (fault layer attached) --------------------------------
+
+    def _run_elastic(
+        self, runtime: "_RuntimeProtocol", first_iteration: int
+    ):
+        try:
+            yield from self._elastic_iterations(runtime, first_iteration)
+        except Interrupt as interrupt:
+            if isinstance(interrupt.cause, WorkerCrash):
+                # Fatal: unwind the whole loop.  Resource context
+                # managers (the GPU) release on the way out; the TS
+                # learns of the death via lease expiry, not from here.
+                self.crashed = True
+                return
+            raise
+
+    def _elastic_iterations(
+        self, runtime: "_RuntimeProtocol", first_iteration: int
+    ):
+        env = self.server.env
+        for iteration in range(first_iteration, self.config.iterations):
+            while True:
+                outcome = yield from self._park_until(
+                    runtime.iteration_opened(iteration)
+                )
+                if outcome == "opened":
+                    break
+                # Revived: a recovery sweep put tokens of a still-open
+                # earlier iteration back into the bucket.
+                if (yield from self._pull_tokens()) == "departed":
+                    return
+            start_delay = runtime.start_delay(iteration, self.wid)
+            if start_delay > 0:
+                delay_from = env.now
+                yield env.timeout(start_delay)
+                self.delay_seconds += env.now - delay_from
+                if env.tracer.enabled:
+                    env.tracer.straggler_delay(
+                        self.wid, iteration, delay_from, env.now
+                    )
+            if (yield from self._pull_tokens()) == "departed":
+                return
+            self.chunks.clear()  # Parameter Chunks are per-iteration
+        # All iterations served.  Stay parked instead of terminating: a
+        # late failure may re-mint final-iteration tokens that only this
+        # worker can absorb.  The run ends with the main process; parked
+        # workers are simply abandoned then.
+        while True:
+            outcome = yield from self._park_until(env.event())
+            if outcome == "revived":
+                if (yield from self._pull_tokens()) == "departed":
+                    return
+
+    def _park_until(self, event: "Event"):
+        """Wait for ``event``; returns "opened" when it fired or
+        "revived" when a ReviveWork interrupt woke us first."""
+        self._parked = True
+        try:
+            yield event
+        except Interrupt as interrupt:
+            if not isinstance(interrupt.cause, ReviveWork):
+                raise
+            return "revived"
+        finally:
+            self._parked = False
+        return "opened"
+
+    def _pull_tokens(self):
+        """Request/train until exhausted ("exhausted") or told to leave
+        ("departed")."""
+        faults = self.server.faults
+        while True:
+            token = yield from self.server.request_token(self.wid)
+            if token is None:
+                if faults is not None and faults.should_depart(self.wid):
+                    faults.worker_departed(self.wid)
+                    return "departed"
+                return "exhausted"
+            yield from self._train_token(token)
+
     # -- token execution ----------------------------------------------------------
 
     def _train_token(self, token: Token):
         env = self.server.env
         tracer = env.tracer
+        server = self.server
+        if server.faults is not None and server.is_revoked(token.tid):
+            # Revoked between assignment and arrival (a dependency died
+            # unfetched): drop it before resolving holders.
+            server.acknowledge_revocation(self.wid, token)
+            return
         fetch_start = env.now
         bytes_before = self.bytes_fetched
         yield from self._fetch_inputs(token)
@@ -118,6 +222,12 @@ class Worker:
                     env.now,
                     self.bytes_fetched - bytes_before,
                 )
+        if server.faults is not None and server.is_revoked(token.tid):
+            # Revoked while the fetch was in flight.  Once every
+            # dependency is locally chunked the token can no longer be
+            # revoked, so no check is needed past this point.
+            server.acknowledge_revocation(self.wid, token)
+            return
         submodel = self.config.partition[token.level]
         duration = self.node.gpu_spec.train_time(
             submodel.layers, token.batch
@@ -146,6 +256,7 @@ class Worker:
 
         upstream = self.config.partition[token.level - 1]
         transfers = []
+        pending: list[tuple[int, float]] = []
         for dep_tid in token.deps:
             if dep_tid in self.chunks:
                 continue  # already local (we trained or fetched it)
@@ -162,7 +273,11 @@ class Worker:
             transfers.append(
                 self.node.cluster.fabric.transfer(holder, self.wid, size)
             )
-            self.bytes_fetched += size
-            self.chunks.add(dep_tid)
+            pending.append((dep_tid, size))
         if transfers:
             yield env.all_of(transfers)
+        # Account only once the transfers have resolved: an interrupted
+        # fetch must not leave phantom bytes or a chunk never received.
+        for dep_tid, size in pending:
+            self.bytes_fetched += size
+            self.chunks.add(dep_tid)

@@ -1,0 +1,138 @@
+"""Elastic cluster membership: the worker lifecycle state machine.
+
+States and transitions (see ``docs/faults.md``)::
+
+    JOINING  --activate-->  ACTIVE  --mark_draining-->  DRAINING
+                              |                             |
+                              |  mark_failed                |  mark_left
+                              v                             v
+                            FAILED  <--mark_failed--      LEFT (terminal)
+
+``ACTIVE`` workers pull tokens, may home freshly minted tokens, and count
+toward the CTD conditional subset.  ``DRAINING`` workers finish their
+current token but receive no new ones; their node stays online (it still
+serves activation fetches and joins gradient syncs for levels it
+trained).  ``LEFT`` is the terminal graceful state.  ``FAILED`` workers
+are gone entirely: their in-flight tokens are reclaimed and activations
+that lived only on them are re-minted (see
+:class:`~repro.faults.controller.FaultController`).  ``JOINING`` workers
+are provisioned but not yet participating; they activate at the next
+iteration boundary.
+
+Every transition bumps :attr:`Membership.epoch`, which lets the token
+distributor cache its membership-derived CTD subset.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+ACTIVE = "active"
+DRAINING = "draining"
+LEFT = "left"
+FAILED = "failed"
+JOINING = "joining"
+
+#: States whose node is still online (holds data, serves fetches).
+_ONLINE = frozenset({ACTIVE, DRAINING, LEFT})
+
+_VALID_TRANSITIONS: dict[tuple[str, str], None] = {
+    (JOINING, ACTIVE): None,
+    (ACTIVE, DRAINING): None,
+    (DRAINING, LEFT): None,
+    (ACTIVE, FAILED): None,
+    (DRAINING, FAILED): None,
+}
+
+
+class Membership:
+    """Tracks each worker's lifecycle state for one elastic run."""
+
+    def __init__(self, num_initial: int) -> None:
+        if num_initial < 1:
+            raise SchedulingError(
+                f"need >= 1 initial worker: {num_initial}"
+            )
+        self._states: dict[int, str] = {
+            wid: ACTIVE for wid in range(num_initial)
+        }
+        #: Bumped on every transition (distributor cache invalidation).
+        self.epoch: int = 0
+
+    def __repr__(self) -> str:
+        return f"<Membership {self._states}>"
+
+    # -- transitions ----------------------------------------------------------
+
+    def _transition(self, wid: int, target: str) -> None:
+        current = self._states.get(wid)
+        if current is None:
+            raise SchedulingError(f"unknown worker {wid}")
+        if (current, target) not in _VALID_TRANSITIONS:
+            raise SchedulingError(
+                f"invalid membership transition for worker {wid}: "
+                f"{current} -> {target}"
+            )
+        self._states[wid] = target
+        self.epoch += 1
+
+    def add_joining(self, wid: int) -> None:
+        """Provision a new worker slot in the JOINING state."""
+        if wid in self._states:
+            raise SchedulingError(f"worker {wid} already has a state")
+        self._states[wid] = JOINING
+        self.epoch += 1
+
+    def activate(self, wid: int) -> None:
+        self._transition(wid, ACTIVE)
+
+    def mark_draining(self, wid: int) -> None:
+        self._transition(wid, DRAINING)
+
+    def mark_left(self, wid: int) -> None:
+        self._transition(wid, LEFT)
+
+    def mark_failed(self, wid: int) -> None:
+        self._transition(wid, FAILED)
+
+    # -- queries --------------------------------------------------------------
+
+    def state(self, wid: int) -> str:
+        if wid not in self._states:
+            raise SchedulingError(f"unknown worker {wid}")
+        return self._states[wid]
+
+    def known_workers(self) -> list[int]:
+        return sorted(self._states)
+
+    def active_workers(self) -> list[int]:
+        return sorted(
+            wid for wid, state in self._states.items() if state == ACTIVE
+        )
+
+    def is_active(self, wid: int) -> bool:
+        return self._states.get(wid) == ACTIVE
+
+    def is_draining(self, wid: int) -> bool:
+        return self._states.get(wid) == DRAINING
+
+    def is_failed(self, wid: int) -> bool:
+        return self._states.get(wid) == FAILED
+
+    def is_online(self, wid: int) -> bool:
+        """Whether the worker's node still holds data and serves fetches."""
+        return self._states.get(wid) in _ONLINE
+
+    def may_request(self, wid: int) -> bool:
+        """Whether the TS may hand this worker another token."""
+        return self._states.get(wid) == ACTIVE
+
+    def rehome_target(self, old_home: int) -> int:
+        """Deterministic ACTIVE worker to adopt tokens homed at a dead
+        or departed worker (spread by the old home id)."""
+        active = self.active_workers()
+        if not active:
+            raise SchedulingError(
+                "no active workers left to re-home tokens onto"
+            )
+        return active[old_home % len(active)]

@@ -1,0 +1,31 @@
+"""Interrupt causes exchanged between the fault controller and workers.
+
+These are deliberately dependency-free: :mod:`repro.core.worker` inspects
+them to tell a fatal crash apart from a benign "work was re-minted, stop
+parking" nudge, and :mod:`repro.faults.controller` raises them — neither
+side needs to import the other.
+"""
+
+from __future__ import annotations
+
+
+class FaultSignal:
+    """Base class for causes delivered via ``Process.interrupt``."""
+
+
+class WorkerCrash(FaultSignal):
+    """Fatal: the injector killed this worker's process mid-run."""
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+
+    def __repr__(self) -> str:
+        return f"<WorkerCrash wid={self.wid}>"
+
+
+class ReviveWork(FaultSignal):
+    """Benign: reclaimed/re-minted tokens are available; a parked worker
+    should wake and pull again instead of waiting for the next iteration."""
+
+    def __repr__(self) -> str:
+        return "<ReviveWork>"

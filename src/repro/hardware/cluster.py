@@ -131,7 +131,14 @@ class Node:
             yield req
             total = seconds / self.speed_factor + self.take_pending_delay()
             self.busy_time += total
-            yield self.env.timeout(total)
+            started = self.env.now
+            try:
+                yield self.env.timeout(total)
+            except BaseException:
+                # Interrupted mid-kernel (worker crash): only the time
+                # actually spent counts toward GPU utilization.
+                self.busy_time -= total - (self.env.now - started)
+                raise
 
     # -- network ------------------------------------------------------------------
 

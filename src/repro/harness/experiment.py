@@ -114,17 +114,36 @@ class ExperimentRunner:
         straggler: StragglerInjector | None = None,
         tracer: _t.Any | None = None,
         metrics: _t.Any | None = None,
+        faults: _t.Any | None = None,
+        invariants: _t.Any | None = None,
         **overrides: _t.Any,
     ) -> RunResult:
         """Run one runtime kind against a spec and return its result.
 
         ``tracer`` / ``metrics`` (a :class:`~repro.obs.tracer.Tracer` and
         a :class:`~repro.obs.metrics.MetricsRegistry`) attach observability
-        to the run; only the Fela runtime is instrumented, so passing
-        either with a baseline kind is a configuration error.
+        to the run; ``faults`` (a
+        :class:`~repro.faults.controller.FaultController`) injects
+        failures and elastic membership, and ``invariants`` (an
+        :class:`~repro.analysis.invariants.InvariantChecker`) validates
+        token conservation.  Only the Fela runtime supports any of them,
+        so passing one with a baseline kind is a configuration error.
         """
         straggler = straggler or NoStraggler()
-        cluster = Cluster(spec.resolved_cluster_spec())
+        cluster_spec = spec.resolved_cluster_spec()
+        if kind == "fela" and faults is not None:
+            # Planned joins need spare machines to land on.
+            joins = faults.injector.planned_joins
+            if joins > 0:
+                factors = cluster_spec.gpu_speed_factors
+                if factors is not None:
+                    factors = factors + (1.0,) * joins
+                cluster_spec = dataclasses.replace(
+                    cluster_spec,
+                    num_nodes=cluster_spec.num_nodes + joins,
+                    gpu_speed_factors=factors,
+                )
+        cluster = Cluster(cluster_spec)
         model = self.model(spec.model_name)
         if kind == "fela":
             config = self.fela_config(spec)
@@ -138,11 +157,18 @@ class ExperimentRunner:
                 straggler=straggler,
                 tracer=tracer,
                 metrics=metrics,
+                faults=faults,
+                invariants=invariants,
             ).run()
-        if tracer is not None or metrics is not None:
+        if (
+            tracer is not None
+            or metrics is not None
+            or faults is not None
+            or invariants is not None
+        ):
             raise ConfigurationError(
-                f"tracing/metrics are only supported for the 'fela' "
-                f"runtime, not {kind!r}"
+                f"tracing/metrics/faults/invariants are only supported "
+                f"for the 'fela' runtime, not {kind!r}"
             )
         baseline_cls = {
             "dp": DataParallel,

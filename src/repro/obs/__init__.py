@@ -24,6 +24,7 @@ CLI entry points: ``repro trace <model>``, ``--trace-out`` on
 """
 
 from repro.obs.events import (
+    CAT_FAULT,
     CAT_NETWORK,
     CAT_STRAGGLER,
     CAT_SYNC,
@@ -38,9 +39,15 @@ from repro.obs.events import (
     EV_LEVEL_SYNCED,
     EV_MINTED,
     EV_REPORTED,
+    EV_TOKEN_INVALIDATED,
+    EV_TOKEN_RECLAIMED,
+    EV_TOKEN_REMINTED,
     EV_TRAINED,
     EV_TRANSFER,
     EV_TS_REQUEST,
+    EV_WORKER_FAILED,
+    EV_WORKER_JOINED,
+    EV_WORKER_LEFT,
     TOKEN_LIFECYCLE,
     TS_TRACK,
     TraceEvent,
@@ -72,6 +79,7 @@ from repro.obs.report import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "CAT_FAULT",
     "CAT_NETWORK",
     "CAT_STRAGGLER",
     "CAT_SYNC",
@@ -87,9 +95,15 @@ __all__ = [
     "EV_LEVEL_SYNCED",
     "EV_MINTED",
     "EV_REPORTED",
+    "EV_TOKEN_INVALIDATED",
+    "EV_TOKEN_RECLAIMED",
+    "EV_TOKEN_REMINTED",
     "EV_TRAINED",
     "EV_TRANSFER",
     "EV_TS_REQUEST",
+    "EV_WORKER_FAILED",
+    "EV_WORKER_JOINED",
+    "EV_WORKER_LEFT",
     "Gauge",
     "Histogram",
     "InvariantMonitor",

@@ -34,10 +34,19 @@ CAT_NETWORK = "network"
 CAT_STRAGGLER = "straggler"
 CAT_TS = "ts"
 CAT_WORKER = "worker"
+CAT_FAULT = "fault"
 
 #: Every category a conforming trace may contain.
 CATEGORIES: frozenset[str] = frozenset(
-    {CAT_TOKEN, CAT_SYNC, CAT_NETWORK, CAT_STRAGGLER, CAT_TS, CAT_WORKER}
+    {
+        CAT_TOKEN,
+        CAT_SYNC,
+        CAT_NETWORK,
+        CAT_STRAGGLER,
+        CAT_TS,
+        CAT_WORKER,
+        CAT_FAULT,
+    }
 )
 
 # -- event names --------------------------------------------------------------
@@ -53,6 +62,14 @@ EV_TRANSFER = "net.transfer"
 EV_DELAY = "straggler.delay"
 EV_TS_REQUEST = "ts.request"
 EV_FETCH = "worker.fetch"
+
+# Fault-injection / elastic-membership events (category CAT_FAULT).
+EV_WORKER_FAILED = "worker.failed"
+EV_TOKEN_RECLAIMED = "token.reclaimed"
+EV_TOKEN_REMINTED = "token.reminted"
+EV_TOKEN_INVALIDATED = "token.invalidated"
+EV_WORKER_JOINED = "worker.joined"
+EV_WORKER_LEFT = "worker.left"
 
 #: The token lifecycle stages, in causal order.  A *complete* chain has
 #: every stage once, followed by the level's :data:`EV_ALLREDUCE` span.

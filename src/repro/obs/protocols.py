@@ -80,6 +80,16 @@ class InvariantMonitor(_t.Protocol):
 
     def on_completed(self, token: "Token", wid: int) -> None: ...
 
+    def on_reclaimed(self, token: "Token") -> None: ...
+
+    def on_reminted(self, token: "Token") -> None: ...
+
+    def on_invalidated(
+        self, token: "Token", was_assigned: bool
+    ) -> None: ...
+
+    def on_worker_joined(self, wid: int) -> None: ...
+
     def on_sync_start(
         self,
         iteration: int,

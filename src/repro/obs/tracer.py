@@ -26,6 +26,7 @@ import typing as _t
 
 from repro.errors import ObservabilityError
 from repro.obs.events import (
+    CAT_FAULT,
     CAT_NETWORK,
     CAT_STRAGGLER,
     CAT_SYNC,
@@ -40,9 +41,15 @@ from repro.obs.events import (
     EV_LEVEL_SYNCED,
     EV_MINTED,
     EV_REPORTED,
+    EV_TOKEN_INVALIDATED,
+    EV_TOKEN_RECLAIMED,
+    EV_TOKEN_REMINTED,
     EV_TRAINED,
     EV_TRANSFER,
     EV_TS_REQUEST,
+    EV_WORKER_FAILED,
+    EV_WORKER_JOINED,
+    EV_WORKER_LEFT,
     TS_TRACK,
     TraceEvent,
 )
@@ -164,6 +171,35 @@ class NullTracer:
         context: _t.Any = None,
     ) -> None:
         """One gradient all-reduce collective completed."""
+
+    # -- faults & elastic membership ----------------------------------------
+
+    def worker_failed(
+        self,
+        wid: int,
+        *,
+        crash_time: float,
+        reclaimed: int,
+        reminted: int,
+    ) -> None:
+        """The TS detected worker ``wid``'s death (lease expiry)."""
+
+    def token_reclaimed(self, token: "Token", dead_wid: int) -> None:
+        """An in-flight token taken back from a dead worker."""
+
+    def token_reminted(self, token: "Token", dead_wid: int) -> None:
+        """A completed token re-entered the bucket for retraining."""
+
+    def token_invalidated(
+        self, token: "Token", assignee: int | None
+    ) -> None:
+        """A downstream consumer withdrawn after a dependency died."""
+
+    def worker_joined(self, wid: int, *, iteration: int) -> None:
+        """An elastic worker joined, first pulling at ``iteration``."""
+
+    def worker_left(self, wid: int) -> None:
+        """A draining worker finished its graceful leave."""
 
 
 #: Module-level null tracer shared by every untraced environment.
@@ -404,3 +440,59 @@ class Tracer(NullTracer):
         elif context is not None:
             args["context"] = repr(context)
         self.span(EV_ALLREDUCE, CAT_SYNC, start, end, track=TS_TRACK, **args)
+
+    # -- faults & elastic membership ----------------------------------------
+
+    def worker_failed(
+        self,
+        wid: int,
+        *,
+        crash_time: float,
+        reclaimed: int,
+        reminted: int,
+    ) -> None:
+        self.instant(
+            EV_WORKER_FAILED,
+            CAT_FAULT,
+            track=wid,
+            worker=wid,
+            crash_time=crash_time,
+            detect_time=self.now(),
+            reclaimed=reclaimed,
+            reminted=reminted,
+        )
+
+    def token_reclaimed(self, token: "Token", dead_wid: int) -> None:
+        args = self._token_args(token)
+        args["dead_worker"] = dead_wid
+        self._emit(
+            EV_TOKEN_RECLAIMED, CAT_FAULT, self.now(), 0.0, TS_TRACK, args
+        )
+
+    def token_reminted(self, token: "Token", dead_wid: int) -> None:
+        args = self._token_args(token)
+        args["dead_worker"] = dead_wid
+        self._emit(
+            EV_TOKEN_REMINTED, CAT_FAULT, self.now(), 0.0, TS_TRACK, args
+        )
+
+    def token_invalidated(
+        self, token: "Token", assignee: int | None
+    ) -> None:
+        args = self._token_args(token)
+        args["assignee"] = assignee
+        self._emit(
+            EV_TOKEN_INVALIDATED, CAT_FAULT, self.now(), 0.0, TS_TRACK, args
+        )
+
+    def worker_joined(self, wid: int, *, iteration: int) -> None:
+        self.instant(
+            EV_WORKER_JOINED,
+            CAT_FAULT,
+            track=wid,
+            worker=wid,
+            iteration=iteration,
+        )
+
+    def worker_left(self, wid: int) -> None:
+        self.instant(EV_WORKER_LEFT, CAT_FAULT, track=wid, worker=wid)

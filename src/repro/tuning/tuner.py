@@ -193,6 +193,12 @@ class ConfigurationTuner:
             (c for c in cases if c.phase == 1),
             key=lambda c: c.per_iteration_time,
         )
+        if best_p1.per_iteration_time == float("inf"):
+            # Every parallelism degree OOMs: Phase 2 would only re-profile
+            # doomed subsets of an infeasible winner.  Fail fast here.
+            raise TuningError(
+                "every configuration case is infeasible on this GPU"
+            )
 
         # Phase 2: halve the conditional subset (N is already measured as
         # the Phase-1 winner, so only the strict subsets run).

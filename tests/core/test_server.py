@@ -127,3 +127,48 @@ class TestRequestReportProtocol:
         self.drive(server, cluster, [0, 1, 2, 3])
         server.end_iteration()
         assert server.generator.registry == {}
+
+
+class TestExhaustionAcrossOverlappingIterations:
+    """``_exhausted_for`` must scan *every* open iteration.
+
+    The pipelined runtimes keep iteration k open while k+1 starts; a
+    worker that has drained iteration k must not be sent home while
+    k+1 still holds tokens it may take.
+    """
+
+    def drain(self, server, cluster, wid=0):
+        env = cluster.env
+        pulled = []
+
+        def worker():
+            while True:
+                token = yield from server.request_token(wid)
+                if token is None:
+                    return
+                pulled.append(token)
+                yield from server.report_completion(wid, token)
+
+        env.run(env.process(worker()))
+        return pulled
+
+    def test_not_exhausted_while_next_iteration_has_tokens(
+        self, vgg19_partition
+    ):
+        server, cluster = make_server(vgg19_partition, num_workers=1)
+        server.begin_iteration(0)
+        first = self.drain(server, cluster)
+        assert len(first) == sum(server.counts)
+        # Iteration 0 is fully assigned (and deliberately not ended):
+        # with it alone open, the worker is exhausted.
+        assert server._exhausted_for(0)
+        server.begin_iteration(1)
+        # Overlap: iteration 0 exhausted, iteration 1 untouched.  The
+        # worker must keep pulling rather than go home early.
+        assert not server._exhausted_for(0)
+        second = self.drain(server, cluster)
+        assert len(second) == sum(server.counts)
+        assert {t.iteration for t in second} == {1}
+        assert server._exhausted_for(0)
+        server.end_iteration(0)
+        server.end_iteration(1)

@@ -1,0 +1,175 @@
+"""Elastic membership integration tests: leave, join, and overhead."""
+
+from repro.analysis.invariants import InvariantChecker
+from repro.core import FelaConfig, FelaRuntime, PipelinedFelaRuntime
+from repro.faults import FaultController, NoFaults, parse_faults
+from repro.hardware import Cluster, ClusterSpec
+from repro.obs import EV_WORKER_JOINED, EV_WORKER_LEFT, Tracer
+
+from tests.faults.test_recovery import run_faulted
+
+
+class TestGracefulLeave:
+    def test_leave_drains_and_run_completes(self, vgg19_partition):
+        tracer = Tracer()
+        result = run_faulted(
+            vgg19_partition, "leave:2@1.0", iterations=4, tracer=tracer
+        )
+        assert len(result.records) == 4
+        summary = result.stats["faults"]
+        assert summary["left"] == [2]
+        assert summary["final_states"][2] == "left"
+        # No recovery needed: the departed node stays online, so its
+        # activations never have to be re-minted.
+        assert summary["tokens_reminted"] == 0
+        assert summary["tokens_reclaimed"] == 0
+        assert EV_WORKER_LEFT in [e.name for e in tracer.events]
+
+    def test_departed_worker_stops_training(self, vgg19_partition):
+        result = run_faulted(
+            vgg19_partition, "leave:2@1.0", iterations=4
+        )
+        # Once drained, the departed worker does no work in the
+        # remaining iterations.
+        assert result.records[-1].work_by_worker[2] == 0
+        # The survivors absorb its share instead.
+        assert sum(result.records[-1].work_by_worker) == sum(
+            result.records[0].work_by_worker
+        )
+
+    def test_last_active_worker_cannot_leave(self, vgg19_partition):
+        spec = ",".join(f"leave:{wid}@0.5" for wid in range(8))
+        result = run_faulted(vgg19_partition, spec, iterations=2)
+        assert len(result.records) == 2
+        summary = result.stats["faults"]
+        assert summary["skipped_leaves"] >= 1
+        assert len(summary["left"]) <= 7
+
+
+class TestJoin:
+    def test_join_mid_run_trains_tokens(self, vgg19_partition):
+        tracer = Tracer()
+        result = run_faulted(
+            vgg19_partition,
+            "join@1.5",
+            nodes=9,
+            iterations=4,
+            tracer=tracer,
+        )
+        assert len(result.records) == 4
+        summary = result.stats["faults"]
+        assert summary["joined"] == [8]
+        assert summary["final_states"][8] == "active"
+        joined = next(
+            e for e in tracer.events if e.name == EV_WORKER_JOINED
+        )
+        assert joined.args["worker"] == 8
+        # The newcomer pulls work from its first full iteration on.
+        assert result.records[-1].work_by_worker[8] > 0
+        # And it starts only at an iteration boundary, not mid-iteration.
+        assert joined.args["iteration"] >= 1
+
+    def test_join_speeds_up_the_run(self, vgg19_partition):
+        # crashp:0.0 arms the fault layer without any event firing.
+        without = run_faulted(
+            vgg19_partition, "crashp:0.0", nodes=10, iterations=4
+        )
+        with_join = run_faulted(
+            vgg19_partition, "join@0.5,join@0.5", nodes=10, iterations=4
+        )
+        assert with_join.total_time < without.total_time
+
+    def test_join_and_crash_combined(self, vgg19_partition):
+        result = run_faulted(
+            vgg19_partition,
+            "join@0.5,crash:4@2.2,leave:1@4.0",
+            nodes=9,
+            iterations=4,
+        )
+        assert len(result.records) == 4
+        summary = result.stats["faults"]
+        assert summary["joined"] == [8]
+        assert summary["final_states"][4] == "failed"
+        assert summary["final_states"][1] == "left"
+
+    def test_pipelined_join(self, vgg19_partition):
+        result = run_faulted(
+            vgg19_partition,
+            "crash:2@1.2,join@2.0",
+            cls=PipelinedFelaRuntime,
+            nodes=9,
+            iterations=4,
+            sync_mode="asp",
+        )
+        assert len(result.records) == 4
+        assert result.stats["faults"]["joined"] == [8]
+
+
+class TestZeroOverhead:
+    def _run(self, partition, cls, faults, **kwargs):
+        config = FelaConfig(
+            partition=partition,
+            total_batch=128,
+            num_workers=8,
+            weights=(1, 2, 8),
+            conditional_subset_size=2,
+            iterations=3,
+            **kwargs,
+        )
+        cluster = Cluster(ClusterSpec(num_nodes=8))
+        runtime = cls(config, cluster, faults=faults)
+        return runtime.run().total_time
+
+    def test_nofaults_layer_is_timing_neutral(self, vgg19_partition):
+        """The armed fault layer (lease monitor, elastic worker loop)
+        must not shift the simulation by a single float ULP when no
+        fault fires."""
+        plain = self._run(vgg19_partition, FelaRuntime, None)
+        elastic = self._run(
+            vgg19_partition, FelaRuntime, FaultController(NoFaults())
+        )
+        assert repr(plain) == repr(elastic)
+
+    def test_nofaults_layer_neutral_when_pipelined(self, vgg19_partition):
+        plain = self._run(
+            vgg19_partition,
+            PipelinedFelaRuntime,
+            None,
+            sync_mode="ssp",
+            staleness=2,
+        )
+        elastic = self._run(
+            vgg19_partition,
+            PipelinedFelaRuntime,
+            FaultController(NoFaults()),
+            sync_mode="ssp",
+            staleness=2,
+        )
+        assert repr(plain) == repr(elastic)
+
+
+class TestInvariantCheckerCoversElasticity:
+    def test_joined_worker_accepted_in_sync_participants(
+        self, vgg19_partition
+    ):
+        # A join grows the participant universe past config.num_workers;
+        # the checker must widen with it (and stay silent).
+        checker = InvariantChecker()
+        config = FelaConfig(
+            partition=vgg19_partition,
+            total_batch=128,
+            num_workers=8,
+            weights=(1, 2, 8),
+            conditional_subset_size=2,
+            iterations=3,
+        )
+        cluster = Cluster(ClusterSpec(num_nodes=9))
+        runtime = FelaRuntime(
+            config,
+            cluster,
+            invariants=checker,
+            faults=FaultController(parse_faults("join@0.5")),
+        )
+        result = runtime.run()
+        assert result.records[-1].work_by_worker[8] > 0
+        assert checker.checks > 0

@@ -1,0 +1,109 @@
+"""Regression tests for fetch accounting in ``Worker._fetch_inputs``.
+
+The original code credited ``bytes_fetched`` and the Parameter Chunks
+*before* yielding on the transfers.  That was invisible in fault-free
+runs (the credits and the wait commute) but wrong under failure: a
+worker killed mid-fetch kept phantom bytes and a chunk it never
+received, and the recovery sweep would then "promote" that phantom copy
+instead of revoking the consumer.
+"""
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.core.tokens import SampleRange, Token
+from repro.faults import FaultController, NoFaults, parse_faults
+from repro.faults.signals import WorkerCrash
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Interrupt
+
+from tests.faults.test_recovery import run_faulted
+
+
+def _elastic_runtime(partition, num_workers=2):
+    config = FelaConfig(
+        partition=partition,
+        total_batch=64,
+        num_workers=num_workers,
+        weights=(1, 2, 2),
+        iterations=1,
+    )
+    cluster = Cluster(ClusterSpec(num_nodes=num_workers))
+    return FelaRuntime(
+        config, cluster, faults=FaultController(NoFaults())
+    )
+
+
+class TestInterruptedFetch:
+    def test_crash_mid_fetch_leaves_no_phantom_bytes(self, vgg19_partition):
+        """Interrupt a worker while its input transfer is in flight:
+        neither the byte counter nor the chunk set may move."""
+        runtime = _elastic_runtime(vgg19_partition)
+        env = runtime.cluster.env
+        worker = runtime.workers[1]
+        # A T-1 token homed at worker 0: fetching its samples from
+        # worker 1 forces a real fabric transfer.
+        token = Token(
+            tid=0,
+            level=0,
+            iteration=0,
+            ordinal=0,
+            samples=SampleRange(0, 32),
+            deps=(),
+            home_worker=0,
+        )
+        outcome = []
+
+        def driver():
+            try:
+                yield from worker._fetch_inputs(token)
+            except Interrupt as interrupt:
+                outcome.append(interrupt.cause)
+                return
+            outcome.append("completed")
+
+        proc = env.process(driver())
+
+        def killer():
+            yield env.timeout(1e-4)  # transfer takes much longer
+            proc.interrupt(WorkerCrash(1))
+
+        env.process(killer())
+        # Bounded run: the attached fault layer's lease monitor ticks
+        # forever, so run-to-exhaustion would never return.
+        env.run(until=proc)
+        assert isinstance(outcome[0], WorkerCrash)
+        assert worker.bytes_fetched == 0.0
+        assert worker.chunks == set()
+
+    def test_uninterrupted_fetch_still_credits(self, vgg19_partition):
+        runtime = _elastic_runtime(vgg19_partition)
+        env = runtime.cluster.env
+        worker = runtime.workers[1]
+        token = Token(
+            tid=0,
+            level=0,
+            iteration=0,
+            ordinal=0,
+            samples=SampleRange(0, 32),
+            deps=(),
+            home_worker=0,
+        )
+        env.run(env.process(worker._fetch_inputs(token)))
+        expected = 32 * runtime.config.partition.model.input_bytes
+        assert worker.bytes_fetched == expected
+
+
+class TestSweepSeesTrueChunkState:
+    def test_mid_fetch_consumer_revoked_not_promoted(self, vgg19_partition):
+        """With correct accounting the sweep sees the in-flight fetch's
+        chunk as absent and revokes the consumer; the phantom-copy bug
+        would promote instead, leaving ``tokens_revoked == 0``."""
+        slow = ClusterSpec(num_nodes=8, link_bandwidth=2e8)
+        result = run_faulted(
+            vgg19_partition,
+            "crash:1@1.0",
+            cluster_spec=slow,
+            lease_timeout=0.1,
+        )
+        summary = result.stats["faults"]
+        assert summary["tokens_revoked"] >= 1
+        assert summary["copies_promoted"] == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the elastic membership state machine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.faults import (
+    ACTIVE,
+    DRAINING,
+    FAILED,
+    JOINING,
+    LEFT,
+    Membership,
+)
+
+
+class TestInitialState:
+    def test_initial_workers_active(self):
+        membership = Membership(3)
+        assert membership.known_workers() == [0, 1, 2]
+        assert membership.active_workers() == [0, 1, 2]
+        for wid in range(3):
+            assert membership.state(wid) == ACTIVE
+            assert membership.is_active(wid)
+            assert membership.is_online(wid)
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(SchedulingError):
+            Membership(0)
+
+
+class TestTransitions:
+    def test_failure(self):
+        membership = Membership(2)
+        membership.mark_failed(1)
+        assert membership.state(1) == FAILED
+        assert membership.is_failed(1)
+        assert not membership.is_online(1)
+        assert membership.active_workers() == [0]
+
+    def test_graceful_leave(self):
+        membership = Membership(2)
+        membership.mark_draining(0)
+        assert membership.state(0) == DRAINING
+        assert membership.is_draining(0)
+        assert membership.active_workers() == [1]
+        assert membership.is_online(0)  # still finishing in-flight work
+        membership.mark_left(0)
+        assert membership.state(0) == LEFT
+        assert membership.is_online(0)  # activations stay fetchable
+
+    def test_draining_worker_may_fail(self):
+        membership = Membership(2)
+        membership.mark_draining(0)
+        membership.mark_failed(0)
+        assert membership.state(0) == FAILED
+
+    def test_join_lifecycle(self):
+        membership = Membership(2)
+        membership.add_joining(2)
+        assert membership.state(2) == JOINING
+        assert not membership.is_active(2)
+        membership.activate(2)
+        assert membership.active_workers() == [0, 1, 2]
+
+    def test_illegal_transitions_rejected(self):
+        membership = Membership(2)
+        membership.mark_failed(0)
+        with pytest.raises(SchedulingError):
+            membership.mark_failed(0)  # already failed
+        with pytest.raises(SchedulingError):
+            membership.mark_draining(0)  # dead workers cannot drain
+        with pytest.raises(SchedulingError):
+            membership.mark_left(1)  # must drain before leaving
+
+    def test_unknown_worker_rejected(self):
+        membership = Membership(2)
+        with pytest.raises(SchedulingError):
+            membership.state(7)
+
+    def test_duplicate_join_rejected(self):
+        membership = Membership(2)
+        membership.add_joining(2)
+        with pytest.raises(SchedulingError):
+            membership.add_joining(2)
+
+
+class TestEpochAndQueries:
+    def test_epoch_bumps_on_every_transition(self):
+        membership = Membership(3)
+        epoch = membership.epoch
+        membership.mark_draining(2)
+        assert membership.epoch == epoch + 1
+        membership.mark_left(2)
+        assert membership.epoch == epoch + 2
+
+    def test_may_request_only_when_active(self):
+        membership = Membership(2)
+        membership.add_joining(2)
+        assert membership.may_request(0)
+        assert not membership.may_request(2)
+        # Draining workers receive no new tokens — that is what lets
+        # their drain complete.
+        membership.mark_draining(1)
+        assert not membership.may_request(1)
+
+    def test_rehome_target_wraps_over_active(self):
+        membership = Membership(4)
+        membership.mark_failed(2)
+        # Active workers are [0, 1, 3]; dead homes re-map into them.
+        assert membership.rehome_target(2) == membership.active_workers()[
+            2 % 3
+        ]
+        assert membership.rehome_target(2) in membership.active_workers()

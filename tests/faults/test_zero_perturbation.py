@@ -1,0 +1,67 @@
+"""Pinned no-fault baselines: the fault subsystem must be invisible.
+
+These five ``total_time`` values were recorded on the commit *before*
+the fault layer existed.  Any drift — even one float ULP — means the
+fault machinery perturbed an unfaulted run: a forbidden change to the
+simulator's deterministic schedule.  (``repr`` round-trips doubles
+exactly, so string comparison is bit-exact.)
+"""
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime, PipelinedFelaRuntime
+from repro.hardware import Cluster, ClusterSpec
+from repro.stragglers import ProbabilityStraggler, RoundRobinStraggler
+
+PINNED = {
+    "bsp": "10.369026752546905",
+    "bsp_rr": "12.810091393774538",
+    "bsp_prob": "13.522563446941081",
+    "ssp_pipe": "12.032065240319994",
+    "asp_pipe": "10.31240059909236",
+}
+
+
+def _config(partition, **kwargs):
+    return FelaConfig(
+        partition=partition,
+        total_batch=128,
+        num_workers=8,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=4,
+        **kwargs,
+    )
+
+
+def _total_time(partition, cls, straggler=None, **kwargs):
+    cluster = Cluster(ClusterSpec(num_nodes=8))
+    runtime = cls(_config(partition, **kwargs), cluster,
+                  straggler=straggler)
+    return runtime.run().total_time
+
+
+#: name -> (runtime class, straggler factory, config overrides).
+#: Stragglers carry per-run state, so each case builds a fresh one.
+CASES = {
+    "bsp": (FelaRuntime, lambda: None, {}),
+    "bsp_rr": (FelaRuntime, lambda: RoundRobinStraggler(2.0), {}),
+    "bsp_prob": (
+        FelaRuntime,
+        lambda: ProbabilityStraggler(0.3, 1.5, seed=7),
+        {},
+    ),
+    "ssp_pipe": (
+        PipelinedFelaRuntime,
+        lambda: RoundRobinStraggler(1.0),
+        {"sync_mode": "ssp", "staleness": 2},
+    ),
+    "asp_pipe": (PipelinedFelaRuntime, lambda: None, {"sync_mode": "asp"}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_total_time_matches_pre_fault_layer_pin(name, vgg19_partition):
+    cls, make_straggler, kwargs = CASES[name]
+    total = _total_time(vgg19_partition, cls, make_straggler(), **kwargs)
+    assert repr(total) == PINNED[name]

@@ -51,6 +51,35 @@ class TestInfeasibleCases:
         with pytest.raises(TuningError):
             tuner.tune()
 
+    def test_all_infeasible_fails_fast_after_phase1(
+        self, vgg19_partition, monkeypatch
+    ):
+        """When every Phase-1 case OOMs there is no feasible winner for
+        Phase 2 to refine: the tuner must raise at the end of Phase 1
+        instead of profiling doomed subsets of an infeasible config."""
+        tiny_gpu = GpuSpec(memory_bytes=2e9)
+        tuner = ConfigurationTuner(
+            vgg19_partition,
+            total_batch=128,
+            num_workers=8,
+            cluster_spec=ClusterSpec(num_nodes=8, gpu=tiny_gpu),
+            profile_iterations=1,
+        )
+        calls = []
+        original = tuner.measure
+
+        def counting(weights, subset):
+            calls.append((weights, subset))
+            return original(weights, subset)
+
+        monkeypatch.setattr(tuner, "measure", counting)
+        with pytest.raises(TuningError, match="infeasible"):
+            tuner.tune()
+        # Phase 1 profiles all 10 weight candidates (M=3, N=8) with the
+        # subset pinned at N; the Phase-2 subset sweep never starts.
+        assert len(calls) == 10
+        assert all(subset == 8 for _, subset in calls)
+
 
 class TestNormalizationWithInf:
     def test_inf_normalizes_to_one(self):
