@@ -6,45 +6,34 @@ the per-NIC line rate (1 / 10 / 25 / 40 Gbps) on fixed K40c GPUs.  On
 slow fabrics Fela's communication frugality towers over DP; on very fast
 ones both converge toward the pure-compute bound and the gap narrows —
 the decision boundary the paper's motivation paints.
+
+Fela re-tunes per environment — on a fast fabric the tuner widens the
+conditional subset; on a slow one it shrinks it — which is exactly what
+the shared ``fela_vs_dp`` sweep point does for every cluster spec.
 """
 
-from repro.baselines import DataParallel
-from repro.core import FelaRuntime
+from repro.hardware import ClusterSpec
 from repro.harness import render_table
-from repro.hardware import Cluster, ClusterSpec
-from repro.models import get_model
-from repro.partition import paper_partition
-from repro.tuning import ConfigurationTuner
 
 GBPS = (1, 10, 25, 40)
 BATCH = 256
 
 
-def _sweep():
-    model = get_model("vgg19")
-    partition = paper_partition(model)
+def _sweep(fela_vs_dp):
     rows = {}
     for gbps in GBPS:
         spec = ClusterSpec(
             num_nodes=8, link_bandwidth=gbps * 0.125e9
         )
-        dp = DataParallel(
-            model, BATCH, 8, iterations=4, cluster=Cluster(spec)
-        ).run()
-        # Fela re-tunes per environment — on a fast fabric the tuner
-        # widens the conditional subset; on a slow one it shrinks it.
-        tuner = ConfigurationTuner(
-            partition, BATCH, 8, cluster_spec=spec,
-            profile_iterations=2,
-        )
-        config = tuner.tuned_config(iterations=4)
-        fela = FelaRuntime(config, Cluster(spec)).run()
+        fela, dp = fela_vs_dp("vgg19", BATCH, cluster_spec=spec)
         rows[gbps] = (fela.average_throughput, dp.average_throughput)
     return rows
 
 
-def test_bandwidth_sensitivity(benchmark, record_output):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_bandwidth_sensitivity(benchmark, fela_vs_dp, record_output):
+    rows = benchmark.pedantic(
+        _sweep, args=(fela_vs_dp,), rounds=1, iterations=1
+    )
     table_rows = [
         [f"{gbps} Gbps", fela, dp, fela / dp]
         for gbps, (fela, dp) in rows.items()

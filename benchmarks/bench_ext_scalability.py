@@ -8,39 +8,24 @@ Fela keeps token batches at the thresholds and keeps FC synchronization
 inside the conditional subset.
 """
 
-from repro.baselines import DataParallel
-from repro.core import FelaConfig, FelaRuntime
 from repro.harness import render_table
-from repro.hardware import Cluster, ClusterSpec
-from repro.models import get_model
-from repro.partition import paper_partition
-from repro.tuning import ConfigurationTuner
 
 WORKER_COUNTS = (2, 4, 8, 16)
 BATCH = 512
 
 
-def _sweep():
-    model = get_model("vgg19")
-    partition = paper_partition(model)
+def _sweep(fela_vs_dp):
     rows = {}
     for workers in WORKER_COUNTS:
-        spec = ClusterSpec(num_nodes=workers)
-        tuner = ConfigurationTuner(
-            partition, BATCH, workers, cluster_spec=spec,
-            profile_iterations=2,
-        )
-        config = tuner.tuned_config(iterations=4)
-        fela = FelaRuntime(config, Cluster(spec)).run()
-        dp = DataParallel(
-            model, BATCH, workers, iterations=4, cluster=Cluster(spec)
-        ).run()
+        fela, dp = fela_vs_dp("vgg19", BATCH, workers)
         rows[workers] = (fela.average_throughput, dp.average_throughput)
     return rows
 
 
-def test_strong_scaling(benchmark, record_output):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_strong_scaling(benchmark, fela_vs_dp, record_output):
+    rows = benchmark.pedantic(
+        _sweep, args=(fela_vs_dp,), rounds=1, iterations=1
+    )
     table_rows = [
         [n, fela, dp, fela / dp] for n, (fela, dp) in rows.items()
     ]

@@ -6,9 +6,12 @@ full ``pytest benchmarks/ --benchmark-only`` run leaves an inspectable
 record of the reproduced evaluation, and the pytest-benchmark timings
 measure the cost of regenerating each artifact on the simulator.
 
-The :class:`~repro.harness.ExperimentRunner` is session-scoped: tuning
-results (the expensive part) are computed once per workload and shared
-across figures, exactly like the paper's one-off warm-up.
+Workload construction routes through :mod:`repro.perf` — the same
+:class:`~repro.perf.ScenarioContext` and shared builders the ``repro
+bench`` scenarios use — so the figure benchmarks and the performance lab
+agree on how a cluster is built and how a Fela configuration is tuned,
+and the expensive two-phase tunings are computed once per workload and
+shared across figures (the paper's one-off warm-up).
 """
 
 from __future__ import annotations
@@ -17,14 +20,66 @@ import pathlib
 
 import pytest
 
+from repro.core import FelaConfig, FelaRuntime
+from repro.hardware import Cluster, ClusterSpec
 from repro.harness import ExperimentRunner
+from repro.metrics import RunResult
+from repro.perf import ScenarioContext, baseline_run, tuned_fela_config
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner()
+def perf_context() -> ScenarioContext:
+    """The perf-lab scenario context backing every benchmark's setup."""
+    return ScenarioContext()
+
+
+@pytest.fixture(scope="session")
+def runner(perf_context: ScenarioContext) -> ExperimentRunner:
+    return perf_context.runner
+
+
+@pytest.fixture(scope="session")
+def fela_vs_dp(perf_context: ScenarioContext):
+    """One sweep point: tuned Fela vs the DP baseline on a cluster spec.
+
+    The shared body of the bandwidth / scalability / network-trend
+    extension sweeps.  Pass ``config`` to pin an explicit
+    :class:`FelaConfig` instead of the cached two-phase tuning.
+    """
+
+    def sweep_point(
+        model_name: str,
+        total_batch: int,
+        num_workers: int = 8,
+        cluster_spec: ClusterSpec | None = None,
+        iterations: int = 4,
+        config: FelaConfig | None = None,
+    ) -> tuple[RunResult, RunResult]:
+        spec = cluster_spec or ClusterSpec(num_nodes=num_workers)
+        if config is None:
+            config = tuned_fela_config(
+                perf_context,
+                model_name,
+                total_batch,
+                num_workers,
+                iterations=iterations,
+                cluster_spec=spec,
+            )
+        fela = FelaRuntime(config, Cluster(spec)).run()
+        dp, _ = baseline_run(
+            perf_context,
+            "dp",
+            model_name,
+            total_batch,
+            num_workers,
+            iterations=iterations,
+            cluster=Cluster(spec),
+        )
+        return fela, dp
+
+    return sweep_point
 
 
 @pytest.fixture(scope="session")

@@ -46,6 +46,7 @@ from repro.core import (
 )
 from repro.errors import (
     AnalysisError,
+    BenchmarkError,
     CapacityError,
     ConfigurationError,
     InvariantViolation,
@@ -80,6 +81,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "BenchmarkError",
     "CapacityError",
     "Cluster",
     "ClusterSpec",

@@ -22,6 +22,10 @@ Commands map onto the library's public API:
     The two-phase configuration tuning (Fig. 6 diagnostics).
 ``analyze [PATHS...]``
     The FELA determinism lint pass (see :mod:`repro.analysis`).
+``bench [--compare BASELINE --fail-on-regress PCT] [--profile]``
+    The performance lab (see :mod:`repro.perf`): run deterministic
+    benchmark scenarios, append them to a regression store, compare
+    against a committed baseline, or print cProfile hotspot reports.
 """
 
 from __future__ import annotations
@@ -261,6 +265,92 @@ def _cmd_analyze(args: argparse.Namespace) -> tuple[str, int]:
     )
 
 
+def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
+    import repro.perf as perf
+
+    if args.list:
+        rows = [
+            [scenario.name, scenario.kind, scenario.description]
+            for scenario in perf.scenarios()
+        ]
+        return render_table(
+            ["Scenario", "Kind", "Description"],
+            rows,
+            title="Registered benchmark scenarios",
+        )
+
+    if args.scenarios:
+        names = [
+            part for part in args.scenarios.split(",") if part
+        ]
+        for name in names:
+            perf.get_scenario(name)  # fail fast on typos
+    else:
+        kind = None if args.kind == "all" else args.kind
+        names = perf.scenario_names(kind)
+
+    ctx = perf.ScenarioContext()
+
+    if args.profile:
+        reports = [
+            perf.profile_scenario(name, ctx, top=args.top)
+            for name in names
+        ]
+        return "\n\n".join(reports)
+
+    run = perf.run_benchmarks(
+        names,
+        label=args.label,
+        ctx=ctx,
+        repeats=args.repeats,
+        warmup=args.warmup,
+    )
+    rows = [
+        [
+            record.name,
+            record.kind,
+            f"{record.wall_seconds_median:.4f}",
+            f"{record.wall_seconds_iqr:.4f}",
+            f"{record.sim_seconds_per_wall_second:.1f}",
+            f"{record.events_per_second:.0f}",
+            f"{record.peak_rss_kb / 1024.0:.1f}",
+        ]
+        for record in run.records
+    ]
+    text = render_table(
+        ["Scenario", "Kind", "Wall med (s)", "IQR (s)", "Sim s/s",
+         "Events/s", "RSS (MiB)"],
+        rows,
+        title=f"Benchmark run {run.label!r} "
+        f"({args.repeats} repeats, {args.warmup} warmup)",
+    )
+
+    # Resolve the baseline before --out appends, so that comparing and
+    # appending to the same store measures against the previous run.
+    baseline = None
+    if args.compare:
+        baseline_runs = perf.load_store(args.compare)
+        if not baseline_runs:
+            raise ConfigurationError(
+                f"baseline store {args.compare} holds no runs"
+            )
+        baseline = baseline_runs[-1]
+
+    if args.out:
+        perf.append_run(args.out, run)
+        text += f"\nappended run {run.label!r} to {args.out}"
+
+    if baseline is not None:
+        comparison = perf.compare_runs(
+            run, baseline, threshold_pct=args.fail_on_regress
+        )
+        text += "\n\n" + comparison.render()
+        if comparison.regressions:
+            return text, 1
+
+    return text
+
+
 def _cmd_tune(args: argparse.Namespace) -> str:
     from repro.tuning import ConfigurationTuner
 
@@ -395,6 +485,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--list-rules", action="store_true")
 
+    bench = sub.add_parser(
+        "bench", help="deterministic performance benchmarks"
+    )
+    bench.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and exit",
+    )
+    bench.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario names (default: all of --kind)",
+    )
+    bench.add_argument(
+        "--kind", choices=("macro", "micro", "all"), default="all"
+    )
+    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument(
+        "--label", default="local",
+        help="label stored with this run (e.g. 'optimized')",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="append this run to the given regression store",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against the latest run in BASELINE "
+        "(exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--fail-on-regress", type=float, default=20.0, metavar="PCT",
+        help="regression gate for --compare (median wall-clock %%)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="print cProfile hotspot reports instead of timing",
+    )
+    bench.add_argument(
+        "--top", type=int, default=15,
+        help="functions per hotspot report (with --profile)",
+    )
+
     return parser
 
 
@@ -412,6 +544,7 @@ _COMMANDS: dict[
     "tune": _cmd_tune,
     "figures": _cmd_figures,
     "analyze": _cmd_analyze,
+    "bench": _cmd_bench,
 }
 
 

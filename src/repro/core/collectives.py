@@ -62,13 +62,12 @@ def ring_allreduce(
     )
     start = env.now
     wire_bytes = 0.0
+    fabric = cluster.fabric
+    ring = [
+        (workers[i], workers[(i + 1) % k], chunk) for i in range(k)
+    ]
     for _round in range(2 * (k - 1)):
-        transfers = [
-            cluster.fabric.transfer(
-                workers[i], workers[(i + 1) % k], chunk
-            )
-            for i in range(k)
-        ]
+        transfers = fabric.transfer_many(ring)
         wire_bytes += chunk * k
         yield env.all_of(transfers)
     if ledger is not None and handle is not None:
@@ -101,29 +100,23 @@ def tree_allreduce(
     # Reduce phase: children send to parents, level by level.
     stride = 1
     while stride < k:
-        transfers = []
-        for left in range(0, k - stride, stride * 2):
-            child = workers[left + stride]
-            parent = workers[left]
-            transfers.append(
-                cluster.fabric.transfer(child, parent, size_bytes)
-            )
-        if transfers:
-            yield env.all_of(transfers)
+        requests = [
+            (workers[left + stride], workers[left], size_bytes)
+            for left in range(0, k - stride, stride * 2)
+        ]
+        if requests:
+            yield env.all_of(cluster.fabric.transfer_many(requests))
         stride *= 2
 
     # Broadcast phase: parents send the reduced payload back down.
     stride //= 2
     while stride >= 1:
-        transfers = []
-        for left in range(0, k - stride, stride * 2):
-            parent = workers[left]
-            child = workers[left + stride]
-            transfers.append(
-                cluster.fabric.transfer(parent, child, size_bytes)
-            )
-        if transfers:
-            yield env.all_of(transfers)
+        requests = [
+            (workers[left], workers[left + stride], size_bytes)
+            for left in range(0, k - stride, stride * 2)
+        ]
+        if requests:
+            yield env.all_of(cluster.fabric.transfer_many(requests))
         stride //= 2
 
 
@@ -184,9 +177,13 @@ def parameter_server_sync(
     senders = [w for w in workers if w != server]
     if not senders or size_bytes == 0:
         return
-    pushes = [cluster.fabric.transfer(w, server, size_bytes) for w in senders]
+    pushes = cluster.fabric.transfer_many(
+        (w, server, size_bytes) for w in senders
+    )
     yield env.all_of(pushes)
-    pulls = [cluster.fabric.transfer(server, w, size_bytes) for w in senders]
+    pulls = cluster.fabric.transfer_many(
+        (server, w, size_bytes) for w in senders
+    )
     yield env.all_of(pulls)
 
 
@@ -201,9 +198,9 @@ def broadcast(
     targets = [d for d in destinations if d != source]
     if not targets or size_bytes <= 0:
         return
-    transfers = [
-        cluster.fabric.transfer(source, d, size_bytes) for d in targets
-    ]
+    transfers = cluster.fabric.transfer_many(
+        (source, d, size_bytes) for d in targets
+    )
     yield env.all_of(transfers)
 
 
@@ -218,8 +215,7 @@ def gather(
     senders = [s for s in sources if s != destination]
     if not senders or size_bytes_per_source <= 0:
         return
-    transfers = [
-        cluster.fabric.transfer(s, destination, size_bytes_per_source)
-        for s in senders
-    ]
+    transfers = cluster.fabric.transfer_many(
+        (s, destination, size_bytes_per_source) for s in senders
+    )
     yield env.all_of(transfers)

@@ -61,6 +61,12 @@ class TokenDistributor:
         self._helpers: dict[int, set[int]] = {}
         #: Requests currently being serviced (for conflict detection).
         self._in_flight_requests: int = 0
+        #: wid -> (subset identity, levels) cache for takeable_levels();
+        #: invalidated per worker whenever the effective subset object
+        #: changes (which only happens on a membership epoch move).
+        self._takeable_cache: dict[
+            int, tuple[frozenset[int] | None, frozenset[int]]
+        ] = {}
 
     # -- CTD ------------------------------------------------------------------
 
@@ -94,12 +100,23 @@ class TokenDistributor:
         return True
 
     def takeable_levels(self, wid: int) -> frozenset[int]:
-        """All levels worker ``wid`` may draw tokens from."""
-        return frozenset(
+        """All levels worker ``wid`` may draw tokens from.
+
+        Cached per worker against the identity of the effective subset:
+        the answer only depends on the CTD subset, and the subset object
+        is replaced (not mutated) when membership changes.
+        """
+        subset = self.current_subset() if self.config.ctd_enabled else None
+        cached = self._takeable_cache.get(wid)
+        if cached is not None and cached[0] is subset:
+            return cached[1]
+        levels = frozenset(
             level
             for level in range(self.config.levels)
             if self.may_take(wid, level)
         )
+        self._takeable_cache[wid] = (subset, levels)
+        return levels
 
     # -- selection -----------------------------------------------------------------
 
@@ -135,28 +152,40 @@ class TokenDistributor:
     def _rank_and_pick(
         self, wid: int, pool: list[Token], info: InfoMapping
     ) -> Token:
-        def rank(token: Token) -> tuple:
-            ctd_first = (
-                1
-                if (
-                    self.config.ctd_enabled
-                    and wid in self.current_subset()
-                    and token.level in self.comm_levels
-                )
-                else 0
-            )
-            # When several iterations' tokens coexist (pipelined SSP/ASP),
-            # the *oldest* iteration wins first — the token "age"
-            # distribution rule of the paper's Section VI sketch.
-            if self.config.ads_enabled:
+        # The subset membership test is per-request, not per-token: no
+        # simulated time passes inside a pick, so hoisting it out of the
+        # rank key cannot change the ranking.
+        in_subset = (
+            self.config.ctd_enabled and wid in self.current_subset()
+        )
+        comm_levels = self.comm_levels
+        if self.config.ads_enabled:
+            locality_score = info.locality_score
+
+            def rank(token: Token) -> tuple:
+                # When several iterations' tokens coexist (pipelined
+                # SSP/ASP), the *oldest* iteration wins first — the token
+                # "age" distribution rule of the paper's Section VI sketch.
                 return (
-                    -ctd_first,
+                    0
+                    if in_subset and token.level in comm_levels
+                    else 1,
                     token.iteration,
                     -token.level,
-                    -info.locality_score(wid, token),
+                    -locality_score(wid, token),
                     token.tid,
                 )
-            return (-ctd_first, token.iteration, token.tid)
+
+        else:
+
+            def rank(token: Token) -> tuple:
+                return (
+                    0
+                    if in_subset and token.level in comm_levels
+                    else 1,
+                    token.iteration,
+                    token.tid,
+                )
 
         return min(pool, key=rank)
 

@@ -556,9 +556,11 @@ class TokenServer:
     def _exhausted_for(self, wid: int) -> bool:
         """``wid`` can never receive another token from any active
         iteration."""
+        levels = self.distributor.takeable_levels(wid)
+        counts = self.counts
         for assigned in self._assigned.values():
-            for level in self.distributor.takeable_levels(wid):
-                if assigned[level] < self.counts[level]:
+            for level in levels:
+                if assigned[level] < counts[level]:
                     return False
         return True
 

@@ -17,7 +17,7 @@ from repro.errors import SchedulingError
 TokenId = int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SampleRange:
     """Half-open range of sample indices within one iteration's batch."""
 
@@ -48,7 +48,7 @@ class SampleRange:
         )
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Token:
     """One schedulable unit of training work."""
 

@@ -255,7 +255,7 @@ class Worker:
             return
 
         upstream = self.config.partition[token.level - 1]
-        transfers = []
+        requests: list[tuple[int, int, float]] = []
         pending: list[tuple[int, float]] = []
         for dep_tid in token.deps:
             if dep_tid in self.chunks:
@@ -270,11 +270,10 @@ class Worker:
                 continue
             dep = self.server.token_by_id(dep_tid)
             size = dep.batch * upstream.output_bytes
-            transfers.append(
-                self.node.cluster.fabric.transfer(holder, self.wid, size)
-            )
+            requests.append((holder, self.wid, size))
             pending.append((dep_tid, size))
-        if transfers:
+        if requests:
+            transfers = self.node.cluster.fabric.transfer_many(requests)
             yield env.all_of(transfers)
         # Account only once the transfers have resolved: an interrupted
         # fetch must not leave phantom bytes or a chunk never received.

@@ -57,6 +57,16 @@ class ObservabilityError(ReproError):
     """
 
 
+class BenchmarkError(ReproError):
+    """The performance lab was used or fed incorrectly.
+
+    Examples: requesting an unknown benchmark scenario, reading a
+    missing/malformed/old-schema regression store, or a scenario whose
+    repeated runs disagree (a determinism breach the runner refuses to
+    average over).
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant of the token machinery or simulator broke.
 

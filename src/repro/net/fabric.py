@@ -39,7 +39,7 @@ _RATE_EPS = 1e-9
 _BYTES_EPS = 1e-6
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Flow:
     """One in-flight transfer between two nodes."""
 
@@ -151,6 +151,55 @@ class Fabric:
         self._reallocate()
         return done
 
+    def transfer_many(
+        self, requests: _t.Iterable[tuple[int, int, float]]
+    ) -> list[Event]:
+        """Start several transfers at once; returns their completion events.
+
+        Equivalent to calling :meth:`transfer` once per ``(src, dst,
+        size)`` request at the same instant, but settles the in-flight
+        byte accounting and re-waterfills the fair shares once for the
+        whole batch instead of once per flow.  All intermediate rate
+        assignments of the sequential form are dead (no simulated time
+        passes between the calls), so the resulting allocation — and the
+        simulation — is identical; only the host-side work shrinks.
+        Collectives and input fetches launch their per-peer flow sets
+        through this path.
+        """
+        events: list[Event] = []
+        env = self.env
+        new_flows = False
+        for src, dst, size in requests:
+            self._check_node(src)
+            self._check_node(dst)
+            if size < 0:
+                raise SimulationError(
+                    f"transfer size must be >= 0: {size}"
+                )
+            done = env.event()
+            events.append(done)
+            if src == dst or size == 0:
+                done.succeed(0.0)
+                continue
+            if not new_flows:
+                # Settle once, at the instant the whole batch lands.
+                self._settle()
+                new_flows = True
+            self.stats.flows_started += 1
+            flow = Flow(
+                fid=next(self._fid),
+                src=src,
+                dst=dst,
+                size=float(size),
+                remaining=float(size),
+                started_at=env.now,
+                done=done,
+            )
+            self._flows[flow.fid] = flow
+        if new_flows:
+            self._reallocate()
+        return events
+
     @property
     def active_flows(self) -> list[Flow]:
         """Snapshot of flows currently in flight."""
@@ -178,14 +227,16 @@ class Fabric:
 
     def _settle(self) -> None:
         """Account bytes moved at the current rates since the last change."""
-        elapsed = self.env.now - self._last_settle
-        self._last_settle = self.env.now
+        now = self.env.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
         if elapsed <= 0:
             return
+        stats = self.stats
         for flow in self._flows.values():
             moved = min(flow.rate * elapsed, flow.remaining)
             flow.remaining -= moved
-            self.stats.bytes_transferred += moved
+            stats.bytes_transferred += moved
 
     def _reallocate(self) -> None:
         """Recompute max-min fair rates and reschedule the wake-up."""
@@ -206,17 +257,30 @@ class Fabric:
             return
 
         # Resources: ("tx", node) and ("rx", node) per node, plus optionally
-        # the aggregate switch.
+        # the aggregate switch.  ``live_count`` tracks how many unfrozen
+        # flows cross each resource so the share scan below is O(resources)
+        # per round instead of O(resources × flows) — the arithmetic
+        # (``cap / count``) and the insertion-ordered scan are unchanged,
+        # so the allocation is bit-identical to the naive form.
+        link_bandwidth = self.link_bandwidth
         remaining_cap: dict[tuple[str, int], float] = {}
         members: dict[tuple[str, int], list[Flow]] = {}
+        live_count: dict[tuple[str, int], int] = {}
         for flow in flows:
             for key in (("tx", flow.src), ("rx", flow.dst)):
-                remaining_cap.setdefault(key, self.link_bandwidth)
-                members.setdefault(key, []).append(flow)
-        if self.switch_bandwidth is not None:
-            key = ("switch", -1)
-            remaining_cap[key] = self.switch_bandwidth
-            members[key] = list(flows)
+                group = members.get(key)
+                if group is None:
+                    remaining_cap[key] = link_bandwidth
+                    members[key] = group = []
+                    live_count[key] = 0
+                group.append(flow)
+                live_count[key] += 1
+        has_switch = self.switch_bandwidth is not None
+        skey = ("switch", -1)
+        if has_switch:
+            remaining_cap[skey] = _t.cast(float, self.switch_bandwidth)
+            members[skey] = list(flows)
+            live_count[skey] = len(flows)
 
         unfrozen: set[int] = {flow.fid for flow in flows}
 
@@ -225,10 +289,10 @@ class Fabric:
             best_key: tuple[str, int] | None = None
             best_share = float("inf")
             for key, cap in remaining_cap.items():
-                live = [f for f in members[key] if f.fid in unfrozen]
-                if not live:
+                count = live_count[key]
+                if not count:
                     continue
-                share = cap / len(live)
+                share = cap / count
                 if share < best_share:
                     best_share = share
                     best_key = key
@@ -244,11 +308,12 @@ class Fabric:
                     remaining_cap[key] = max(
                         0.0, remaining_cap[key] - best_share
                     )
-                if self.switch_bandwidth is not None:
-                    skey = ("switch", -1)
+                    live_count[key] -= 1
+                if has_switch:
                     remaining_cap[skey] = max(
                         0.0, remaining_cap[skey] - best_share
                     )
+                    live_count[skey] -= 1
 
     def _schedule_wakeup(self) -> None:
         """(Re)start the process that fires at the next flow completion."""
@@ -259,8 +324,11 @@ class Fabric:
             return
         next_dt = float("inf")
         for flow in self._flows.values():
-            if flow.rate > _RATE_EPS:
-                next_dt = min(next_dt, flow.remaining / flow.rate)
+            rate = flow.rate
+            if rate > _RATE_EPS:
+                dt = flow.remaining / rate
+                if dt < next_dt:
+                    next_dt = dt
         if next_dt == float("inf"):
             # No flow can progress (should not happen with positive
             # capacities); fail loudly rather than deadlock silently.

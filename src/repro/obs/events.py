@@ -82,7 +82,7 @@ TOKEN_LIFECYCLE: tuple[str, ...] = (
 )
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One structured observation of the simulated runtime.
 

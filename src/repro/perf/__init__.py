@@ -1,0 +1,72 @@
+"""The performance lab: deterministic benchmarks and regression tracking.
+
+Three parts, one measurement loop:
+
+* :mod:`repro.perf.scenarios` — a registry of seeded macro scenarios
+  (whole Fela/baseline runs, straggler/faulted/traced variants) and
+  micro scenarios (event-loop churn, fabric transfers, the token
+  mint/assign/report path, ring all-reduce), each fully deterministic;
+* :mod:`repro.perf.runner` — warmup + repeated wall-clock measurement
+  producing median/IQR, simulated-seconds-per-wall-second, events/sec,
+  and peak RSS for each scenario, with a rerun determinism check;
+* :mod:`repro.perf.store` — the schema-versioned regression store
+  behind ``BENCH_core.json`` and the comparator ``repro bench
+  --compare`` uses to fail on regressions.
+
+:mod:`repro.perf.hotspots` adds the cProfile-backed top-N report that
+justifies every hot-path optimization with data.
+"""
+
+from repro.perf.hotspots import profile_scenario
+from repro.perf.runner import (
+    ScenarioMeasurement,
+    measure_scenario,
+    run_benchmarks,
+)
+from repro.perf.scenarios import (
+    Scenario,
+    ScenarioContext,
+    ScenarioStats,
+    baseline_run,
+    build_cluster,
+    get_scenario,
+    scenario_names,
+    scenarios,
+    tuned_fela_config,
+)
+from repro.perf.store import (
+    SCHEMA_VERSION,
+    BenchRun,
+    Comparison,
+    ComparisonRow,
+    ScenarioRecord,
+    append_run,
+    compare_runs,
+    load_store,
+    save_store,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRun",
+    "Comparison",
+    "ComparisonRow",
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioMeasurement",
+    "ScenarioRecord",
+    "ScenarioStats",
+    "append_run",
+    "baseline_run",
+    "build_cluster",
+    "compare_runs",
+    "get_scenario",
+    "load_store",
+    "measure_scenario",
+    "profile_scenario",
+    "run_benchmarks",
+    "save_store",
+    "scenario_names",
+    "scenarios",
+    "tuned_fela_config",
+]

@@ -1,0 +1,487 @@
+"""The benchmark scenario registry.
+
+A *scenario* is a named, fully deterministic workload.  ``build()``
+performs the expensive one-off setup (model construction, two-phase
+tuning) and returns a zero-argument ``run_once`` callable; the runner
+times ``run_once`` alone, so measurements capture the engine, not the
+warm-up.  Every ``run_once`` builds a fresh simulation (environment,
+cluster, injectors), which is why repeats of a scenario are bit-identical
+— the determinism check in :mod:`repro.perf.runner` relies on it.
+
+Macro scenarios exercise whole training runs (the Fela runtime on
+vgg19/googlenet, the DP/MP/HP baselines, straggler + faulted + traced
+variants); micro scenarios isolate one hot path each (sim event-loop
+churn, fabric transfers, the token mint/assign/report path, ring
+all-reduce, and raw object allocation for the ``__slots__`` ledger).
+
+The shared builders (:func:`tuned_fela_config`, :func:`build_cluster`,
+:func:`baseline_run`) are also the setup surface the benchmark suite's
+``conftest`` routes through, so figure benchmarks and the perf lab agree
+on how a workload is constructed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import BenchmarkError
+from repro.hardware import Cluster, ClusterSpec
+from repro.harness import ExperimentRunner, ExperimentSpec
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.config import FelaConfig
+    from repro.metrics import RunResult
+
+MACRO = "macro"
+MICRO = "micro"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioStats:
+    """What one scenario repetition produced (must not vary across reps)."""
+
+    #: Final simulation clock of the run (0.0 for pure-allocation micros).
+    simulated_seconds: float
+    #: Events scheduled on the simulation environment(s) of the run.
+    events: int
+
+
+@dataclasses.dataclass
+class ScenarioContext:
+    """Shared expensive state for scenario setup.
+
+    One context serves a whole ``repro bench`` invocation, so scenarios
+    over the same workload share the cached two-phase tuning exactly as
+    the figure benchmarks share their session-scoped runner.
+    """
+
+    runner: ExperimentRunner = dataclasses.field(
+        default_factory=ExperimentRunner
+    )
+
+
+RunOnce = _t.Callable[[], ScenarioStats]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    kind: str
+    description: str
+    _builder: _t.Callable[[ScenarioContext], RunOnce]
+
+    def build(self, ctx: ScenarioContext) -> RunOnce:
+        """One-off setup; returns the repeatable timed body."""
+        return self._builder(ctx)
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(
+    name: str, kind: str, description: str
+) -> _t.Callable[[_t.Callable[[ScenarioContext], RunOnce]], Scenario]:
+    """Register a scenario builder under ``name``."""
+    if kind not in (MACRO, MICRO):
+        raise BenchmarkError(f"scenario kind must be macro/micro: {kind!r}")
+
+    def wrap(builder: _t.Callable[[ScenarioContext], RunOnce]) -> Scenario:
+        if name in _REGISTRY:
+            raise BenchmarkError(f"duplicate scenario name {name!r}")
+        scenario = Scenario(
+            name=name, kind=kind, description=description, _builder=builder
+        )
+        _REGISTRY[name] = scenario
+        return scenario
+
+    return wrap
+
+
+def scenarios(kind: str | None = None) -> list[Scenario]:
+    """All registered scenarios, name-sorted, optionally one kind."""
+    return [
+        _REGISTRY[name]
+        for name in sorted(_REGISTRY)
+        if kind is None or _REGISTRY[name].kind == kind
+    ]
+
+
+def scenario_names(kind: str | None = None) -> list[str]:
+    return [scenario.name for scenario in scenarios(kind)]
+
+
+def get_scenario(name: str) -> Scenario:
+    scenario = _REGISTRY.get(name)
+    if scenario is None:
+        raise BenchmarkError(
+            f"unknown scenario {name!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    return scenario
+
+
+# -- shared workload builders (also used by benchmarks/conftest.py) ----------
+
+
+def build_cluster(
+    num_nodes: int = 8, **overrides: _t.Any
+) -> Cluster:
+    """A fresh simulated cluster (fresh environment, fresh fabric)."""
+    return Cluster(ClusterSpec(num_nodes=num_nodes, **overrides))
+
+
+def tuned_fela_config(
+    ctx: ScenarioContext,
+    model_name: str,
+    total_batch: int,
+    num_workers: int = 8,
+    iterations: int = 12,
+    cluster_spec: ClusterSpec | None = None,
+) -> "FelaConfig":
+    """The two-phase tuned Fela configuration for a workload (cached)."""
+    spec = ExperimentSpec(
+        model_name=model_name,
+        total_batch=total_batch,
+        num_workers=num_workers,
+        iterations=iterations,
+        cluster_spec=cluster_spec,
+    )
+    return ctx.runner.fela_config(spec)
+
+
+def baseline_run(
+    ctx: ScenarioContext,
+    kind: str,
+    model_name: str,
+    total_batch: int,
+    num_workers: int = 8,
+    iterations: int = 12,
+    cluster: Cluster | None = None,
+) -> tuple["RunResult", Cluster]:
+    """Run one baseline runtime on a fresh cluster; returns (result, cluster)."""
+    from repro.baselines import DataParallel, HybridParallel, ModelParallel
+
+    baseline_cls = {
+        "dp": DataParallel,
+        "mp": ModelParallel,
+        "hp": HybridParallel,
+    }.get(kind)
+    if baseline_cls is None:
+        raise BenchmarkError(f"unknown baseline kind {kind!r}")
+    cluster = cluster or build_cluster(num_workers)
+    result = baseline_cls(
+        ctx.runner.model(model_name),
+        total_batch,
+        num_workers,
+        iterations=iterations,
+        cluster=cluster,
+    ).run()
+    return result, cluster
+
+
+# -- macro scenarios ----------------------------------------------------------
+
+
+def _fela_macro_builder(
+    model_name: str,
+    total_batch: int,
+    iterations: int,
+    straggler: str | None = None,
+    faults: str | None = None,
+    traced: bool = False,
+) -> _t.Callable[[ScenarioContext], RunOnce]:
+    def build(ctx: ScenarioContext) -> RunOnce:
+        from repro.core import FelaRuntime
+
+        config = tuned_fela_config(
+            ctx, model_name, total_batch, iterations=iterations
+        )
+
+        def run_once() -> ScenarioStats:
+            from repro.cli import parse_straggler
+
+            cluster = build_cluster(config.num_workers)
+            tracer = None
+            if traced:
+                from repro.obs import Tracer
+
+                tracer = Tracer()
+            controller = None
+            if faults is not None:
+                from repro.faults import FaultController, parse_faults
+
+                controller = FaultController(parse_faults(faults))
+            result = FelaRuntime(
+                config,
+                cluster,
+                straggler=parse_straggler(straggler),
+                tracer=tracer,
+                faults=controller,
+            ).run()
+            return ScenarioStats(
+                simulated_seconds=result.total_time,
+                events=cluster.env.scheduled_events,
+            )
+
+        return run_once
+
+    return build
+
+
+register(
+    "macro.vgg19_fela",
+    MACRO,
+    "tuned Fela BSP run: vgg19, batch 256, 8 workers, 12 iterations",
+)(_fela_macro_builder("vgg19", 256, 12))
+
+register(
+    "macro.googlenet_fela",
+    MACRO,
+    "tuned Fela BSP run: googlenet, batch 256, 8 workers, 12 iterations",
+)(_fela_macro_builder("googlenet", 256, 12))
+
+register(
+    "macro.vgg19_fela_straggler",
+    MACRO,
+    "Fela vgg19 run under the round-robin straggler (2 s delays)",
+)(_fela_macro_builder("vgg19", 256, 12, straggler="rr:2"))
+
+register(
+    "macro.vgg19_fela_faulted",
+    MACRO,
+    "Fela vgg19 run surviving two seeded worker crashes",
+)(_fela_macro_builder("vgg19", 256, 12, faults="crash:2@4.0,crash:5@9.0"))
+
+register(
+    "macro.vgg19_fela_traced",
+    MACRO,
+    "Fela vgg19 run with the structured tracer recording",
+)(_fela_macro_builder("vgg19", 256, 12, traced=True))
+
+
+def _baseline_macro_builder(
+    kind: str, model_name: str, total_batch: int, iterations: int
+) -> _t.Callable[[ScenarioContext], RunOnce]:
+    def build(ctx: ScenarioContext) -> RunOnce:
+        ctx.runner.model(model_name)  # cache the model outside the timer
+
+        def run_once() -> ScenarioStats:
+            result, cluster = baseline_run(
+                ctx, kind, model_name, total_batch, iterations=iterations
+            )
+            return ScenarioStats(
+                simulated_seconds=result.total_time,
+                events=cluster.env.scheduled_events,
+            )
+
+        return run_once
+
+    return build
+
+
+register(
+    "macro.vgg19_dp",
+    MACRO,
+    "data-parallel baseline: vgg19, batch 256, 8 workers, 12 iterations",
+)(_baseline_macro_builder("dp", "vgg19", 256, 12))
+
+register(
+    "macro.vgg19_mp",
+    MACRO,
+    "model-parallel baseline: vgg19, batch 256, 8 workers, 12 iterations",
+)(_baseline_macro_builder("mp", "vgg19", 256, 12))
+
+register(
+    "macro.vgg19_hp",
+    MACRO,
+    "hybrid-parallel baseline: vgg19, batch 256, 8 workers, 12 iterations",
+)(_baseline_macro_builder("hp", "vgg19", 256, 12))
+
+
+# -- micro scenarios ----------------------------------------------------------
+
+
+@register(
+    "micro.sim_event_churn",
+    MICRO,
+    "event-loop churn: timeouts, process resumption, any/all conditions",
+)
+def _sim_event_churn(_ctx: ScenarioContext) -> RunOnce:
+    from repro.sim import Environment
+
+    def run_once() -> ScenarioStats:
+        env = Environment()
+
+        def ticker(period: float, count: int):
+            for _ in range(count):
+                yield env.timeout(period)
+
+        def conditioner(count: int):
+            for _ in range(count):
+                yield env.any_of(
+                    [env.timeout(0.002), env.timeout(0.003)]
+                )
+                yield env.all_of(
+                    [env.timeout(0.001), env.timeout(0.002)]
+                )
+
+        for worker in range(16):
+            env.process(ticker(0.001 * (worker + 1), 1500))
+        for _ in range(4):
+            env.process(conditioner(400))
+        env.run()
+        return ScenarioStats(
+            simulated_seconds=env.now, events=env.scheduled_events
+        )
+
+    return run_once
+
+
+@register(
+    "micro.fabric_transfer",
+    MICRO,
+    "max-min fair fabric under many overlapping flows (waterfill path)",
+)
+def _fabric_transfer(_ctx: ScenarioContext) -> RunOnce:
+    from repro.net import Fabric
+    from repro.sim import Environment
+
+    def run_once() -> ScenarioStats:
+        env = Environment()
+        fabric = Fabric(env, num_nodes=8, link_bandwidth=1.25e9)
+
+        def sender(src: int, stride: int, count: int):
+            for index in range(count):
+                size = 1.0e6 + 1.0e5 * ((src + index) % 7)
+                yield fabric.transfer(src, (src + stride) % 8, size)
+
+        for src in range(8):
+            for stride in (1, 2, 3):
+                env.process(sender(src, stride, 80))
+        env.run()
+        return ScenarioStats(
+            simulated_seconds=env.now, events=env.scheduled_events
+        )
+
+    return run_once
+
+
+@register(
+    "micro.token_lifecycle",
+    MICRO,
+    "token server mint/assign/report churn without compute or fabric",
+)
+def _token_lifecycle(ctx: ScenarioContext) -> RunOnce:
+    from repro.core import FelaConfig
+    from repro.core.server import TokenServer
+
+    partition = ctx.runner.partition("vgg19")
+    # Enough iterations to lift the scenario well above the host timing
+    # noise floor (sub-10ms medians swing +-20% run to run).
+    iterations = 32
+
+    def run_once() -> ScenarioStats:
+        cluster = build_cluster(8)
+        env = cluster.env
+        config = FelaConfig(
+            partition=partition,
+            total_batch=512,
+            num_workers=8,
+            weights=(1, 2, 8),
+            conditional_subset_size=4,
+            iterations=iterations,
+        )
+        server = TokenServer(config, cluster)
+
+        def puller(wid: int):
+            while True:
+                token = yield from server.request_token(wid)
+                if token is None:
+                    return
+                yield from server.report_completion(wid, token)
+
+        def main():
+            for iteration in range(iterations):
+                server.begin_iteration(iteration)
+                pullers = [
+                    env.process(puller(wid))
+                    for wid in range(config.num_workers)
+                ]
+                yield env.all_of(pullers)
+                server.end_iteration(iteration)
+
+        env.process(main())
+        env.run()
+        return ScenarioStats(
+            simulated_seconds=env.now, events=env.scheduled_events
+        )
+
+    return run_once
+
+
+@register(
+    "micro.ring_allreduce",
+    MICRO,
+    "repeated 8-way ring all-reduce of a 50 MB gradient payload",
+)
+def _ring_allreduce(_ctx: ScenarioContext) -> RunOnce:
+    from repro.core.collectives import ring_allreduce
+
+    def run_once() -> ScenarioStats:
+        cluster = build_cluster(8)
+        env = cluster.env
+
+        def main():
+            for _ in range(30):
+                yield from ring_allreduce(
+                    cluster, list(range(8)), 5.0e7
+                )
+
+        env.process(main())
+        env.run()
+        return ScenarioStats(
+            simulated_seconds=env.now, events=env.scheduled_events
+        )
+
+    return run_once
+
+
+@register(
+    "micro.object_churn",
+    MICRO,
+    "raw allocation of hot sim/token objects (the __slots__ ledger)",
+)
+def _object_churn(_ctx: ScenarioContext) -> RunOnce:
+    from repro.core.tokens import SampleRange, Token
+    from repro.sim import Environment
+    from repro.sim.events import Event
+
+    def run_once() -> ScenarioStats:
+        env = Environment()
+
+        def churner(count: int):
+            for _ in range(count):
+                Event(env)  # pending event, never scheduled
+                yield env.timeout(0.0001)
+
+        env.process(churner(15000))
+        env.run()
+        for index in range(30000):
+            samples = SampleRange(0, 16)
+            Token(
+                tid=index,
+                level=0,
+                iteration=0,
+                ordinal=index,
+                samples=samples,
+                deps=(),
+                home_worker=index % 8,
+            )
+        return ScenarioStats(
+            simulated_seconds=env.now, events=env.scheduled_events
+        )
+
+    return run_once

@@ -7,8 +7,8 @@ order, which makes every simulation in this package fully deterministic.
 
 from __future__ import annotations
 
-import heapq
 import typing as _t
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 from repro.obs.tracer import NULL_TRACER, NullTracer
@@ -72,6 +72,15 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_proc
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total number of events ever scheduled on this environment.
+
+        Monotonic and deterministic for a seeded run, which makes it the
+        natural "work done" figure for benchmark throughput (events/sec).
+        """
+        return self._eid
+
     def attach_monitor(
         self, monitor: _t.Callable[[float, Event], None]
     ) -> None:
@@ -111,7 +120,7 @@ class Environment:
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
         """Queue ``event`` to be processed after ``delay`` time units."""
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, self._eid, event)
         )
         self._eid += 1
@@ -126,7 +135,7 @@ class Environment:
         Raises :class:`EmptySchedule` when no events remain.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -175,15 +184,37 @@ class Environment:
                 stop_event.callbacks.append(StopSimulation.callback)
                 self.schedule(stop_event, priority=NORMAL, delay=at - self._now)
 
+        # Inlined form of repeated ``step()`` calls: the run loop is the
+        # single hottest frame in every experiment, so the pop/dispatch
+        # cycle avoids one method call, one try/except, and repeated
+        # attribute loads per event.  Semantics — pop order, monitor
+        # hooks, callback handling, failed-event re-raise — are identical
+        # to :meth:`step`.
+        queue = self._queue
+        monitors = self._monitors
         try:
-            while True:
-                self.step()
+            while queue:
+                self._now, _, _, event = heappop(queue)
+
+                if monitors:
+                    now = self._now
+                    for monitor in monitors:
+                        monitor(now, event)
+
+                callbacks = event.callbacks
+                event.callbacks = None
+                assert callbacks is not None, "event processed twice"
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    # A failed event nobody waits on: surface it loudly.
+                    raise _t.cast(BaseException, event._value)
         except StopSimulation as stop:
             return stop.args[0]
-        except EmptySchedule:
-            if stop_event is not None and stop_event._value is PENDING:
-                raise SimulationError(
-                    f"no scheduled events left but {stop_event!r} was not "
-                    "triggered; the simulation deadlocked"
-                ) from None
+        if stop_event is not None and stop_event._value is PENDING:
+            raise SimulationError(
+                f"no scheduled events left but {stop_event!r} was not "
+                "triggered; the simulation deadlocked"
+            )
         return None

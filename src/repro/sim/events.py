@@ -44,6 +44,11 @@ class Event:
     are invoked in registration order when the event is processed.
     """
 
+    # Events are the single hottest allocation in a run (every timeout,
+    # transfer, token hand-off, and process termination mints at least
+    # one), so the whole hierarchy is slotted: no per-instance __dict__.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[_t.Callable[["Event"], None]] | None = []
@@ -135,6 +140,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay of simulation time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(
         self, env: "Environment", delay: float, value: _t.Any = None
     ) -> None:
@@ -157,6 +164,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a process at the current time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -167,6 +176,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal event that throws an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: _t.Any) -> None:
         super().__init__(process.env)
@@ -212,6 +223,8 @@ class Interrupt(Exception):
 class ConditionValue:
     """Result of a :class:`Condition`: an ordered event → value mapping."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events: list[Event]) -> None:
         self.events = events
 
@@ -255,6 +268,8 @@ class Condition(Event):
     The condition value is a :class:`ConditionValue` of the sub-events that
     had triggered by the time the condition fired, in creation order.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -312,12 +327,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires once all ``events`` have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that fires once any of ``events`` has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: _t.Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

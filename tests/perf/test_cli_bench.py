@@ -1,0 +1,93 @@
+"""The ``repro bench`` command: listing, measuring, comparing, gating."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import SCHEMA_VERSION
+
+
+SCENARIO = "micro.object_churn"
+FAST_ARGS = ["--scenarios", SCENARIO, "--repeats", "1", "--warmup", "0"]
+
+
+class TestBenchCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "macro.vgg19_fela" in out
+        assert "micro.token_lifecycle" in out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["bench", "--scenarios", "micro.nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+
+    def test_measure_and_write_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", *FAST_ARGS, "--out", "bench.json"]) == 0
+        out = capsys.readouterr().out
+        assert SCENARIO in out
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["runs"][0]["results"][0]["name"] == SCENARIO
+
+    def test_compare_without_regression_exits_zero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", *FAST_ARGS, "--out", "bench.json"]) == 0
+        capsys.readouterr()
+        # A generous gate: back-to-back runs of the same build only
+        # differ by host noise, which must not flip the exit code.
+        assert (
+            main(
+                [
+                    "bench",
+                    *FAST_ARGS,
+                    "--compare",
+                    "bench.json",
+                    "--fail-on-regress",
+                    "200",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+
+    def test_injected_regression_exits_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", *FAST_ARGS, "--out", "bench.json"]) == 0
+        capsys.readouterr()
+        # Doctor the baseline to claim the scenario used to be 10x
+        # faster: the fresh measurement must trip the gate.
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        rec = payload["runs"][-1]["results"][0]
+        rec["wall_seconds_median"] /= 10.0
+        (tmp_path / "bench.json").write_text(json.dumps(payload))
+        assert main(["bench", *FAST_ARGS, "--compare", "bench.json"]) == 1
+        out = capsys.readouterr().out
+        assert f"REGRESSION: {SCENARIO}" in out
+
+    def test_missing_baseline_is_an_error(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "bench",
+                    *FAST_ARGS,
+                    "--compare",
+                    str(tmp_path / "absent.json"),
+                ]
+            )
+            == 2
+        )
+        assert "no benchmark baseline" in capsys.readouterr().err
+
+    def test_profile_report(self, capsys):
+        assert main(["bench", *FAST_ARGS, "--profile", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspots for" in out

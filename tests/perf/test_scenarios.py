@@ -1,0 +1,41 @@
+"""Scenario registry: lookup, kinds, and repeat determinism."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.perf import ScenarioContext, get_scenario, scenario_names, scenarios
+from repro.perf.scenarios import MACRO, MICRO, _REGISTRY, register
+
+
+class TestRegistry:
+    def test_unknown_scenario(self):
+        with pytest.raises(BenchmarkError, match="unknown scenario"):
+            get_scenario("macro.unheard_of")
+
+    def test_names_are_sorted_and_kinded(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert "macro.vgg19_fela" in scenario_names(MACRO)
+        assert "micro.token_lifecycle" in scenario_names(MICRO)
+        assert not set(scenario_names(MACRO)) & set(scenario_names(MICRO))
+        assert {s.kind for s in scenarios(MACRO)} == {MACRO}
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(BenchmarkError, match="kind"):
+            register("meso.x", "meso", "neither macro nor micro")
+
+    def test_duplicate_name_rejected(self):
+        name = "micro.test_duplicate_probe"
+        register(name, MICRO, "probe")(lambda ctx: None)
+        try:
+            with pytest.raises(BenchmarkError, match="duplicate"):
+                register(name, MICRO, "probe again")(lambda ctx: None)
+        finally:
+            _REGISTRY.pop(name, None)
+
+
+class TestScenarioDeterminism:
+    def test_repeat_runs_produce_identical_stats(self):
+        scenario = get_scenario("micro.sim_event_churn")
+        run_once = scenario.build(ScenarioContext())
+        assert run_once() == run_once()
