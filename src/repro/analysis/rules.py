@@ -19,6 +19,7 @@ FELA002    no unseeded RNG (``random.*`` module functions, legacy
 FELA003    simulation processes must yield events, never bare literals
 FELA004    no mutable default arguments
 FELA005    no floating-point ``==`` in convergence/metrics/tuning code
+FELA006    no direct multiprocessing outside ``repro.exec``
 =========  =============================================================
 """
 
@@ -440,3 +441,69 @@ class FloatEqualityRule(LintRule):
                         "explicit tolerance",
                     )
                     break
+
+
+#: Module prefixes that spawn OS processes or threads directly.
+_PROCESS_POOL_MODULES = ("multiprocessing", "concurrent.futures")
+
+
+@register
+class ProcessPoolRule(LintRule):
+    """FELA006: process fan-out lives in ``repro.exec`` only.
+
+    ``repro.exec.SweepExecutor`` is the one sanctioned multiprocessing
+    site: it pins the spawn start method, re-orders results to match
+    job order, and routes every computed value through the persistent
+    result cache.  A second, private pool elsewhere in the package
+    would bypass all three guarantees, so importing or invoking
+    ``multiprocessing`` / ``concurrent.futures`` anywhere else in
+    ``repro`` is flagged.
+    """
+
+    rule_id = "FELA006"
+    summary = (
+        "no direct multiprocessing/concurrent.futures use outside "
+        "repro.exec; go through repro.exec.SweepExecutor"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro") and not ctx.in_package("repro.exec")
+
+    @staticmethod
+    def _is_pool_module(dotted: str) -> bool:
+        return any(
+            dotted == mod or dotted.startswith(mod + ".")
+            for mod in _PROCESS_POOL_MODULES
+        )
+
+    def check_node(self, node, ctx):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if self._is_pool_module(alias.name):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"import of {alias.name!r} outside repro.exec; "
+                        "fan work out through repro.exec.SweepExecutor",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and self._is_pool_module(
+                node.module
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"import from {node.module!r} outside repro.exec; "
+                    "fan work out through repro.exec.SweepExecutor",
+                )
+        else:
+            assert isinstance(node, ast.Call)
+            origin = ctx.resolve(node.func)
+            if origin is not None and self._is_pool_module(origin):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{origin}() spawns workers outside repro.exec; "
+                    "use repro.exec.SweepExecutor instead",
+                )

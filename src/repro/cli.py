@@ -20,6 +20,10 @@ Commands map onto the library's public API:
     Fig. 8-style comparison across all runtimes.
 ``tune MODEL --batch B``
     The two-phase configuration tuning (Fig. 6 diagnostics).
+    Phase 1 prunes with successive halving by default;
+    ``--exhaustive`` restores the full sweep.
+``cache {stats,ls,clear}``
+    Inspect or empty the persistent result cache.
 ``analyze [PATHS...]``
     The FELA determinism lint pass (see :mod:`repro.analysis`).
 ``bench [--compare BASELINE --fail-on-regress PCT] [--profile]``
@@ -72,6 +76,49 @@ def parse_straggler(text: str | None) -> StragglerInjector:
     raise ConfigurationError(
         f"cannot parse straggler spec {text!r}; expected 'none', 'rr:D', "
         "or 'prob:P:D'"
+    )
+
+
+def _sweep_executor(args: argparse.Namespace) -> _t.Any:
+    """Build the SweepExecutor the ``--jobs``/cache flags describe.
+
+    ``--no-cache`` keeps a memory-only cache (results are still shared
+    within the invocation); otherwise the persistent cache lives in
+    ``--cache-dir``, ``$REPRO_CACHE_DIR``, or ``~/.cache/fela-repro``.
+    A ``--jobs`` value above the host's CPU count is capped with a
+    warning on stderr.
+    """
+    from repro.exec import (
+        ResultCache,
+        SweepExecutor,
+        default_cache_dir,
+        resolve_jobs,
+    )
+
+    jobs, warning = resolve_jobs(getattr(args, "jobs", 1))
+    if warning:
+        print(f"warning: {warning}", file=sys.stderr)
+    if getattr(args, "no_cache", False):
+        directory = None
+    else:
+        directory = getattr(args, "cache_dir", None) or default_cache_dir()
+    return SweepExecutor(jobs=jobs, cache=ResultCache(directory))
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent simulations out over N processes "
+        "(capped at the CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache for this invocation",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/fela-repro)",
     )
 
 
@@ -213,7 +260,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 
 
 def _cmd_compare(args: argparse.Namespace) -> str:
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(executor=_sweep_executor(args))
     result = fig8(
         args.model,
         batches=parse_batches(args.batches),
@@ -224,11 +271,7 @@ def _cmd_compare(args: argparse.Namespace) -> str:
 
 
 def _cmd_figures(args: argparse.Namespace) -> str:
-    from repro.harness.registry import (
-        REGISTRY,
-        generate_artifact,
-        get_artifact,
-    )
+    from repro.harness.registry import REGISTRY, generate_artifacts
 
     if args.list:
         rows = [
@@ -243,16 +286,12 @@ def _cmd_figures(args: argparse.Namespace) -> str:
         raise ConfigurationError(
             "pass artifact ids (see --list) or --list"
         )
-    chunks = []
-    runner = ExperimentRunner()
-    for artifact_id in args.ids:
-        get_artifact(artifact_id)  # fail fast on typos
-        chunks.append(
-            generate_artifact(
-                artifact_id, runner=runner, iterations=args.iterations
-            )
+    runner = ExperimentRunner(executor=_sweep_executor(args))
+    return "\n\n".join(
+        generate_artifacts(
+            args.ids, runner=runner, iterations=args.iterations
         )
-    return "\n\n".join(chunks)
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> tuple[str, int]:
@@ -304,6 +343,7 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
         ctx=ctx,
         repeats=args.repeats,
         warmup=args.warmup,
+        executor=_sweep_executor(args),
     )
     rows = [
         [
@@ -352,16 +392,25 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
 
 
 def _cmd_tune(args: argparse.Namespace) -> str:
-    from repro.tuning import ConfigurationTuner
+    from repro.tuning import (
+        PHASE1_EXHAUSTIVE,
+        PHASE1_HALVING,
+        ConfigurationTuner,
+    )
 
-    partition = ExperimentRunner().partition(args.model)
+    executor = _sweep_executor(args)
+    partition = ExperimentRunner(executor=executor).partition(args.model)
     tuner = ConfigurationTuner(
         partition,
         total_batch=args.batch,
         num_workers=args.workers,
         profile_iterations=args.profile_iterations,
+        executor=executor,
     )
-    result = tuner.tune()
+    strategy = (
+        PHASE1_EXHAUSTIVE if args.exhaustive else PHASE1_HALVING
+    )
+    result = tuner.tune(phase1=strategy)
     rows = [
         [case.index, case.phase, str(case.weights), case.subset_size,
          case.per_iteration_time]
@@ -370,7 +419,10 @@ def _cmd_tune(args: argparse.Namespace) -> str:
     table = render_table(
         ["Case", "Phase", "Weights", "Subset", "s/iter"],
         rows,
-        title=f"Tuning {args.model} at batch {args.batch}",
+        title=(
+            f"Tuning {args.model} at batch {args.batch} "
+            f"({strategy} phase 1)"
+        ),
     )
     summary = (
         f"best: weights={result.best_weights} "
@@ -379,7 +431,36 @@ def _cmd_tune(args: argparse.Namespace) -> str:
         f"phase2={result.phase2_gap() * 100:.2f}% "
         f"overall={result.overall_gap() * 100:.2f}%"
     )
-    return f"{table}\n{summary}"
+    diagnostics = (
+        f"search: {result.cases_profiled} case measurements, "
+        f"{result.warmup_iterations} warm-up iterations, "
+        f"{result.cases_pruned} candidates pruned, "
+        f"{result.cache_hits} cache hits, "
+        f"wall {result.wall_seconds:.2f}s"
+    )
+    return f"{table}\n{summary}\n{diagnostics}"
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    from repro.exec import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        stats = cache.stats()
+        rows = [[name, stats[name]] for name in
+                ("directory", "entries", "bytes")]
+        return render_table(["Field", "Value"], rows,
+                            title="Persistent result cache")
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            return "(cache is empty)"
+        return render_table(
+            ["Key", "Bytes"],
+            [[key, size] for key, size in entries],
+        )
+    removed = cache.clear()
+    return f"removed {removed} cache files from {cache.directory}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -457,12 +538,19 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("model")
     compare.add_argument("--batches", default="64,128,256,512,1024")
     compare.add_argument("--iterations", type=int, default=10)
+    _add_sweep_flags(compare)
 
     tune = sub.add_parser("tune", help="two-phase configuration tuning")
     tune.add_argument("model")
     tune.add_argument("--batch", type=int, default=256)
     tune.add_argument("--workers", type=int, default=8)
     tune.add_argument("--profile-iterations", type=int, default=5)
+    tune.add_argument(
+        "--exhaustive", action="store_true",
+        help="profile every phase-1 candidate at full depth instead of "
+        "pruning with successive halving",
+    )
+    _add_sweep_flags(tune)
 
     figures = sub.add_parser(
         "figures", help="regenerate the paper's tables/figures"
@@ -470,6 +558,17 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("ids", nargs="*", help="artifact ids (see --list)")
     figures.add_argument("--list", action="store_true")
     figures.add_argument("--iterations", type=int, default=8)
+    _add_sweep_flags(figures)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or empty the persistent result cache"
+    )
+    cache.add_argument("action", choices=("stats", "ls", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/fela-repro)",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="run the FELA determinism lint rules"
@@ -526,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=15,
         help="functions per hotspot report (with --profile)",
     )
+    _add_sweep_flags(bench)
 
     return parser
 
@@ -542,6 +642,7 @@ _COMMANDS: dict[
     "trace": _cmd_trace,
     "compare": _cmd_compare,
     "tune": _cmd_tune,
+    "cache": _cmd_cache,
     "figures": _cmd_figures,
     "analyze": _cmd_analyze,
     "bench": _cmd_bench,

@@ -57,6 +57,17 @@ class ObservabilityError(ReproError):
     """
 
 
+class CacheError(ReproError):
+    """The persistent result cache was fed a value it cannot represent.
+
+    Raised when encoding an object the exact-round-trip JSON codec does
+    not cover, or when decoding a cached payload back into a result
+    object fails.  Note that a *corrupt cache file* never raises: the
+    strict loader evicts the entry and reports a miss, so a damaged
+    cache only ever costs a recomputation.
+    """
+
+
 class BenchmarkError(ReproError):
     """The performance lab was used or fed incorrectly.
 

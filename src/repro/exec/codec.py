@@ -1,0 +1,191 @@
+"""Exact-round-trip JSON codecs for cached simulation results.
+
+The persistent result cache stores simulation outputs as JSON.  Byte
+identity between a cached rerun and a fresh simulation hinges on two
+properties of the encoding:
+
+* **Floats survive exactly.**  ``json`` serializes floats via
+  ``repr`` (the shortest round-tripping form) and parses them back with
+  ``float()``, so every finite value — and ``inf``, which marks
+  infeasible tuning cases — round-trips bit-for-bit.
+* **Container shapes survive exactly.**  Plain JSON forgets the
+  difference between tuples and lists and coerces non-string dict keys,
+  so both are wrapped in tagged objects (``{"__tuple__": [...]}`` and
+  ``{"__items__": [[k, v], ...]}``) and unwrapped on decode.
+
+Anything outside ``None``/bool/int/float/str and the containers above
+raises :class:`~repro.errors.CacheError` — the caller then simply skips
+caching that value rather than storing a lossy approximation.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import CacheError
+
+#: Wrapper key marking an encoded tuple.
+TUPLE_TAG = "__tuple__"
+#: Wrapper key marking a dict whose keys are not plain strings (or
+#: whose string keys collide with one of these tags).
+ITEMS_TAG = "__items__"
+
+_TAGS = (TUPLE_TAG, ITEMS_TAG)
+
+
+def encode_value(value: _t.Any) -> _t.Any:
+    """Encode a value into JSON-safe form; exact round trip guaranteed."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {TUPLE_TAG: [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        plain_keys = all(
+            isinstance(key, str) for key in value
+        ) and not any(tag in value for tag in _TAGS)
+        if plain_keys:
+            return {key: encode_value(item) for key, item in value.items()}
+        return {
+            ITEMS_TAG: [
+                [encode_value(key), encode_value(item)]
+                for key, item in value.items()
+            ]
+        }
+    raise CacheError(
+        f"cannot encode {type(value).__name__} for the result cache"
+    )
+
+
+def decode_value(payload: _t.Any) -> _t.Any:
+    """Invert :func:`encode_value`."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if isinstance(payload, list):
+        return [decode_value(item) for item in payload]
+    if isinstance(payload, dict):
+        if set(payload) == {TUPLE_TAG}:
+            return tuple(
+                decode_value(item) for item in payload[TUPLE_TAG]
+            )
+        if set(payload) == {ITEMS_TAG}:
+            return {
+                decode_value(key): decode_value(item)
+                for key, item in payload[ITEMS_TAG]
+            }
+        return {key: decode_value(item) for key, item in payload.items()}
+    raise CacheError(
+        f"cannot decode {type(payload).__name__} from the result cache"
+    )
+
+
+# -- result-object codecs -----------------------------------------------------
+#
+# The decode halves import their result classes lazily: repro.tuning and
+# repro.harness build on repro.exec, so importing them at module scope
+# would be circular.
+
+
+def encode_tuning_result(result: _t.Any) -> dict[str, _t.Any]:
+    """A :class:`~repro.tuning.TuningResult` as a JSON-safe payload."""
+    return {
+        "cases": [
+            {
+                "index": case.index,
+                "phase": case.phase,
+                "weights": list(case.weights),
+                "subset_size": case.subset_size,
+                "per_iteration_time": case.per_iteration_time,
+            }
+            for case in result.cases
+        ],
+        "best_weights": list(result.best_weights),
+        "best_subset_size": result.best_subset_size,
+        "warmup_iterations": result.warmup_iterations,
+        "cases_profiled": result.cases_profiled,
+        "cases_pruned": result.cases_pruned,
+        "cache_hits": result.cache_hits,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def decode_tuning_result(payload: _t.Any) -> _t.Any:
+    """Rebuild a :class:`~repro.tuning.TuningResult`; strict."""
+    from repro.tuning import TuningCase, TuningResult
+
+    try:
+        return TuningResult(
+            cases=tuple(
+                TuningCase(
+                    index=int(case["index"]),
+                    phase=int(case["phase"]),
+                    weights=tuple(int(w) for w in case["weights"]),
+                    subset_size=int(case["subset_size"]),
+                    per_iteration_time=float(case["per_iteration_time"]),
+                )
+                for case in payload["cases"]
+            ),
+            best_weights=tuple(int(w) for w in payload["best_weights"]),
+            best_subset_size=int(payload["best_subset_size"]),
+            warmup_iterations=int(payload["warmup_iterations"]),
+            cases_profiled=int(payload["cases_profiled"]),
+            cases_pruned=int(payload["cases_pruned"]),
+            cache_hits=int(payload["cache_hits"]),
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(
+            f"malformed cached tuning result: {exc!r}"
+        ) from None
+
+
+def encode_run_result(result: _t.Any) -> dict[str, _t.Any]:
+    """A :class:`~repro.metrics.RunResult` as a JSON-safe payload."""
+    return {
+        "runtime_name": result.runtime_name,
+        "model_name": result.model_name,
+        "total_batch": result.total_batch,
+        "iterations": result.iterations,
+        "total_time": result.total_time,
+        "records": [
+            {
+                "iteration": record.iteration,
+                "start": record.start,
+                "end": record.end,
+                "work_by_worker": list(record.work_by_worker),
+            }
+            for record in result.records
+        ],
+        "stats": encode_value(result.stats),
+    }
+
+
+def decode_run_result(payload: _t.Any) -> _t.Any:
+    """Rebuild a :class:`~repro.metrics.RunResult`; strict."""
+    from repro.metrics import IterationRecord, RunResult
+
+    try:
+        return RunResult(
+            runtime_name=str(payload["runtime_name"]),
+            model_name=str(payload["model_name"]),
+            total_batch=int(payload["total_batch"]),
+            iterations=int(payload["iterations"]),
+            total_time=float(payload["total_time"]),
+            records=tuple(
+                IterationRecord(
+                    iteration=int(record["iteration"]),
+                    start=float(record["start"]),
+                    end=float(record["end"]),
+                    work_by_worker=tuple(
+                        int(work) for work in record["work_by_worker"]
+                    ),
+                )
+                for record in payload["records"]
+            ),
+            stats=decode_value(payload["stats"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(
+            f"malformed cached run result: {exc!r}"
+        ) from None

@@ -1,0 +1,142 @@
+"""The deterministic parallel sweep executor.
+
+``SweepExecutor.map`` takes an ordered list of :class:`JobSpec`s and
+returns their results *in job order*, regardless of which worker
+finished first — so a parallel sweep is byte-identical to the serial
+one.  Per job it consults the (optional) content-addressed
+:class:`~repro.exec.cache.ResultCache` first; only misses execute, and
+fresh results are stored back for the next invocation.
+
+With ``jobs=1`` (the default) everything runs in-process — no pool, no
+pickling, no spawn cost.  With ``jobs>1`` a spawn-context
+``ProcessPoolExecutor`` is created lazily on the first parallel ``map``
+and reused for the executor's lifetime.  Spawn (not fork) keeps workers
+importable and state-free on every platform; if the pool breaks (e.g. a
+sandbox forbids subprocesses) the executor falls back to in-process
+execution with a warning rather than failing the sweep.
+
+This module is the only place in the package allowed to touch
+``concurrent.futures``/``multiprocessing`` — lint rule FELA006 enforces
+that every fan-out goes through here.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+import warnings
+
+from repro.errors import CacheError, ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import JobSpec, execute_job
+
+
+def resolve_jobs(requested: int) -> tuple[int, str | None]:
+    """Clamp a ``--jobs`` request to the host's CPU count.
+
+    Returns ``(effective_jobs, warning_or_None)``; the CLI prints the
+    warning so oversubscription is visible instead of silent.
+    """
+    if requested < 1:
+        raise ConfigurationError(f"--jobs must be >= 1: {requested}")
+    available = os.cpu_count() or 1
+    if requested > available:
+        return available, (
+            f"--jobs {requested} exceeds the {available} available "
+            f"CPU(s); capping at {available}"
+        )
+    return requested, None
+
+
+class SweepExecutor:
+    """Cache-aware fan-out of independent simulation jobs."""
+
+    def __init__(
+        self, jobs: int = 1, cache: ResultCache | None = None
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.cache_hits = 0
+        self.jobs_executed = 0
+        self._pool: _t.Any = None
+
+    # -- the one public operation ---------------------------------------------
+
+    def map(self, jobs: _t.Sequence[JobSpec]) -> list[_t.Any]:
+        """Run ``jobs``; results come back in job order."""
+        results: dict[int, _t.Any] = {}
+        pending: list[tuple[int, JobSpec, str | None]] = []
+        for index, job in enumerate(jobs):
+            key = job.cache_key() if self.cache is not None else None
+            if key is not None:
+                assert self.cache is not None
+                value = self.cache.get(key, decode=job.decode_result)
+                if value is not None:
+                    results[index] = value
+                    self.cache_hits += 1
+                    continue
+            pending.append((index, job, key))
+        if pending:
+            values = self._execute([job for _, job, _ in pending])
+            for (index, job, key), value in zip(pending, values):
+                results[index] = value
+                self.jobs_executed += 1
+                if key is not None:
+                    assert self.cache is not None
+                    try:
+                        self.cache.put(
+                            key, value, encode=job.encode_result
+                        )
+                    except CacheError:
+                        # A result the codec cannot represent simply
+                        # stays uncached; the sweep's output is the
+                        # same either way.
+                        pass
+        return [results[index] for index in range(len(jobs))]
+
+    # -- execution backends ---------------------------------------------------
+
+    def _execute(self, jobs: _t.Sequence[JobSpec]) -> list[_t.Any]:
+        if self.jobs == 1 or len(jobs) == 1:
+            return [execute_job(job) for job in jobs]
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(execute_job, job) for job in jobs]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            self.close()
+            warnings.warn(
+                "process pool broke; re-running this sweep in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [execute_job(job) for job in jobs]
+
+    def _ensure_pool(self) -> _t.Any:
+        if self._pool is None:
+            import concurrent.futures
+            import multiprocessing
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        self.close()
+        return False

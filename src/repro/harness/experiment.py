@@ -8,6 +8,13 @@ The harness's job is to make every figure's comparison apples-to-apples:
   (model, batch, workers, cluster) and cached — exactly the paper's
   warm-up protocol;
 * every run starts on a fresh simulated cluster.
+
+All simulation results flow through one :class:`~repro.exec.ResultCache`
+(memory-only by default; persistent when constructed with a directory)
+and one :class:`~repro.exec.SweepExecutor`, so tunings and runs are
+cached content-addressed and independent runs can fan out over a
+process pool (``jobs > 1``) while staying byte-identical to serial
+execution.
 """
 
 from __future__ import annotations
@@ -15,20 +22,24 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.baselines import (
-    DataParallel,
-    HybridParallel,
-    ModelParallel,
-    ProactiveElastic,
-)
-from repro.core import FelaConfig, FelaRuntime
+from repro.core import FelaConfig
 from repro.errors import ConfigurationError
-from repro.hardware import Cluster, ClusterSpec
+from repro.exec import (
+    ResultCache,
+    RunJob,
+    SweepExecutor,
+    canonical_key,
+    decode_tuning_result,
+    describe_cluster,
+    describe_partition,
+    encode_tuning_result,
+)
+from repro.hardware import ClusterSpec
 from repro.metrics import RunResult
 from repro.models import ModelGraph, get_model
 from repro.partition import Partition, bin_partition, paper_partition
 from repro.stragglers import NoStraggler, StragglerInjector
-from repro.tuning import ConfigurationTuner, TuningResult
+from repro.tuning import PHASE1_EXHAUSTIVE, ConfigurationTuner, TuningResult
 
 RUNTIME_KINDS: tuple[str, ...] = ("fela", "dp", "mp", "hp")
 
@@ -50,13 +61,49 @@ class ExperimentSpec:
         return self.cluster_spec or ClusterSpec(num_nodes=self.num_workers)
 
 
-class ExperimentRunner:
-    """Runs runtimes against specs, caching models/partitions/tunings."""
+@dataclasses.dataclass(frozen=True)
+class RunRequest:
+    """One run of :meth:`ExperimentRunner.run_many`'s fan-out."""
 
-    def __init__(self) -> None:
+    kind: str
+    spec: ExperimentSpec
+    straggler: StragglerInjector | None = None
+    overrides: tuple[tuple[str, _t.Any], ...] = ()
+
+
+class ExperimentRunner:
+    """Runs runtimes against specs, caching models/partitions/results.
+
+    ``cache`` is the shared result cache (a fresh memory-only
+    :class:`~repro.exec.ResultCache` when omitted); ``jobs`` fans
+    independent simulations out over a process pool.  Passing a
+    pre-built ``executor`` overrides both.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+        executor: SweepExecutor | None = None,
+    ) -> None:
         self._models: dict[str, ModelGraph] = {}
         self._partitions: dict[str, Partition] = {}
-        self._tunings: dict[tuple, TuningResult] = {}
+        if executor is not None:
+            self._executor = executor
+            self._cache = executor.cache or ResultCache()
+            if executor.cache is None:
+                executor.cache = self._cache
+        else:
+            self._cache = cache if cache is not None else ResultCache()
+            self._executor = SweepExecutor(jobs=jobs, cache=self._cache)
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    @property
+    def executor(self) -> SweepExecutor:
+        return self._executor
 
     # -- cached building blocks ---------------------------------------------
 
@@ -76,23 +123,40 @@ class ExperimentRunner:
         return self._partitions[model_name]
 
     def tuning(self, spec: ExperimentSpec) -> TuningResult:
-        """Two-phase tuned configuration for a workload (cached)."""
-        key = (
-            spec.model_name,
+        """Two-phase tuned configuration for a workload (cached).
+
+        The whole :class:`TuningResult` is cached content-addressed
+        (partition + batch + workers + cluster + profile depth), so a
+        persistent cache skips not just the case simulations but the
+        search itself on reruns.
+        """
+        partition = self.partition(spec.model_name)
+        cluster_spec = spec.resolved_cluster_spec()
+        key = canonical_key(
+            "tuning-result",
+            {
+                "partition": describe_partition(partition),
+                "total_batch": spec.total_batch,
+                "num_workers": spec.num_workers,
+                "cluster": describe_cluster(cluster_spec),
+                "profile_iterations": TUNING_PROFILE_ITERATIONS,
+                "phase1": PHASE1_EXHAUSTIVE,
+            },
+        )
+        cached = self._cache.get(key, decode=decode_tuning_result)
+        if cached is not None:
+            return cached
+        tuner = ConfigurationTuner(
+            partition,
             spec.total_batch,
             spec.num_workers,
-            spec.resolved_cluster_spec(),
+            cluster_spec=cluster_spec,
+            profile_iterations=TUNING_PROFILE_ITERATIONS,
+            executor=self._executor,
         )
-        if key not in self._tunings:
-            tuner = ConfigurationTuner(
-                self.partition(spec.model_name),
-                spec.total_batch,
-                spec.num_workers,
-                cluster_spec=spec.resolved_cluster_spec(),
-                profile_iterations=TUNING_PROFILE_ITERATIONS,
-            )
-            self._tunings[key] = tuner.tune()
-        return self._tunings[key]
+        result = tuner.tune()
+        self._cache.put(key, result, encode=encode_tuning_result)
+        return result
 
     # -- running ------------------------------------------------------------------
 
@@ -105,6 +169,52 @@ class ExperimentRunner:
             weights=tuning.best_weights,
             conditional_subset_size=tuning.best_subset_size,
             iterations=spec.iterations,
+        )
+
+    def _run_job(self, request: RunRequest) -> RunJob:
+        """Resolve a request into a self-contained, picklable job.
+
+        Tuning (for ``fela``) and kind validation happen here, in the
+        parent process, so pool workers only ever simulate.
+        """
+        spec = request.spec
+        straggler = request.straggler or NoStraggler()
+        config: FelaConfig | None = None
+        if request.kind == "fela":
+            config = self.fela_config(spec)
+            if request.overrides:
+                # Apply atomically: interdependent fields (e.g. sync_mode
+                # + staleness) must be validated together.
+                config = config.replace(**dict(request.overrides))
+        elif request.kind not in ("dp", "mp", "hp", "proactive"):
+            raise ConfigurationError(
+                f"unknown runtime kind {request.kind!r}; expected one of "
+                f"{RUNTIME_KINDS}"
+            )
+        return RunJob(
+            kind=request.kind,
+            model_name=spec.model_name,
+            total_batch=spec.total_batch,
+            num_workers=spec.num_workers,
+            iterations=spec.iterations,
+            cluster_spec=spec.resolved_cluster_spec(),
+            straggler=straggler,
+            config=config,
+            overrides=(
+                () if request.kind == "fela" else tuple(request.overrides)
+            ),
+        )
+
+    def run_many(
+        self, requests: _t.Sequence[RunRequest]
+    ) -> list[RunResult]:
+        """Run many independent workloads through the sweep executor.
+
+        Results come back in request order and are byte-identical to
+        running each request serially via :meth:`run`.
+        """
+        return self._executor.map(
+            [self._run_job(request) for request in requests]
         )
 
     def run(
@@ -128,8 +238,28 @@ class ExperimentRunner:
         :class:`~repro.analysis.invariants.InvariantChecker`) validates
         token conservation.  Only the Fela runtime supports any of them,
         so passing one with a baseline kind is a configuration error.
+        Attached runs execute in-process and bypass the result cache —
+        their side channels (trace events, metric streams, fault
+        controllers) live outside the cached :class:`RunResult`.
         """
         straggler = straggler or NoStraggler()
+        if (
+            tracer is None
+            and metrics is None
+            and faults is None
+            and invariants is None
+        ):
+            request = RunRequest(
+                kind=kind,
+                spec=spec,
+                straggler=straggler,
+                overrides=tuple(sorted(overrides.items())),
+            )
+            return self.run_many([request])[0]
+
+        from repro.core import FelaRuntime
+        from repro.hardware import Cluster
+
         cluster_spec = spec.resolved_cluster_spec()
         if kind == "fela" and faults is not None:
             # Planned joins need spare machines to land on.
@@ -143,52 +273,25 @@ class ExperimentRunner:
                     num_nodes=cluster_spec.num_nodes + joins,
                     gpu_speed_factors=factors,
                 )
-        cluster = Cluster(cluster_spec)
-        model = self.model(spec.model_name)
-        if kind == "fela":
-            config = self.fela_config(spec)
-            if overrides:
-                # Apply atomically: interdependent fields (e.g. sync_mode
-                # + staleness) must be validated together.
-                config = config.replace(**overrides)
-            return FelaRuntime(
-                config,
-                cluster,
-                straggler=straggler,
-                tracer=tracer,
-                metrics=metrics,
-                faults=faults,
-                invariants=invariants,
-            ).run()
-        if (
-            tracer is not None
-            or metrics is not None
-            or faults is not None
-            or invariants is not None
-        ):
+        if kind != "fela":
             raise ConfigurationError(
                 f"tracing/metrics/faults/invariants are only supported "
                 f"for the 'fela' runtime, not {kind!r}"
             )
-        baseline_cls = {
-            "dp": DataParallel,
-            "mp": ModelParallel,
-            "hp": HybridParallel,
-            "proactive": ProactiveElastic,
-        }.get(kind)
-        if baseline_cls is None:
-            raise ConfigurationError(
-                f"unknown runtime kind {kind!r}; expected one of "
-                f"{RUNTIME_KINDS}"
-            )
-        return baseline_cls(
-            model,
-            spec.total_batch,
-            spec.num_workers,
-            iterations=spec.iterations,
-            cluster=cluster,
+        cluster = Cluster(cluster_spec)
+        config = self.fela_config(spec)
+        if overrides:
+            # Apply atomically: interdependent fields (e.g. sync_mode
+            # + staleness) must be validated together.
+            config = config.replace(**overrides)
+        return FelaRuntime(
+            config,
+            cluster,
             straggler=straggler,
-            **overrides,
+            tracer=tracer,
+            metrics=metrics,
+            faults=faults,
+            invariants=invariants,
         ).run()
 
     def run_all(
@@ -198,4 +301,8 @@ class ExperimentRunner:
         kinds: _t.Sequence[str] = RUNTIME_KINDS,
     ) -> dict[str, RunResult]:
         """Run every runtime kind against the same workload."""
-        return {kind: self.run(kind, spec, straggler) for kind in kinds}
+        results = self.run_many(
+            [RunRequest(kind=kind, spec=spec, straggler=straggler)
+             for kind in kinds]
+        )
+        return dict(zip(kinds, results))

@@ -19,6 +19,7 @@ from repro.harness.experiment import (
     RUNTIME_KINDS,
     ExperimentRunner,
     ExperimentSpec,
+    RunRequest,
 )
 from repro.harness.report import format_speedup, render_series, render_table
 from repro.metrics import RunResult, per_iteration_delay
@@ -305,15 +306,33 @@ def fig7_ablation(
         "hf": {},
     }
     tuning_gaps: dict[int, tuple[float, float]] = {}
-    for batch in batches:
-        spec = ExperimentSpec(
+    specs = [
+        ExperimentSpec(
             model_name=model_name, total_batch=batch, iterations=iterations
         )
-        tuned = runner.run("fela", spec).average_throughput
-        no_ads = runner.run(
-            "fela", spec, ads_enabled=False
-        ).average_throughput
-        no_hf = runner.run("fela", spec, hf_enabled=False).average_throughput
+        for batch in batches
+    ]
+    requests = []
+    for spec in specs:
+        requests.append(RunRequest(kind="fela", spec=spec))
+        requests.append(
+            RunRequest(
+                kind="fela", spec=spec,
+                overrides=(("ads_enabled", False),),
+            )
+        )
+        requests.append(
+            RunRequest(
+                kind="fela", spec=spec,
+                overrides=(("hf_enabled", False),),
+            )
+        )
+    outputs = runner.run_many(requests)
+    for offset, (batch, spec) in enumerate(zip(batches, specs)):
+        tuned, no_ads, no_hf = (
+            result.average_throughput
+            for result in outputs[offset * 3:offset * 3 + 3]
+        )
         data["ads"][batch] = (tuned, no_ads)
         data["hf"][batch] = (tuned, no_hf)
         tuning = runner.tuning(spec)
@@ -398,12 +417,26 @@ def fig8(
 ) -> ComparisonResult:
     runner = runner or ExperimentRunner()
     results: dict[str, dict[int, RunResult]] = {k: {} for k in kinds}
-    for batch in batches:
-        spec = ExperimentSpec(
-            model_name=model_name, total_batch=batch, iterations=iterations
-        )
-        for kind in kinds:
-            results[kind][batch] = runner.run(kind, spec)
+    grid = [
+        (batch, kind)
+        for batch in batches
+        for kind in kinds
+    ]
+    outputs = runner.run_many(
+        [
+            RunRequest(
+                kind=kind,
+                spec=ExperimentSpec(
+                    model_name=model_name,
+                    total_batch=batch,
+                    iterations=iterations,
+                ),
+            )
+            for batch, kind in grid
+        ]
+    )
+    for (batch, kind), result in zip(grid, outputs):
+        results[kind][batch] = result
     return ComparisonResult(
         model_name=model_name, batches=tuple(batches), results=results
     )
@@ -497,14 +530,20 @@ def _straggler_figure(
     spec = ExperimentSpec(
         model_name=model_name, total_batch=batch, iterations=iterations
     )
-    baselines = {
-        kind: runner.run(kind, spec, NoStraggler()) for kind in kinds
-    }
+    requests = [
+        RunRequest(kind=kind, spec=spec, straggler=NoStraggler())
+        for kind in kinds
+    ]
+    grid = [(value, kind) for value in axis for kind in kinds]
+    requests += [
+        RunRequest(kind=kind, spec=spec, straggler=make_injector(value))
+        for value, kind in grid
+    ]
+    outputs = runner.run_many(requests)
+    baselines = dict(zip(kinds, outputs[: len(kinds)]))
     results: dict[str, dict[float, RunResult]] = {k: {} for k in kinds}
-    for value in axis:
-        injector = make_injector(value)
-        for kind in kinds:
-            results[kind][value] = runner.run(kind, spec, injector)
+    for (value, kind), result in zip(grid, outputs[len(kinds):]):
+        results[kind][value] = result
     return StragglerResult(
         model_name=model_name,
         scenario=scenario,

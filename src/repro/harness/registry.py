@@ -220,3 +220,53 @@ def generate_artifact(
     if isinstance(result, str):
         return result
     return result.render()
+
+
+def generate_artifacts(
+    artifact_ids: _t.Sequence[str],
+    runner: ExperimentRunner | None = None,
+    iterations: int = 8,
+) -> list[str]:
+    """Regenerate several artifacts, fanning out when the runner can.
+
+    With ``jobs > 1`` each artifact regenerates in its own pool worker
+    (an :class:`~repro.exec.ArtifactJob`); workers share the runner's
+    *persistent* cache directory, so the underlying simulations are
+    still computed only once across the fleet.  Serial runners keep the
+    in-process path (and its memo).  Output order always matches
+    ``artifact_ids``.
+    """
+    for artifact_id in artifact_ids:
+        artifact = get_artifact(artifact_id)  # fail fast on typos
+        if artifact.generate is None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"artifact {artifact_id!r} is benchmark-only; run "
+                f"pytest benchmarks/{artifact.benchmark}"
+            )
+    runner = runner or ExperimentRunner()
+    if runner.executor.jobs > 1 and len(artifact_ids) > 1:
+        from repro.exec import ArtifactJob
+
+        cache_dir = (
+            str(runner.cache.directory)
+            if runner.cache.directory is not None
+            else None
+        )
+        return runner.executor.map(
+            [
+                ArtifactJob(
+                    artifact_id=artifact_id,
+                    iterations=iterations,
+                    cache_dir=cache_dir,
+                )
+                for artifact_id in artifact_ids
+            ]
+        )
+    return [
+        generate_artifact(
+            artifact_id, runner=runner, iterations=iterations
+        )
+        for artifact_id in artifact_ids
+    ]

@@ -8,6 +8,8 @@ from repro.tuning.search import (
 )
 from repro.tuning.tuner import (
     DEFAULT_PROFILE_ITERATIONS,
+    PHASE1_EXHAUSTIVE,
+    PHASE1_HALVING,
     ConfigurationTuner,
     TuningCase,
     TuningResult,
@@ -16,6 +18,8 @@ from repro.tuning.tuner import (
 __all__ = [
     "ConfigurationTuner",
     "DEFAULT_PROFILE_ITERATIONS",
+    "PHASE1_EXHAUSTIVE",
+    "PHASE1_HALVING",
     "TuningCase",
     "TuningResult",
     "enumerate_weight_candidates",

@@ -11,16 +11,31 @@ On the paper's setup (M = 3, N = 8) this is 10 + 4 - 1 = 13 cases at 5
 iterations each: 65 warm-up iterations, trivial against real training
 jobs.  The tuner reports the same diagnostics the paper plots in Fig. 6:
 normalized per-case times and the best-vs-worst gaps per phase.
+
+Two accelerations compose with the exhaustive search:
+
+* **Fan-out** — cases are independent seeded simulations, so they run
+  through a :class:`~repro.exec.SweepExecutor` (process-pool parallel
+  and/or served from the persistent result cache) when one is supplied.
+* **Successive halving** (``tune(phase1="halving")``) — profile every
+  Phase-1 candidate at 1 iteration, keep the fastest half, double the
+  depth, repeat; finalists are re-measured at the full profile depth.
+  Because the simulator is deterministic and per-iteration times are
+  stable in iteration count, the surviving winner matches exhaustive
+  search (a property the test suite asserts over the whole model zoo)
+  while simulating strictly fewer warm-up iterations.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+import time
 import typing as _t
 
-from repro.core import FelaConfig, FelaRuntime
-from repro.errors import CapacityError, TuningError
-from repro.hardware import Cluster, ClusterSpec
+from repro.core import FelaConfig
+from repro.errors import TuningError
+from repro.hardware import ClusterSpec
 from repro.partition import Partition
 from repro.stragglers import StragglerInjector
 from repro.tuning.search import (
@@ -31,6 +46,10 @@ from repro.tuning.search import (
 
 #: Iterations measured per configuration case (the paper uses 5).
 DEFAULT_PROFILE_ITERATIONS: int = 5
+
+#: Phase-1 search strategies accepted by :meth:`ConfigurationTuner.tune`.
+PHASE1_EXHAUSTIVE = "exhaustive"
+PHASE1_HALVING = "halving"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,12 +65,26 @@ class TuningCase:
 
 @dataclasses.dataclass(frozen=True)
 class TuningResult:
-    """Outcome of a full two-phase tuning run."""
+    """Outcome of a full two-phase tuning run.
+
+    ``cases`` always holds full-depth measurements only (under
+    successive halving the pruned candidates never reach full depth, so
+    they are not cases); the wall-clock diagnostics summarize the whole
+    search including pruned shallow probes.
+    """
 
     cases: tuple[TuningCase, ...]
     best_weights: tuple[int, ...]
     best_subset_size: int
     warmup_iterations: int
+    #: Case measurements performed (shallow halving probes included).
+    cases_profiled: int = 0
+    #: Phase-1 candidates eliminated before full-depth profiling.
+    cases_pruned: int = 0
+    #: Measurements served by the result cache instead of simulated.
+    cache_hits: int = 0
+    #: Host wall-clock the search took.
+    wall_seconds: float = 0.0
 
     @property
     def phase1_cases(self) -> list[TuningCase]:
@@ -115,6 +148,7 @@ class ConfigurationTuner:
         straggler: StragglerInjector | None = None,
         profile_iterations: int = DEFAULT_PROFILE_ITERATIONS,
         base_config: FelaConfig | None = None,
+        executor: _t.Any | None = None,
     ) -> None:
         if profile_iterations < 1:
             raise TuningError(
@@ -127,17 +161,26 @@ class ConfigurationTuner:
         self.straggler = straggler
         self.profile_iterations = profile_iterations
         self._base_config = base_config
+        #: A :class:`repro.exec.SweepExecutor`; created lazily (serial,
+        #: uncached) when the caller does not supply one.
+        self._executor = executor
 
     # -- internals -------------------------------------------------------------
 
     def _config(
-        self, weights: tuple[int, ...], subset_size: int
+        self,
+        weights: tuple[int, ...],
+        subset_size: int,
+        iterations: int | None = None,
     ) -> FelaConfig:
+        iterations = (
+            self.profile_iterations if iterations is None else iterations
+        )
         if self._base_config is not None:
             return self._base_config.replace(
                 weights=weights,
                 conditional_subset_size=subset_size,
-                iterations=self.profile_iterations,
+                iterations=iterations,
             )
         return FelaConfig(
             partition=self.partition,
@@ -145,8 +188,33 @@ class ConfigurationTuner:
             num_workers=self.num_workers,
             weights=weights,
             conditional_subset_size=subset_size,
-            iterations=self.profile_iterations,
+            iterations=iterations,
         )
+
+    def _ensure_executor(self) -> _t.Any:
+        if self._executor is None:
+            from repro.exec import SweepExecutor
+
+            self._executor = SweepExecutor()
+        return self._executor
+
+    def _measure_batch(
+        self,
+        candidates: _t.Sequence[tuple[tuple[int, ...], int]],
+        iterations: int,
+    ) -> list[float]:
+        """Per-iteration times for many (weights, subset) cases at once."""
+        from repro.exec import TuningCaseJob
+
+        jobs = [
+            TuningCaseJob(
+                config=self._config(weights, subset, iterations),
+                cluster_spec=self.cluster_spec,
+                straggler=self.straggler,
+            )
+            for weights, subset in candidates
+        ]
+        return self._ensure_executor().map(jobs)
 
     def measure(
         self, weights: tuple[int, ...], subset_size: int
@@ -157,42 +225,64 @@ class ConfigurationTuner:
         infeasible, not errors: they profile as ``inf`` and lose the
         search (the paper's testbed would simply OOM on them).
         """
-        config = self._config(weights, subset_size)
-        cluster = Cluster(self.cluster_spec)
-        try:
-            runtime = FelaRuntime(config, cluster, straggler=self.straggler)
-        except CapacityError:
-            return float("inf")
-        result = runtime.run()
-        return result.mean_iteration_time
+        return self._measure_batch(
+            [(weights, subset_size)], self.profile_iterations
+        )[0]
 
     # -- the two phases ------------------------------------------------------------
 
-    def tune(self) -> TuningResult:
-        """Run Phase 1 then Phase 2; return all cases and the winner."""
-        cases: list[TuningCase] = []
-        index = 0
+    def tune(self, phase1: str = PHASE1_EXHAUSTIVE) -> TuningResult:
+        """Run Phase 1 then Phase 2; return all cases and the winner.
 
-        # Phase 1: parallelism degrees, CTD effectively off (subset = N).
+        ``phase1`` selects the Phase-1 strategy:
+        :data:`PHASE1_EXHAUSTIVE` profiles every weight candidate at
+        full depth; :data:`PHASE1_HALVING` prunes with successive
+        halving (same winner, fewer simulated iterations).
+        """
+        if phase1 not in (PHASE1_EXHAUSTIVE, PHASE1_HALVING):
+            raise TuningError(
+                f"unknown phase-1 strategy {phase1!r}; expected "
+                f"{PHASE1_EXHAUSTIVE!r} or {PHASE1_HALVING!r}"
+            )
+        executor = self._ensure_executor()
+        hits_before = executor.cache_hits
+        wall_begin = time.perf_counter()
+
         candidates = enumerate_weight_candidates(
             len(self.partition), self.num_workers
         )
-        for weights in candidates:
-            time = self.measure(weights, self.num_workers)
+        cases: list[TuningCase] = []
+        profiled = 0
+        warmup = 0
+
+        # Phase 1: parallelism degrees, CTD effectively off (subset = N).
+        if phase1 == PHASE1_HALVING:
+            survivors, shallow_profiled, shallow_warmup = self._halve(
+                candidates
+            )
+            profiled += shallow_profiled
+            warmup += shallow_warmup
+        else:
+            survivors = list(candidates)
+        times = self._measure_batch(
+            [(weights, self.num_workers) for weights in survivors],
+            self.profile_iterations,
+        )
+        profiled += len(survivors)
+        warmup += len(survivors) * self.profile_iterations
+        for index, (weights, case_time) in enumerate(
+            zip(survivors, times)
+        ):
             cases.append(
                 TuningCase(
                     index=index,
                     phase=1,
                     weights=weights,
                     subset_size=self.num_workers,
-                    per_iteration_time=time,
+                    per_iteration_time=case_time,
                 )
             )
-            index += 1
-        best_p1 = min(
-            (c for c in cases if c.phase == 1),
-            key=lambda c: c.per_iteration_time,
-        )
+        best_p1 = min(cases, key=lambda c: c.per_iteration_time)
         if best_p1.per_iteration_time == float("inf"):
             # Every parallelism degree OOMs: Phase 2 would only re-profile
             # doomed subsets of an infeasible winner.  Fail fast here.
@@ -202,17 +292,26 @@ class ConfigurationTuner:
 
         # Phase 2: halve the conditional subset (N is already measured as
         # the Phase-1 winner, so only the strict subsets run).
-        for subset in subset_size_candidates(self.num_workers):
-            if subset == self.num_workers:
-                continue
-            time = self.measure(best_p1.weights, subset)
+        subsets = [
+            subset
+            for subset in subset_size_candidates(self.num_workers)
+            if subset != self.num_workers
+        ]
+        times = self._measure_batch(
+            [(best_p1.weights, subset) for subset in subsets],
+            self.profile_iterations,
+        )
+        profiled += len(subsets)
+        warmup += len(subsets) * self.profile_iterations
+        index = len(cases)
+        for subset, case_time in zip(subsets, times):
             cases.append(
                 TuningCase(
                     index=index,
                     phase=2,
                     weights=best_p1.weights,
                     subset_size=subset,
-                    per_iteration_time=time,
+                    per_iteration_time=case_time,
                 )
             )
             index += 1
@@ -226,8 +325,43 @@ class ConfigurationTuner:
             cases=tuple(cases),
             best_weights=best.weights,
             best_subset_size=best.subset_size,
-            warmup_iterations=len(cases) * self.profile_iterations,
+            warmup_iterations=warmup,
+            cases_profiled=profiled,
+            cases_pruned=len(candidates) - len(survivors),
+            cache_hits=executor.cache_hits - hits_before,
+            wall_seconds=time.perf_counter() - wall_begin,
         )
+
+    def _halve(
+        self, candidates: _t.Sequence[tuple[int, ...]]
+    ) -> tuple[list[tuple[int, ...]], int, int]:
+        """Successive-halving pre-selection of Phase-1 candidates.
+
+        Returns ``(survivors, measurements, simulated_iterations)``.
+        Survivors keep candidate-enumeration order, so downstream case
+        indices and tie-breaks stay deterministic.
+        """
+        survivors = list(candidates)
+        rung = 1
+        profiled = 0
+        warmup = 0
+        while len(survivors) > 1 and rung < self.profile_iterations:
+            times = self._measure_batch(
+                [(weights, self.num_workers) for weights in survivors],
+                rung,
+            )
+            profiled += len(survivors)
+            warmup += len(survivors) * rung
+            keep = math.ceil(len(survivors) / 2)
+            # Stable sort on (time, enumeration order): ties keep the
+            # earlier candidate, exactly as exhaustive min() would.
+            ranked = sorted(
+                range(len(survivors)), key=lambda i: (times[i], i)
+            )
+            kept = sorted(ranked[:keep])
+            survivors = [survivors[i] for i in kept]
+            rung = min(rung * 2, self.profile_iterations)
+        return survivors, profiled, warmup
 
     def tuned_config(
         self, iterations: int = 100, result: TuningResult | None = None

@@ -22,10 +22,11 @@ def rule_ids(violations):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == [
             "FELA001", "FELA002", "FELA003", "FELA004", "FELA005",
+            "FELA006",
         ]
 
     def test_get_rule_unknown_raises(self):
@@ -319,5 +320,79 @@ class TestFloatEquality:
                 return x == 0.5  # repro: noqa-FELA005
             """,
             path=METRICS_PATH,
+        )
+        assert violations == []
+
+
+class TestProcessPool:
+    def test_flags_multiprocessing_import(self):
+        violations = lint(
+            """
+            import multiprocessing
+            """,
+            path=OTHER_PATH,
+            select="FELA006",
+        )
+        assert rule_ids(violations) == ["FELA006"]
+        assert "SweepExecutor" in violations[0].message
+
+    def test_flags_concurrent_futures_from_import(self):
+        violations = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            path=OTHER_PATH,
+            select="FELA006",
+        )
+        assert rule_ids(violations) == ["FELA006"]
+
+    def test_flags_pool_call_through_alias(self):
+        violations = lint(
+            """
+            import concurrent.futures as cf
+
+            def fan_out():
+                return cf.ProcessPoolExecutor(max_workers=4)
+            """,
+            path=OTHER_PATH,
+            select="FELA006",
+        )
+        # Both the import and the constructor call are flagged.
+        assert rule_ids(violations) == ["FELA006", "FELA006"]
+
+    def test_repro_exec_is_exempt(self):
+        violations = lint(
+            """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            def pool():
+                return ProcessPoolExecutor(
+                    mp_context=multiprocessing.get_context("spawn")
+                )
+            """,
+            path="src/repro/exec/executor.py",
+            select="FELA006",
+        )
+        assert violations == []
+
+    def test_files_outside_repro_are_exempt(self):
+        violations = lint(
+            """
+            import multiprocessing
+            """,
+            path="tests/exec/test_executor.py",
+            select="FELA006",
+        )
+        assert violations == []
+
+    def test_unrelated_imports_pass(self):
+        violations = lint(
+            """
+            import concurrent_lib
+            from concurrency import futures
+            """,
+            path=OTHER_PATH,
+            select="FELA006",
         )
         assert violations == []

@@ -16,6 +16,16 @@ from repro.partition import paper_partition
 from repro.profiling import ThroughputProfiler
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the persistent result cache at a per-test directory.
+
+    Keeps CLI tests (and anything else that constructs a default
+    ``ResultCache``) from reading or polluting ``~/.cache/fela-repro``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture(scope="session")
 def vgg19():
     return get_model("vgg19")

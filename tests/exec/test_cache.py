@@ -1,0 +1,188 @@
+"""Robustness contract of the persistent result cache.
+
+The theme throughout: a damaged or stale cache may cost recomputation
+time but can never surface a wrong value — every malformed entry is
+evicted and reported as a miss.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CacheError
+from repro.exec import CACHE_SCHEMA, ResultCache, canonical_key
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def entry_path(cache_dir, key):
+    return cache_dir / f"{key}.json"
+
+
+KEY = canonical_key("test", {"weights": (1, 2, 8), "subset": 4})
+OTHER = canonical_key("test", {"weights": (1, 2, 8), "subset": 8})
+
+
+class TestCanonicalKey:
+    def test_deterministic_and_input_sensitive(self):
+        assert KEY == canonical_key(
+            "test", {"subset": 4, "weights": (1, 2, 8)}
+        )
+        assert KEY != OTHER
+        assert KEY != canonical_key("other-kind", {"weights": (1, 2, 8), "subset": 4})
+
+    def test_key_is_hex_filename_safe(self):
+        assert len(KEY) == 64
+        assert all(c in "0123456789abcdef" for c in KEY)
+
+
+class TestMemoryTier:
+    def test_memo_returns_identical_object(self):
+        cache = ResultCache()
+        value = {"deep": (1, 2)}
+        cache.put(KEY, value)
+        assert cache.get(KEY) is value
+        assert cache.get(KEY) is cache.get(KEY)
+
+    def test_memory_only_touches_no_disk(self):
+        cache = ResultCache()
+        cache.put(KEY, 1.5)
+        assert cache.directory is None
+        assert cache.entries() == []
+
+    def test_none_is_rejected(self):
+        with pytest.raises(CacheError):
+            ResultCache().put(KEY, None)
+
+
+class TestDiskTier:
+    def test_roundtrip_across_instances(self, cache_dir):
+        ResultCache(cache_dir).put(KEY, 0.125)
+        fresh = ResultCache(cache_dir)
+        assert fresh.get(KEY) == 0.125
+        assert fresh.hits == 1
+
+    def test_miss_on_unknown_key(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        assert cache.get(OTHER) is None
+        assert cache.misses == 1
+
+    def test_decode_hook_applied(self, cache_dir):
+        ResultCache(cache_dir).put(KEY, 2.0)
+        fresh = ResultCache(cache_dir)
+        assert fresh.get(KEY, decode=lambda p: p * 2) == 4.0
+
+    def test_no_tmp_files_left_behind(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        for index in range(20):
+            cache.put(canonical_key("churn", index), float(index))
+        assert list(cache_dir.glob(".tmp-*")) == []
+        assert len(list(cache_dir.glob("*.json"))) == 20
+
+    def test_concurrent_writers_last_full_write_wins(self, cache_dir):
+        # Two independent cache instances (as two pool workers would be)
+        # racing on one key: both writes are whole-file renames, so the
+        # entry is always a complete, valid envelope.
+        a, b = ResultCache(cache_dir), ResultCache(cache_dir)
+        a.put(KEY, 1.0)
+        b.put(KEY, 1.0)
+        envelope = json.loads(entry_path(cache_dir, KEY).read_text())
+        assert envelope["key"] == KEY
+        assert envelope["payload"] == 1.0
+        assert list(cache_dir.glob(".tmp-*")) == []
+
+
+class TestStrictLoader:
+    """Every malformed-entry shape: evict, miss, recompute."""
+
+    def put_one(self, cache_dir):
+        ResultCache(cache_dir).put(KEY, 0.5)
+        return entry_path(cache_dir, KEY)
+
+    def assert_evicted(self, cache_dir, path):
+        fresh = ResultCache(cache_dir)
+        assert fresh.get(KEY) is None
+        assert fresh.misses == 1
+        assert fresh.evictions == 1
+        assert not path.exists()
+        # The slot is usable again after recompute.
+        fresh.put(KEY, 0.5)
+        assert ResultCache(cache_dir).get(KEY) == 0.5
+
+    def test_corrupted_json(self, cache_dir):
+        path = self.put_one(cache_dir)
+        path.write_text("{this is not json", encoding="utf-8")
+        self.assert_evicted(cache_dir, path)
+
+    def test_truncated_file(self, cache_dir):
+        path = self.put_one(cache_dir)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        self.assert_evicted(cache_dir, path)
+
+    def test_stale_schema_version(self, cache_dir):
+        path = self.put_one(cache_dir)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        self.assert_evicted(cache_dir, path)
+
+    def test_stored_key_mismatch(self, cache_dir):
+        # A hash collision (or a hand-renamed file): the envelope's own
+        # key disagrees with the name we looked up.
+        ResultCache(cache_dir).put(OTHER, 9.0)
+        entry_path(cache_dir, OTHER).rename(entry_path(cache_dir, KEY))
+        self.assert_evicted(cache_dir, entry_path(cache_dir, KEY))
+
+    def test_non_object_envelope(self, cache_dir):
+        path = self.put_one(cache_dir)
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        self.assert_evicted(cache_dir, path)
+
+    def test_decode_hook_failure_evicts(self, cache_dir):
+        path = self.put_one(cache_dir)
+
+        def decode(_payload):
+            raise ValueError("payload shape changed")
+
+        fresh = ResultCache(cache_dir)
+        assert fresh.get(KEY, decode=decode) is None
+        assert fresh.evictions == 1
+        assert not path.exists()
+
+
+class TestMaintenance:
+    def test_entries_sorted_by_key(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        keys = [canonical_key("n", index) for index in range(5)]
+        for key in keys:
+            cache.put(key, 1.0)
+        listed = cache.entries()
+        assert [key for key, _ in listed] == sorted(keys)
+        assert all(size > 0 for _, size in listed)
+
+    def test_clear_removes_everything(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        cache.put(KEY, 1.0)
+        cache.put(OTHER, 2.0)
+        (cache_dir / ".tmp-9999-1-deadbeef").write_text("partial")
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.get(KEY) is None  # memo dropped too
+
+    def test_stats_counters(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        cache.put(KEY, 1.0)
+        cache.get(KEY)
+        cache.get(OTHER)
+        stats = cache.stats()
+        assert stats["directory"] == str(cache_dir)
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["evictions"] == 0

@@ -1,0 +1,159 @@
+"""Exact round-trip guarantees of the result-cache codecs."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import CacheError
+from repro.exec import (
+    decode_run_result,
+    decode_tuning_result,
+    decode_value,
+    encode_run_result,
+    encode_tuning_result,
+    encode_value,
+)
+from repro.metrics import IterationRecord, RunResult
+from repro.tuning import TuningCase, TuningResult
+
+
+def roundtrip(value):
+    """Encode, push through real JSON text, decode."""
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            1 << 62,
+            "",
+            "weights",
+            0.1,
+            1e-300,
+            math.pi,
+            float("inf"),
+            float("-inf"),
+        ],
+    )
+    def test_scalars_roundtrip_exactly(self, value):
+        assert roundtrip(value) == value
+
+    def test_float_bits_survive_json(self):
+        # repr-based JSON floats are the shortest round-tripping form,
+        # so equality here is bit-for-bit, not approximate.
+        value = 0.1 + 0.2
+        assert roundtrip(value) == value
+
+    def test_tuples_survive_as_tuples(self):
+        value = (1, (2.5, "x"), ())
+        decoded = roundtrip(value)
+        assert decoded == value
+        assert isinstance(decoded, tuple)
+        assert isinstance(decoded[1], tuple)
+
+    def test_lists_stay_lists(self):
+        decoded = roundtrip([1, [2], (3,)])
+        assert decoded == [1, [2], (3,)]
+        assert isinstance(decoded[1], list)
+        assert isinstance(decoded[2], tuple)
+
+    def test_non_string_dict_keys(self):
+        value = {0: "a", (1, 2): 3.5, "plain": None}
+        assert roundtrip(value) == value
+
+    def test_tag_colliding_string_keys(self):
+        value = {"__tuple__": [1, 2], "__items__": "x"}
+        assert roundtrip(value) == value
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CacheError):
+            encode_value({"bad": object()})
+        with pytest.raises(CacheError):
+            encode_value({1, 2, 3})
+
+
+class TestResultCodecs:
+    def _tuning_result(self):
+        cases = (
+            TuningCase(
+                index=0,
+                phase=1,
+                weights=(1, 2, 8),
+                subset_size=8,
+                per_iteration_time=0.125,
+            ),
+            TuningCase(
+                index=1,
+                phase=1,
+                weights=(1, 8, 8),
+                subset_size=8,
+                per_iteration_time=float("inf"),
+            ),
+            TuningCase(
+                index=2,
+                phase=2,
+                weights=(1, 2, 8),
+                subset_size=4,
+                per_iteration_time=0.0625,
+            ),
+        )
+        return TuningResult(
+            cases=cases,
+            best_weights=(1, 2, 8),
+            best_subset_size=4,
+            warmup_iterations=26,
+            cases_profiled=18,
+            cases_pruned=5,
+            cache_hits=3,
+            wall_seconds=0.75,
+        )
+
+    def test_tuning_result_roundtrip(self):
+        result = self._tuning_result()
+        payload = json.loads(json.dumps(encode_tuning_result(result)))
+        assert decode_tuning_result(payload) == result
+
+    def test_malformed_tuning_payload_raises(self):
+        with pytest.raises(CacheError):
+            decode_tuning_result({"cases": []})
+        with pytest.raises(CacheError):
+            decode_tuning_result(
+                {"cases": [{"index": "zero"}], "best_weights": []}
+            )
+
+    def test_run_result_roundtrip(self):
+        result = RunResult(
+            runtime_name="fela",
+            model_name="vgg19",
+            total_batch=256,
+            iterations=2,
+            total_time=3.5,
+            records=(
+                IterationRecord(
+                    iteration=0,
+                    start=0.0,
+                    end=1.75,
+                    work_by_worker=(3, 2, 3),
+                ),
+                IterationRecord(
+                    iteration=1,
+                    start=1.75,
+                    end=3.5,
+                    work_by_worker=(2, 3, 3),
+                ),
+            ),
+            stats={"tokens": 16, "sync": (1, 2), "nested": {"k": 0.5}},
+        )
+        payload = json.loads(json.dumps(encode_run_result(result)))
+        assert decode_run_result(payload) == result
+
+    def test_malformed_run_payload_raises(self):
+        with pytest.raises(CacheError):
+            decode_run_result({"runtime_name": "fela"})

@@ -1,0 +1,153 @@
+"""Ordering, caching, and fallback behaviour of the sweep executor."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.errors import CacheError, ConfigurationError
+from repro.exec import (
+    JobSpec,
+    ResultCache,
+    SweepExecutor,
+    canonical_key,
+    execute_job,
+    resolve_jobs,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SquareJob(JobSpec):
+    """Module-level (hence spawn-picklable) toy job."""
+
+    value: int
+    cached: bool = True
+
+    def cache_key(self):
+        if not self.cached:
+            return None
+        return canonical_key("square", self.value)
+
+    def execute(self):
+        return self.value * self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class UncodableJob(JobSpec):
+    """A job whose result the codec cannot persist."""
+
+    def cache_key(self):
+        return canonical_key("uncodable", 0)
+
+    def encode_result(self, value):
+        raise CacheError("not representable")
+
+    def execute(self):
+        return object()
+
+
+class TestResolveJobs:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+
+    def test_within_budget_passes_through(self):
+        assert resolve_jobs(1) == (1, None)
+
+    def test_caps_at_cpu_count_with_warning(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        effective, warning = resolve_jobs(64)
+        assert effective == 2
+        assert warning is not None and "64" in warning
+
+
+class TestSerialMap:
+    def test_results_in_job_order(self):
+        executor = SweepExecutor()
+        jobs = [SquareJob(value) for value in (5, 3, 1, 4)]
+        assert executor.map(jobs) == [25, 9, 1, 16]
+        assert executor.jobs_executed == 4
+
+    def test_invalid_jobs_count(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=0)
+
+    def test_cache_hits_skip_execution(self):
+        cache = ResultCache()
+        first = SweepExecutor(cache=cache)
+        assert first.map([SquareJob(3), SquareJob(4)]) == [9, 16]
+        second = SweepExecutor(cache=cache)
+        assert second.map([SquareJob(3), SquareJob(4)]) == [9, 16]
+        assert second.cache_hits == 2
+        assert second.jobs_executed == 0
+
+    def test_uncached_jobs_always_execute(self):
+        cache = ResultCache()
+        executor = SweepExecutor(cache=cache)
+        executor.map([SquareJob(3, cached=False)])
+        executor.map([SquareJob(3, cached=False)])
+        assert executor.cache_hits == 0
+        assert executor.jobs_executed == 2
+
+    def test_without_cache_nothing_is_stored(self):
+        executor = SweepExecutor()
+        executor.map([SquareJob(3)])
+        executor.map([SquareJob(3)])
+        assert executor.cache_hits == 0
+        assert executor.jobs_executed == 2
+
+    def test_unencodable_result_still_returned(self):
+        executor = SweepExecutor(cache=ResultCache())
+        results = executor.map([UncodableJob()])
+        assert len(results) == 1 and results[0] is not None
+        # Not cached: a second map re-executes.
+        executor.map([UncodableJob()])
+        assert executor.jobs_executed == 2
+
+    def test_execute_job_trampoline(self):
+        assert execute_job(SquareJob(6)) == 36
+
+
+class TestProcessPool:
+    def test_pool_results_match_serial_exactly(self):
+        jobs = [SquareJob(value) for value in range(8)]
+        serial = SweepExecutor(jobs=1).map(jobs)
+        with SweepExecutor(jobs=2) as pooled:
+            assert pooled.map(jobs) == serial
+            # The pool is reused across map() calls.
+            assert pooled.map(jobs) == serial
+
+    def test_pool_populates_shared_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = [SquareJob(value) for value in range(4)]
+        with SweepExecutor(jobs=2, cache=cache) as pooled:
+            assert pooled.map(jobs) == [0, 1, 4, 9]
+        fresh = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        assert fresh.map(jobs) == [0, 1, 4, 9]
+        assert fresh.cache_hits == 4
+
+    def test_broken_pool_falls_back_in_process(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = SweepExecutor(jobs=2)
+
+        class ExplodingPool:
+            def submit(self, *_args, **_kwargs):
+                raise BrokenProcessPool("sandboxed")
+
+            def shutdown(self):
+                pass
+
+        monkeypatch.setattr(
+            executor, "_ensure_pool", lambda: ExplodingPool()
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = executor.map([SquareJob(2), SquareJob(3)])
+        assert results == [4, 9]
+        assert any(
+            "in-process" in str(w.message) for w in caught
+        )
+        assert executor._pool is None

@@ -99,3 +99,102 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "FELA" in out and "DP" in out
+
+    def test_tune_prints_search_diagnostics(self, capsys):
+        code = main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "case measurements" in out
+        assert "candidates pruned" in out
+        assert "cache hits" in out
+
+    def test_tune_exhaustive_flag(self, capsys):
+        code = main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "1", "--exhaustive"]
+        )
+        assert code == 0
+        assert "exhaustive phase 1" in capsys.readouterr().out
+
+
+class TestSweepFlags:
+    @staticmethod
+    def best_line(out):
+        # Winner + measured time only: the trailing gap percentages
+        # summarize the profiled case set, which halving legitimately
+        # shrinks.
+        line = next(
+            line for line in out.splitlines()
+            if line.startswith("best: weights=")
+        )
+        return line.split("gaps:")[0].strip()
+
+    def test_parallel_tune_matches_serial_exhaustive(self, capsys):
+        # The CI smoke in .github/workflows/ci.yml re-runs this exact
+        # comparison from the shell.
+        assert main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "2", "--jobs", "1", "--exhaustive"]
+        ) == 0
+        serial = self.best_line(capsys.readouterr().out)
+        assert main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "2", "--jobs", "2"]
+        ) == 0
+        parallel = self.best_line(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(
+            ["tune", "vgg19", "--batch", "128", "--jobs", "0"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_oversubscribed_jobs_warns_and_caps(self, capsys):
+        import os
+
+        huge = str((os.cpu_count() or 1) + 7)
+        code = main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "1", "--jobs", huge]
+        )
+        assert code == 0
+        assert "capping" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def run_tune(self):
+        assert main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "1"]
+        ) == 0
+
+    def test_stats_and_ls_after_tune(self, capsys):
+        self.run_tune()
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries" in stats_out
+        assert main(["cache", "ls"]) == 0
+        ls_out = capsys.readouterr().out
+        assert "Bytes" in ls_out
+
+    def test_clear_empties_the_store(self, capsys):
+        self.run_tune()
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "ls"]) == 0
+        assert "(cache is empty)" in capsys.readouterr().out
+
+    def test_no_cache_flag_keeps_store_empty(self, capsys):
+        assert main(
+            ["tune", "vgg19", "--batch", "128",
+             "--profile-iterations", "1", "--no-cache"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        assert "(cache is empty)" in capsys.readouterr().out

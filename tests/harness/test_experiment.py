@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.harness import ExperimentRunner, ExperimentSpec
+from repro.exec import ResultCache
+from repro.harness import ExperimentRunner, ExperimentSpec, RunRequest
 
 
 @pytest.fixture(scope="module")
@@ -61,3 +62,49 @@ class TestRunning:
     def test_fela_override(self, runner, spec):
         result = runner.run("fela", spec, hf_enabled=False)
         assert result.average_throughput > 0
+
+    def test_run_many_matches_individual_runs(self, runner, spec):
+        requests = [
+            RunRequest("dp", spec),
+            RunRequest("fela", spec),
+            RunRequest("fela", spec, overrides=(("hf_enabled", False),)),
+        ]
+        batched = runner.run_many(requests)
+        assert batched[0] == runner.run("dp", spec)
+        assert batched[1] == runner.run("fela", spec)
+        assert batched[2] == runner.run("fela", spec, hf_enabled=False)
+
+
+class TestPersistentCache:
+    def test_second_runner_runs_zero_new_simulations(
+        self, tmp_path, spec
+    ):
+        cache_dir = tmp_path / "cache"
+        warm = ExperimentRunner(cache=ResultCache(cache_dir))
+        warm_results = warm.run_all(spec, kinds=("fela", "dp"))
+        assert warm.cache.stores > 0
+
+        fresh = ExperimentRunner(cache=ResultCache(cache_dir))
+        fresh_results = fresh.run_all(spec, kinds=("fela", "dp"))
+        # Every tuning case, the tuning result, and both runs came off
+        # disk: nothing was simulated, and the outputs are identical.
+        assert fresh.cache.misses == 0
+        assert fresh.cache.stores == 0
+        assert fresh.executor.jobs_executed == 0
+        assert fresh_results == warm_results
+
+    def test_cached_rerun_is_byte_identical(self, tmp_path, spec):
+        cache_dir = tmp_path / "cache"
+        cold = ExperimentRunner(cache=ResultCache(cache_dir)).run(
+            "fela", spec
+        )
+        cached = ExperimentRunner(cache=ResultCache(cache_dir)).run(
+            "fela", spec
+        )
+        assert cached == cold
+        assert repr(cached) == repr(cold)
+
+    def test_memory_only_runner_touches_no_disk(self, spec):
+        runner = ExperimentRunner()
+        runner.run("dp", spec)
+        assert runner.cache.directory is None

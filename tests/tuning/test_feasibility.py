@@ -66,13 +66,13 @@ class TestInfeasibleCases:
             profile_iterations=1,
         )
         calls = []
-        original = tuner.measure
+        original = tuner._measure_batch
 
-        def counting(weights, subset):
-            calls.append((weights, subset))
-            return original(weights, subset)
+        def counting(cases, iterations):
+            calls.extend(cases)
+            return original(cases, iterations)
 
-        monkeypatch.setattr(tuner, "measure", counting)
+        monkeypatch.setattr(tuner, "_measure_batch", counting)
         with pytest.raises(TuningError, match="infeasible"):
             tuner.tune()
         # Phase 1 profiles all 10 weight candidates (M=3, N=8) with the
