@@ -1,0 +1,148 @@
+"""The accepted-findings baseline: load, match, write.
+
+A baseline is a checked-in JSON file recording legacy findings the team
+has reviewed and accepted; ``repro analyze --flow --fail-on-new`` exits
+nonzero only for findings *not* in it.  Baselining is deliberately a
+different mechanism from ``# repro: noqa-RULE`` suppression: a
+suppressed finding never appears in any output (the author has judged
+the line correct at the line itself), while a baselined finding is
+still reported — marked ``baselined`` in JSON and carried as an
+external suppression in SARIF — it just does not fail the build.
+
+Fingerprints must survive unrelated edits, so they hash the rule id,
+the file path, the *stripped text of the flagged line*, and an
+occurrence counter (for identical lines flagged twice in one file) —
+never the line number.  Inserting code above a finding does not churn
+the baseline; editing the flagged line itself retires the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import typing as _t
+
+from repro.analysis.flow.rules import FlowFinding
+
+BASELINE_SCHEMA = 1
+
+#: Default baseline location, resolved against the working directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+#: Path components marking a repository-relative root.
+_ROOT_MARKERS = frozenset({"src", "tests", "benchmarks", "examples"})
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative form of a finding path, invocation-independent.
+
+    ``/home/me/repo/src/repro/sim/core.py`` and ``src/repro/sim/core.py``
+    must fingerprint identically, so the path is trimmed to start at
+    the first recognized top-level component.
+    """
+    parts = pathlib.PurePath(path).parts
+    for index, part in enumerate(parts):
+        if part in _ROOT_MARKERS:
+            return "/".join(parts[index:])
+    return "/".join(part for part in parts if part not in ("/", "\\"))
+
+
+def _line_text(source: str, line: int) -> str:
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def fingerprint(
+    rule_id: str, path: str, line_text: str, occurrence: int
+) -> str:
+    """Stable identity of one accepted finding."""
+    document = f"{rule_id}|{path}|{line_text}|{occurrence}"
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def compute_fingerprints(
+    findings: _t.Sequence[FlowFinding], sources: dict[str, str]
+) -> list[tuple[FlowFinding, str]]:
+    """Pair every finding with its fingerprint (occurrence-numbered)."""
+    seen: dict[tuple[str, str, str], int] = {}
+    pairs: list[tuple[FlowFinding, str]] = []
+    for finding in sorted(findings):
+        text = _line_text(sources.get(finding.path, ""), finding.line)
+        where = normalize_path(finding.path)
+        key = (finding.rule_id, where, text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        pairs.append(
+            (
+                finding,
+                fingerprint(
+                    finding.rule_id, where, text, occurrence
+                ),
+            )
+        )
+    return pairs
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, dict[str, _t.Any]]:
+    """Fingerprint -> entry; a missing file is an empty baseline.
+
+    A malformed or wrong-schema file raises ``ValueError`` — silently
+    ignoring a corrupt baseline would wave new findings through.
+    """
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        return {}
+    try:
+        document = json.loads(file_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(f"corrupt baseline file {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("schema") != BASELINE_SCHEMA
+        or not isinstance(document.get("entries"), dict)
+    ):
+        raise ValueError(
+            f"baseline file {path} is not a schema-{BASELINE_SCHEMA} "
+            "flow-analysis baseline"
+        )
+    return dict(document["entries"])
+
+
+def write_baseline(
+    path: str | pathlib.Path,
+    findings: _t.Sequence[FlowFinding],
+    sources: dict[str, str],
+) -> int:
+    """Accept the given findings; returns the number written."""
+    entries: dict[str, dict[str, _t.Any]] = {}
+    for finding, print_ in compute_fingerprints(findings, sources):
+        entries[print_] = {
+            "rule": finding.rule_id,
+            "path": normalize_path(finding.path),
+            "line_text": _line_text(
+                sources.get(finding.path, ""), finding.line
+            ),
+            "message": finding.message,
+        }
+    document = {"schema": BASELINE_SCHEMA, "entries": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def partition(
+    findings: _t.Sequence[FlowFinding],
+    sources: dict[str, str],
+    baseline: dict[str, dict[str, _t.Any]],
+) -> tuple[list[FlowFinding], list[FlowFinding]]:
+    """Split findings into (new, baselined)."""
+    new: list[FlowFinding] = []
+    accepted: list[FlowFinding] = []
+    for finding, print_ in compute_fingerprints(findings, sources):
+        (accepted if print_ in baseline else new).append(finding)
+    return new, accepted

@@ -1,0 +1,220 @@
+"""SARIF 2.1.0 output for both the syntactic and flow rule sets.
+
+Static Analysis Results Interchange Format is what CI systems (GitHub
+code scanning among them) ingest, so ``repro analyze`` can publish its
+findings next to any other analyzer's.  The document builder accepts
+the common shape of :class:`~repro.analysis.rules.Violation` and
+:class:`~repro.analysis.flow.rules.FlowFinding` (path/line/col/rule_id/
+message); baselined findings are carried as *external suppressions*
+with ``baselineState`` set, matching how SARIF consumers distinguish
+accepted legacy findings from new ones.
+
+:func:`validate_sarif` is a dependency-free structural validator
+covering every constraint this package relies on; the test suite runs
+it over all emitted documents, so "schema-valid" is enforced without a
+network fetch of the official JSON schema.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "fela-repro-analyzer"
+TOOL_URI = "https://github.com/fela-repro/fela-repro"
+
+
+class _FindingLike(_t.Protocol):  # pragma: no cover - typing only
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+
+def make_sarif(
+    findings: _t.Sequence[_FindingLike],
+    rules: dict[str, str],
+    baselined: _t.Collection[_FindingLike] = (),
+) -> dict[str, _t.Any]:
+    """Build a SARIF 2.1.0 document for one analysis run."""
+    accepted = set(id(f) for f in baselined)
+    used_ids = sorted(
+        {f.rule_id for f in findings} | set(rules)
+    )
+    results = []
+    for finding in findings:
+        result: dict[str, _t.Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        trace = tuple(getattr(finding, "trace", ()))
+        if trace:
+            result["message"]["text"] += (
+                f" [via {' -> '.join(trace)}]"
+            )
+        if id(finding) in accepted:
+            result["baselineState"] = "unchanged"
+            result["suppressions"] = [
+                {
+                    "kind": "external",
+                    "justification": (
+                        "accepted legacy finding (analysis baseline)"
+                    ),
+                }
+            ]
+        else:
+            result["baselineState"] = "new"
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": rules.get(
+                                        rule_id, rule_id
+                                    )
+                                },
+                            }
+                            for rule_id in used_ids
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: _t.Sequence[_FindingLike],
+    rules: dict[str, str],
+    baselined: _t.Collection[_FindingLike] = (),
+) -> str:
+    return json.dumps(
+        make_sarif(findings, rules, baselined), indent=2, sort_keys=True
+    )
+
+
+def validate_sarif(document: _t.Any) -> list[str]:
+    """Structural errors in a SARIF document ([] when valid)."""
+    errors: list[str] = []
+
+    def check(condition: bool, message: str) -> bool:
+        if not condition:
+            errors.append(message)
+        return condition
+
+    if not check(isinstance(document, dict), "document must be an object"):
+        return errors
+    check(document.get("version") == SARIF_VERSION,
+          f"version must be {SARIF_VERSION!r}")
+    check(isinstance(document.get("$schema"), str), "$schema must be a str")
+    runs = document.get("runs")
+    if not check(
+        isinstance(runs, list) and len(runs) >= 1,
+        "runs must be a non-empty array",
+    ):
+        return errors
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not check(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver", {})
+        check(
+            isinstance(driver.get("name"), str) and driver.get("name"),
+            f"{where}.tool.driver.name must be a non-empty str",
+        )
+        rule_ids = set()
+        for rule_index, rule in enumerate(driver.get("rules", [])):
+            rwhere = f"{where}.tool.driver.rules[{rule_index}]"
+            if check(isinstance(rule, dict), f"{rwhere} must be an object"):
+                if check(
+                    isinstance(rule.get("id"), str),
+                    f"{rwhere}.id must be a str",
+                ):
+                    rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not check(
+            isinstance(results, list), f"{where}.results must be an array"
+        ):
+            continue
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not check(
+                isinstance(result, dict), f"{rwhere} must be an object"
+            ):
+                continue
+            rule_id = result.get("ruleId")
+            check(
+                isinstance(rule_id, str) and bool(rule_id),
+                f"{rwhere}.ruleId must be a non-empty str",
+            )
+            if rule_ids:
+                check(
+                    rule_id in rule_ids,
+                    f"{rwhere}.ruleId {rule_id!r} missing from "
+                    "tool.driver.rules",
+                )
+            check(
+                isinstance(
+                    result.get("message", {}).get("text"), str
+                ),
+                f"{rwhere}.message.text must be a str",
+            )
+            locations = result.get("locations")
+            if not check(
+                isinstance(locations, list) and len(locations) >= 1,
+                f"{rwhere}.locations must be a non-empty array",
+            ):
+                continue
+            physical = locations[0].get("physicalLocation", {})
+            check(
+                isinstance(
+                    physical.get("artifactLocation", {}).get("uri"),
+                    str,
+                ),
+                f"{rwhere} artifactLocation.uri must be a str",
+            )
+            region = physical.get("region", {})
+            check(
+                isinstance(region.get("startLine"), int)
+                and region.get("startLine", 0) >= 1,
+                f"{rwhere} region.startLine must be an int >= 1",
+            )
+            for suppression in result.get("suppressions", []):
+                check(
+                    suppression.get("kind")
+                    in ("inSource", "external"),
+                    f"{rwhere} suppression.kind must be "
+                    "inSource/external",
+                )
+    return errors

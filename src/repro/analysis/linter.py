@@ -116,8 +116,10 @@ def lint_source(
         for rule in dispatch.get(type(node), ()):
             violations.extend(rule.check_node(node, ctx))
     noqa = _noqa_map(source)
+    # set(): several rules can flag the same node identically (e.g. a
+    # chained comparison matching FELA005 twice); report each site once.
     return sorted(
-        v for v in violations if not _suppressed(v, noqa)
+        {v for v in violations if not _suppressed(v, noqa)}
     )
 
 
@@ -180,6 +182,25 @@ def format_json(violations: _t.Sequence[Violation]) -> str:
     )
 
 
+def format_error(message: str, output_format: str) -> str:
+    """A usage error in the shape the chosen format promises.
+
+    JSON consumers parse stdout/stderr either way, so an error must be
+    a JSON document too — same for SARIF (an empty, valid run).
+    """
+    if output_format == "json":
+        return json.dumps(
+            {"error": message, "violations": [], "count": 0},
+            indent=2,
+            sort_keys=True,
+        )
+    if output_format == "sarif":
+        from repro.analysis.flow.sarif import render_sarif
+
+        return render_sarif([], {})
+    return f"error: {message}"
+
+
 def format_rules() -> str:
     lines = []
     for rule in all_rules():
@@ -200,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser("lint", help="run the FELA lint rules")
     lint.add_argument("paths", nargs="+", help="files or directories")
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format", choices=("text", "json", "sarif"), default="text"
     )
     lint.add_argument(
         "--select",
@@ -209,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("rules", help="list the registered rules")
+
+    flow = sub.add_parser(
+        "flow", help="run the whole-program FELA1xx flow rules"
+    )
+    from repro.analysis.flow.cli import add_flow_arguments
+
+    add_flow_arguments(flow)
     return parser
 
 
@@ -221,12 +249,19 @@ def run_lint(
     try:
         violations = lint_paths(paths, select=select)
     except (FileNotFoundError, KeyError) as exc:
-        return f"error: {exc}", 2
-    report = (
-        format_json(violations)
-        if output_format == "json"
-        else format_text(violations)
-    )
+        return format_error(str(exc), output_format), 2
+    if output_format == "json":
+        report = format_json(violations)
+    elif output_format == "sarif":
+        from repro.analysis.flow.sarif import render_sarif
+        from repro.analysis.rules import all_rules
+
+        report = render_sarif(
+            violations,
+            {rule.rule_id: rule.summary for rule in all_rules()},
+        )
+    else:
+        report = format_text(violations)
     return report, 1 if violations else 0
 
 
@@ -236,9 +271,14 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         if args.command == "rules":
             print(format_rules())
             return 0
-        report, code = run_lint(
-            args.paths, output_format=args.format, select=args.select
-        )
+        if args.command == "flow":
+            from repro.analysis.flow.cli import run_flow_args
+
+            report, code = run_flow_args(args)
+        else:
+            report, code = run_lint(
+                args.paths, output_format=args.format, select=args.select
+            )
         print(report, file=sys.stderr if code == 2 else sys.stdout)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe; the

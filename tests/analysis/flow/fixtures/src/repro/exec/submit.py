@@ -1,0 +1,28 @@
+"""Fixture: a JobSpec construction capturing unpicklable state.
+
+``ProbeJob`` inherits from a class named ``JobSpec``, so FELA103 must
+flag the lambda transform and the unseeded RNG handed to its
+constructor — both would break byte-identical parallel fan-out.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class JobSpec:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+
+class ProbeJob(JobSpec):
+    pass
+
+
+def submit_probe(queue):
+    job = ProbeJob(
+        transform=lambda sample: sample * 2,
+        rng=random.Random(),  # repro: noqa-FELA002
+    )
+    queue.append(job)
+    return job

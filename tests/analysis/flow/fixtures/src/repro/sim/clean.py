@@ -1,0 +1,37 @@
+"""Fixture: determinism-correct sim code — must yield zero findings.
+
+Exercises the patterns the flow rules must NOT flag: constant delays,
+sorted iteration over a set, a set comprehension (whose result is
+unordered anyway), a ``with``-scoped resource request, and a helper
+that genuinely returns an Event.
+"""
+
+from __future__ import annotations
+
+
+def backoff_seconds(attempt: int) -> float:
+    return min(2.0**attempt, 30.0)
+
+
+def make_pause(env, seconds):
+    return env.timeout(seconds)
+
+
+def settle(env, holders, tokens):
+    for wid in sorted(set(holders)):
+        env.schedule(tokens[wid], 0, 0.5)
+    alive = {wid for wid in holders if wid >= 0}
+    yield env.timeout(backoff_seconds(len(alive)))
+
+
+def borrow_link(env, link):
+    with link.request() as claim:
+        yield claim
+        yield make_pause(env, 1.0)
+
+
+def release_by_hand(env, link):
+    claim = link.request()
+    yield claim
+    yield env.timeout(1.0)
+    claim.cancel()

@@ -1,0 +1,19 @@
+"""Fixture: a wall-clock read laundered through two helpers.
+
+Neither helper is itself a sim process, so the syntactic FELA001 rule
+(scoped to sim call sites) never connects the dots; only the
+interprocedural FELA101 taint walk can.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def _raw_clock() -> float:
+    return time.time()  # repro: noqa-FELA001
+
+
+def jitter_seconds() -> float:
+    """Pseudo-jitter derived from the host clock (a determinism bug)."""
+    return _raw_clock() % 1.0

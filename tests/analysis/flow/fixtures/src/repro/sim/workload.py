@@ -1,0 +1,36 @@
+"""Fixture: sim processes with seeded determinism bugs.
+
+* ``warmup`` feeds the laundered wall-clock value from
+  :mod:`repro.sim.clocks` into ``env.timeout`` (FELA101).
+* ``drain_tokens`` iterates an unordered ``set`` of token holders and
+  schedules work in that order (FELA102).
+* ``peek_progress`` yields a plain number from a sim process (FELA104).
+* ``hold_link`` requests a resource and never releases it (FELA105).
+"""
+
+from __future__ import annotations
+
+from repro.sim.clocks import jitter_seconds
+
+
+def warmup(env):
+    delay = jitter_seconds()
+    yield env.timeout(delay)
+
+
+def drain_tokens(env, holders, tokens):
+    pending = set(holders)
+    for wid in pending:
+        env.schedule(tokens[wid], 0, 0.5)
+    yield env.timeout(1.0)
+
+
+def peek_progress(env, counter):
+    yield env.timeout(1.0)
+    yield counter + 1
+
+
+def hold_link(env, link):
+    claim = link.request()
+    yield claim
+    yield env.timeout(2.0)

@@ -1,0 +1,241 @@
+"""Baseline mechanics and the suppressed-vs-baselined distinction."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.flow import analyze_paths
+from repro.analysis.flow.baseline import (
+    compute_fingerprints,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.flow.cli import run_flow
+from repro.analysis.flow.sarif import validate_sarif
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _sim_tree(tmp_path, body):
+    sim = tmp_path / "src" / "repro" / "sim"
+    sim.mkdir(parents=True)
+    (sim / "a.py").write_text(body)
+    return tmp_path
+
+
+class TestFingerprints:
+    def test_stable_under_line_shifts(self, tmp_path):
+        tree = _sim_tree(
+            tmp_path, "def proc(env, n):\n    yield n + 1\n"
+        )
+        report = analyze_paths([tree])
+        ((_, before),) = compute_fingerprints(
+            report.findings, report.sources
+        )
+        # Push the finding three lines down without touching its text:
+        # the fingerprint must not move.
+        (tree / "src" / "repro" / "sim" / "a.py").write_text(
+            "# a comment pushing everything down\n\n\n"
+            "def proc(env, n):\n    yield n + 1\n"
+        )
+        shifted = analyze_paths([tree])
+        ((after_finding, after),) = compute_fingerprints(
+            shifted.findings, shifted.sources
+        )
+        assert after_finding.line == 5
+        assert after == before
+
+    def test_identical_lines_get_distinct_occurrences(self, tmp_path):
+        tree = _sim_tree(
+            tmp_path,
+            "def proc(env, n):\n"
+            "    yield n + 1\n"
+            "def proc2(env, n):\n"
+            "    yield n + 1\n",
+        )
+        report = analyze_paths([tree])
+        fingerprints = [
+            fp for _, fp in
+            compute_fingerprints(report.findings, report.sources)
+        ]
+        assert len(fingerprints) == 2
+        assert len(set(fingerprints)) == 2
+
+
+class TestRoundTrip:
+    def test_write_then_partition_accepts_everything(self, tmp_path):
+        report = analyze_paths([FIXTURES])
+        baseline_file = tmp_path / "baseline.json"
+        count = write_baseline(
+            baseline_file, report.findings, report.sources
+        )
+        assert count == len(report.findings) > 0
+        accepted = load_baseline(baseline_file)
+        new, baselined = partition(
+            report.findings, report.sources, accepted
+        )
+        assert new == []
+        assert sorted(baselined) == sorted(report.findings)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text('{"schema": 99, "entries": {}}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestExitCodes:
+    def test_fail_on_new_without_baseline_exits_one(self, tmp_path):
+        _, code = run_flow(
+            [str(FIXTURES)],
+            baseline_path=str(tmp_path / "baseline.json"),
+            fail_on_new=True,
+        )
+        assert code == 1
+
+    def test_fail_on_new_with_full_baseline_exits_zero(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        text, code = run_flow(
+            [str(FIXTURES)],
+            baseline_path=str(baseline),
+            write_baseline_file=True,
+        )
+        assert code == 0
+        assert "wrote" in text
+        _, code = run_flow(
+            [str(FIXTURES)],
+            baseline_path=str(baseline),
+            fail_on_new=True,
+        )
+        assert code == 0
+
+    def test_reporting_mode_exits_zero_despite_findings(self, tmp_path):
+        _, code = run_flow(
+            [str(FIXTURES)],
+            baseline_path=str(tmp_path / "baseline.json"),
+        )
+        assert code == 0
+
+    def test_usage_error_exits_two_in_every_format(self, tmp_path):
+        for output_format in ("text", "json", "sarif"):
+            text, code = run_flow(
+                [str(tmp_path / "missing")],
+                output_format=output_format,
+                baseline_path=str(tmp_path / "baseline.json"),
+            )
+            assert code == 2
+            if output_format == "json":
+                assert "error" in json.loads(text)
+            elif output_format == "sarif":
+                assert validate_sarif(json.loads(text)) == []
+            else:
+                assert text.startswith("error:")
+
+
+class TestSuppressedIsNotBaselined:
+    def test_noqa_finding_never_reaches_the_baseline(self, tmp_path):
+        tree = _sim_tree(
+            tmp_path,
+            "def proc(env, n):\n"
+            "    yield n + 1  # repro: noqa-FELA104\n"
+            "def proc2(env, n):\n"
+            "    yield n + 1\n",
+        )
+        baseline = tmp_path / "baseline.json"
+        text, code = run_flow(
+            [str(tree)],
+            baseline_path=str(baseline),
+            write_baseline_file=True,
+        )
+        assert code == 0
+        entries = load_baseline(baseline)
+        # Only the unsuppressed proc2 finding is accepted; the noqa'd
+        # one was filtered before baselining ever saw it.
+        assert len(entries) == 1
+        (entry,) = entries.values()
+        assert entry["rule"] == "FELA104"
+        assert "proc2" not in entry["line_text"]
+
+    def test_baselined_finding_is_still_reported(self, tmp_path):
+        tree = _sim_tree(
+            tmp_path, "def proc(env, n):\n    yield n + 1\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        run_flow(
+            [str(tree)],
+            baseline_path=str(baseline),
+            write_baseline_file=True,
+        )
+        text, code = run_flow(
+            [str(tree)],
+            output_format="json",
+            baseline_path=str(baseline),
+            fail_on_new=True,
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["count"] == 1
+        assert payload["baselined"] == 1
+        assert payload["findings"][0]["baselined"] is True
+
+    def test_markers_round_trip_through_json_and_sarif(self, tmp_path):
+        tree = _sim_tree(
+            tmp_path,
+            "def proc(env, n):\n"
+            "    yield n + 1\n"
+            "def proc2(env, n):\n"
+            "    yield n + 1  # repro: noqa-FELA104\n"
+            "def proc3(env, link):\n"
+            "    claim = link.request()\n"
+            "    yield claim\n",
+        )
+        baseline = tmp_path / "baseline.json"
+        # Baseline only the FELA104 finding, then re-introduce a new
+        # FELA105 finding: the report must distinguish all three fates.
+        report = analyze_paths([tree])
+        fela104 = [
+            f for f in report.findings if f.rule_id == "FELA104"
+        ]
+        write_baseline(baseline, fela104, report.sources)
+
+        json_text, json_code = run_flow(
+            [str(tree)],
+            output_format="json",
+            baseline_path=str(baseline),
+            fail_on_new=True,
+        )
+        payload = json.loads(json_text)
+        assert json_code == 1  # the FELA105 finding is new
+        states = {
+            entry["rule_id"]: entry["baselined"]
+            for entry in payload["findings"]
+        }
+        assert states == {"FELA104": True, "FELA105": False}
+
+        sarif_text, _ = run_flow(
+            [str(tree)],
+            output_format="sarif",
+            baseline_path=str(baseline),
+        )
+        document = json.loads(sarif_text)
+        assert validate_sarif(document) == []
+        by_rule = {
+            result["ruleId"]: result
+            for result in document["runs"][0]["results"]
+        }
+        assert by_rule["FELA104"]["baselineState"] == "unchanged"
+        assert by_rule["FELA104"]["suppressions"][0]["kind"] == (
+            "external"
+        )
+        assert by_rule["FELA105"]["baselineState"] == "new"
+        assert "suppressions" not in by_rule["FELA105"]
+        # The noqa'd proc2 finding appears nowhere at all.
+        assert len(by_rule) == 2

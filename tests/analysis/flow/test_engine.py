@@ -1,0 +1,108 @@
+"""The analyze_paths driver: fixtures, caching, noqa, parse errors."""
+
+import pathlib
+
+from repro.analysis.flow import analyze_paths
+from repro.exec.cache import ResultCache
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def test_fixture_tree_yields_exactly_the_seeded_bugs():
+    report = analyze_paths([FIXTURES])
+    by_rule = {}
+    for finding in report.findings:
+        by_rule.setdefault(finding.rule_id, []).append(finding)
+    assert set(by_rule) == {
+        "FELA101", "FELA102", "FELA103", "FELA104", "FELA105"
+    }
+    (laundered,) = by_rule["FELA101"]
+    assert laundered.path.endswith("sim/workload.py")
+    assert laundered.trace == (
+        "repro.sim.clocks.jitter_seconds",
+        "repro.sim.clocks._raw_clock",
+    )
+    (unordered,) = by_rule["FELA102"]
+    assert "unordered set" in unordered.message
+    assert len(by_rule["FELA103"]) == 2
+    assert all(
+        f.path.endswith("exec/submit.py") for f in by_rule["FELA103"]
+    )
+
+
+def test_clean_fixture_module_contributes_no_findings():
+    report = analyze_paths([FIXTURES])
+    assert not any(
+        finding.path.endswith("clean.py")
+        for finding in report.findings
+    )
+
+
+def test_findings_are_sorted_and_unique():
+    report = analyze_paths([FIXTURES])
+    assert report.findings == sorted(set(report.findings))
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "a.py").write_text(
+            "def proc(env, n):\n    yield n + 1\n"
+        )
+        (sim / "b.py").write_text(
+            "def make(env):\n    return env.timeout(1.0)\n"
+        )
+        return tmp_path
+
+    def test_warm_run_reanalyzes_only_changed_files(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        cold = analyze_paths([tree], cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+
+        warm = analyze_paths([tree], cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert warm.findings == cold.findings
+
+        (tree / "src" / "repro" / "sim" / "a.py").write_text(
+            "def proc(env, n):\n    yield env.timeout(1.0)\n"
+        )
+        touched = analyze_paths([tree], cache=cache)
+        assert (touched.cache_hits, touched.cache_misses) == (1, 1)
+        assert touched.findings == []
+
+    def test_cacheless_run_matches_cached_run(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        assert (
+            analyze_paths([tree], cache=cache).findings
+            == analyze_paths([tree]).findings
+        )
+
+
+class TestSuppressionAndErrors:
+    def test_noqa_on_finding_line_suppresses_flow_rule(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "a.py").write_text(
+            "def proc(env, n):\n"
+            "    yield n + 1  # repro: noqa-FELA104\n"
+        )
+        assert analyze_paths([tmp_path]).findings == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "a.py").write_text(
+            "def proc(env, n):\n"
+            "    yield n + 1  # repro: noqa-FELA001\n"
+        )
+        (finding,) = analyze_paths([tmp_path]).findings
+        assert finding.rule_id == "FELA104"
+
+    def test_unparsable_file_reported_as_fela000(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        (finding,) = analyze_paths([tmp_path]).findings
+        assert finding.rule_id == "FELA000"
+        assert "cannot parse" in finding.message

@@ -1,0 +1,232 @@
+"""Each FELA1xx rule on minimal synthetic programs, with negatives."""
+
+from repro.analysis.flow.callgraph import Program
+from repro.analysis.flow.facts import extract_module_facts
+from repro.analysis.flow.rules import FLOW_RULES, FlowFinding, evaluate
+
+
+def findings_for(*files):
+    program = Program(
+        extract_module_facts(source, path) for path, source in files
+    )
+    return evaluate(program)
+
+
+def rules_hit(findings):
+    return {finding.rule_id for finding in findings}
+
+
+class TestFELA101:
+    def test_laundered_wall_clock_flagged_with_chain(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "import time\n"
+                "def raw():\n"
+                "    return time.time()\n"
+                "def wrap():\n"
+                "    return raw()\n"
+                "def proc(env):\n"
+                "    yield env.timeout(wrap())\n",
+            ),
+        )
+        (finding,) = [f for f in findings if f.rule_id == "FELA101"]
+        assert "wall-clock" in finding.message
+        assert finding.trace == (
+            "repro.sim.a.wrap",
+            "repro.sim.a.raw",
+        )
+
+    def test_constant_delay_not_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def proc(env):\n"
+                "    yield env.timeout(1.5)\n",
+            ),
+        )
+        assert "FELA101" not in rules_hit(findings)
+
+    def test_outside_sim_packages_not_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/harness/a.py",
+                "import time\n"
+                "def proc(env):\n"
+                "    yield env.timeout(time.time())\n",
+            ),
+        )
+        assert "FELA101" not in rules_hit(findings)
+
+
+class TestFELA102:
+    def test_set_feeding_scheduler_flagged_as_stateful(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def proc(env, xs):\n"
+                "    for x in set(xs):\n"
+                "        env.schedule(x, 0, 1.0)\n",
+            ),
+        )
+        (finding,) = [f for f in findings if f.rule_id == "FELA102"]
+        assert "scheduling-order-sensitive" in finding.message
+
+    def test_order_escape_without_state_flagged_softly(self):
+        findings = findings_for(
+            (
+                "src/repro/obs/a.py",
+                "def rows(d):\n"
+                "    out = []\n"
+                "    for v in d.values():\n"
+                "        out.append(v)\n"
+                "    return out\n",
+            ),
+        )
+        (finding,) = [f for f in findings if f.rule_id == "FELA102"]
+        assert "escapes this loop" in finding.message
+
+    def test_sorted_iteration_not_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def proc(env, xs):\n"
+                "    for x in sorted(set(xs)):\n"
+                "        env.schedule(x, 0, 1.0)\n",
+            ),
+        )
+        assert "FELA102" not in rules_hit(findings)
+
+
+class TestFELA103:
+    def test_bad_capture_in_jobspec_subclass_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/exec/a.py",
+                "import random\n"
+                "class JobSpec:\n"
+                "    pass\n"
+                "class Probe(JobSpec):\n"
+                "    pass\n"
+                "def submit():\n"
+                "    return Probe(fn=lambda x: x, rng=random.Random())\n",
+            ),
+        )
+        flagged = [f for f in findings if f.rule_id == "FELA103"]
+        assert len(flagged) == 2
+        assert {"'fn'" in f.message or "'rng'" in f.message
+                for f in flagged} == {True}
+
+    def test_non_jobspec_class_not_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/exec/a.py",
+                "class Widget:\n"
+                "    pass\n"
+                "def build():\n"
+                "    return Widget(fn=lambda x: x)\n",
+            ),
+        )
+        assert "FELA103" not in rules_hit(findings)
+
+
+class TestFELA104:
+    def test_plain_value_yield_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def proc(env, n):\n"
+                "    yield env.timeout(1.0)\n"
+                "    yield n + 1\n",
+            ),
+        )
+        flagged = [f for f in findings if f.rule_id == "FELA104"]
+        assert len(flagged) == 1
+        assert flagged[0].line == 3
+
+    def test_value_returning_helper_yield_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def helper():\n"
+                "    return 42\n"
+                "def proc(env):\n"
+                "    yield helper()\n",
+            ),
+        )
+        (finding,) = [f for f in findings if f.rule_id == "FELA104"]
+        assert "helper" in finding.message
+
+    def test_unknown_helper_yield_not_flagged(self):
+        # The rule fires only on certainty: an unresolvable return
+        # kind must stay silent.
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def helper(thing):\n"
+                "    return thing.spin()\n"
+                "def proc(env):\n"
+                "    yield helper(env)\n",
+            ),
+        )
+        assert "FELA104" not in rules_hit(findings)
+
+    def test_event_subclass_yield_not_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "class Event:\n"
+                "    pass\n"
+                "class Probe(Event):\n"
+                "    pass\n"
+                "def proc(env):\n"
+                "    yield Probe()\n",
+            ),
+        )
+        assert "FELA104" not in rules_hit(findings)
+
+
+class TestFELA105:
+    def test_unreleased_request_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def proc(env, link):\n"
+                "    claim = link.request()\n"
+                "    yield claim\n",
+            ),
+        )
+        (finding,) = [f for f in findings if f.rule_id == "FELA105"]
+        assert "never released" in finding.message
+
+    def test_with_scoped_request_not_flagged(self):
+        findings = findings_for(
+            (
+                "src/repro/sim/a.py",
+                "def proc(env, link):\n"
+                "    with link.request() as claim:\n"
+                "        yield claim\n",
+            ),
+        )
+        assert "FELA105" not in rules_hit(findings)
+
+
+class TestFindingShape:
+    def test_catalog_covers_all_emitted_rules(self):
+        assert set(FLOW_RULES) == {
+            "FELA101", "FELA102", "FELA103", "FELA104", "FELA105"
+        }
+
+    def test_render_includes_trace(self):
+        finding = FlowFinding(
+            path="a.py", line=1, col=1, rule_id="FELA101",
+            message="m", trace=("f", "g"),
+        )
+        assert finding.render().endswith("[via f -> g]")
+
+    def test_to_dict_round_trips_trace_as_list(self):
+        finding = FlowFinding(
+            path="a.py", line=1, col=1, rule_id="FELA101",
+            message="m", trace=("f",),
+        )
+        assert finding.to_dict()["trace"] == ["f"]

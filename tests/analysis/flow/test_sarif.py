@@ -1,0 +1,125 @@
+"""SARIF document construction and the structural validator."""
+
+import json
+
+from repro.analysis.flow.rules import FLOW_RULES, FlowFinding
+from repro.analysis.flow.sarif import (
+    SARIF_VERSION,
+    make_sarif,
+    render_sarif,
+    validate_sarif,
+)
+from repro.analysis.linter import run_lint
+
+
+def finding(**overrides):
+    base = dict(
+        path="src/repro/sim/a.py", line=3, col=5,
+        rule_id="FELA101", message="wall-clock reaches sim time",
+        trace=("f", "g"),
+    )
+    base.update(overrides)
+    return FlowFinding(**base)
+
+
+class TestDocumentShape:
+    def test_own_output_validates(self):
+        document = make_sarif([finding()], FLOW_RULES)
+        assert validate_sarif(document) == []
+        assert document["version"] == SARIF_VERSION
+
+    def test_result_carries_location_and_trace(self):
+        document = make_sarif([finding()], FLOW_RULES)
+        (result,) = document["runs"][0]["results"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == (
+            "src/repro/sim/a.py"
+        )
+        assert location["region"]["startLine"] == 3
+        assert "[via f -> g]" in result["message"]["text"]
+
+    def test_rules_metadata_covers_every_result(self):
+        document = make_sarif(
+            [finding(), finding(rule_id="FELA104", line=9)],
+            FLOW_RULES,
+        )
+        declared = {
+            rule["id"]
+            for rule in document["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"FELA101", "FELA104"} <= declared
+
+    def test_baselined_findings_get_external_suppression(self):
+        accepted = finding(rule_id="FELA102", line=7)
+        document = make_sarif(
+            [finding(), accepted], FLOW_RULES, baselined=[accepted]
+        )
+        by_rule = {
+            result["ruleId"]: result
+            for result in document["runs"][0]["results"]
+        }
+        assert by_rule["FELA102"]["baselineState"] == "unchanged"
+        assert by_rule["FELA102"]["suppressions"][0]["kind"] == (
+            "external"
+        )
+        assert by_rule["FELA101"]["baselineState"] == "new"
+
+    def test_render_is_stable_json(self):
+        text = render_sarif([finding()], FLOW_RULES)
+        assert json.loads(text) == json.loads(
+            render_sarif([finding()], FLOW_RULES)
+        )
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_sarif([]) != []
+
+    def test_rejects_wrong_version(self):
+        document = make_sarif([], FLOW_RULES)
+        document["version"] = "1.0.0"
+        assert any("version" in e for e in validate_sarif(document))
+
+    def test_rejects_result_without_location(self):
+        document = make_sarif([finding()], FLOW_RULES)
+        document["runs"][0]["results"][0]["locations"] = []
+        assert any(
+            "locations" in e for e in validate_sarif(document)
+        )
+
+    def test_rejects_undeclared_rule_id(self):
+        document = make_sarif([finding()], FLOW_RULES)
+        document["runs"][0]["results"][0]["ruleId"] = "FELA999"
+        assert any("FELA999" in e for e in validate_sarif(document))
+
+    def test_rejects_bad_suppression_kind(self):
+        accepted = finding()
+        document = make_sarif(
+            [accepted], FLOW_RULES, baselined=[accepted]
+        )
+        document["runs"][0]["results"][0]["suppressions"][0][
+            "kind"
+        ] = "whatever"
+        assert any(
+            "suppression" in e for e in validate_sarif(document)
+        )
+
+
+class TestClassicLintSarif:
+    def test_lint_emits_valid_sarif(self, tmp_path):
+        sim = tmp_path / "src" / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (sim / "bad.py").write_text(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        report, code = run_lint(
+            [str(tmp_path)], output_format="sarif"
+        )
+        assert code == 1
+        document = json.loads(report)
+        assert validate_sarif(document) == []
+        assert document["runs"][0]["results"][0]["ruleId"] == (
+            "FELA001"
+        )

@@ -1,0 +1,44 @@
+"""The codebase must satisfy its own flow rules, modulo the baseline.
+
+The syntactic twin lives in ``tests/analysis/test_self_lint.py``.  Here
+the whole-program analyzer sweeps ``src`` and every finding must be
+covered by the checked-in ``analysis-baseline.json``: introducing a new
+interprocedural determinism hazard anywhere in the package fails this
+test (and the ``flow-analysis`` CI job) until it is fixed or
+consciously accepted into the baseline.
+"""
+
+import pathlib
+
+from repro.analysis.flow import analyze_paths, load_baseline, partition
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def test_src_has_no_findings_outside_the_baseline():
+    report = analyze_paths([REPO_ROOT / "src"])
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    new, _ = partition(report.findings, report.sources, baseline)
+    assert new == [], "\n".join(f.render() for f in new)
+
+
+def test_baseline_has_no_stale_entries():
+    report = analyze_paths([REPO_ROOT / "src"])
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    _, matched = partition(report.findings, report.sources, baseline)
+    stale = len(baseline) - len(matched)
+    assert stale == 0, (
+        f"{stale} baseline entries no longer match any finding; "
+        "regenerate with: python -m repro analyze --flow src "
+        "--write-baseline"
+    )
+
+
+def test_fixture_bugs_are_not_masked_by_the_baseline():
+    fixtures = pathlib.Path(__file__).parent / "fixtures"
+    report = analyze_paths([fixtures])
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    new, _ = partition(report.findings, report.sources, baseline)
+    assert {f.rule_id for f in new} == {
+        "FELA101", "FELA102", "FELA103", "FELA104", "FELA105"
+    }

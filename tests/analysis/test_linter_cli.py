@@ -117,4 +117,63 @@ class TestReproAnalyzeSubcommand:
 
     def test_analyze_list_rules(self, capsys):
         assert repro_main(["analyze", "--list-rules"]) == 0
-        assert "FELA003" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "FELA003" in out
+        assert "FELA101" in out
+
+    def test_analyze_flow_runs_whole_program_rules(
+        self, tree, tmp_path, capsys
+    ):
+        (tree / "src" / "repro" / "sim" / "proc.py").write_text(
+            "def proc(env, n):\n    yield n + 1\n"
+        )
+        code = repro_main(
+            [
+                "analyze", "--flow", str(tree / "src"),
+                "--no-cache", "--fail-on-new",
+                "--baseline", str(tmp_path / "baseline.json"),
+            ]
+        )
+        assert code == 1
+        assert "FELA104" in capsys.readouterr().out
+
+
+class TestFormatConsistency:
+    def test_error_is_json_in_json_mode(self, tmp_path, capsys):
+        code = main(
+            ["lint", str(tmp_path / "nope"), "--format", "json"]
+        )
+        assert code == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert "error" in payload
+        assert payload["violations"] == []
+
+    def test_error_is_text_in_text_mode(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_text_and_json_agree_on_exit_code(self, tree):
+        text_code = main(["lint", str(tree / "src")])
+        json_code = main(
+            ["lint", str(tree / "src"), "--format", "json"]
+        )
+        assert text_code == json_code == 1
+
+
+class TestDeduplication:
+    def test_multi_match_node_reported_once(self, tmp_path):
+        # A chained float comparison matches FELA005 once per
+        # comparator, historically producing identical duplicates.
+        target = tmp_path / "src" / "repro" / "sim" / "cmp.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "def close(a, b, c):\n"
+            "    return a == b == c\n"
+        )
+        violations = lint_paths([target])
+        assert len(violations) == len(set(violations))
+        fela005 = [
+            v for v in violations if v.rule_id == "FELA005"
+        ]
+        spots = [(v.line, v.col) for v in fela005]
+        assert len(spots) == len(set(spots))
