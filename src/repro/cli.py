@@ -29,7 +29,18 @@ Commands map onto the library's public API:
 ``bench [--compare BASELINE --fail-on-regress PCT] [--profile]``
     The performance lab (see :mod:`repro.perf`): run deterministic
     benchmark scenarios, append them to a regression store, compare
-    against a committed baseline, or print cProfile hotspot reports.
+    against a committed baseline, print cProfile hotspot reports, or
+    (``--history SCENARIO``) report one scenario's full-store trend.
+``dashboard LEDGER [--out FILE]``
+    Render a run ledger (see :mod:`repro.store`) as a plain-text or
+    self-contained HTML dashboard: per-run utilization heatmaps,
+    throughput/buffer curves with fault markers, sweep progress, and
+    bench trends.
+
+Observability flags shared by several commands: ``--sample SECONDS``
+attaches the gauge sampler, ``--ledger FILE`` lands runs / sweep
+heartbeats / bench records in a run ledger, and ``--progress`` mirrors
+sweep heartbeats to stderr without changing stdout.
 """
 
 from __future__ import annotations
@@ -79,6 +90,16 @@ def parse_straggler(text: str | None) -> StragglerInjector:
     )
 
 
+def _open_ledger(args: argparse.Namespace) -> _t.Any:
+    """The ``--ledger`` run ledger, or None when the flag is absent."""
+    path = getattr(args, "ledger", None)
+    if not path:
+        return None
+    from repro.store import RunLedger
+
+    return RunLedger(path)
+
+
 def _sweep_executor(args: argparse.Namespace) -> _t.Any:
     """Build the SweepExecutor the ``--jobs``/cache flags describe.
 
@@ -86,7 +107,9 @@ def _sweep_executor(args: argparse.Namespace) -> _t.Any:
     within the invocation); otherwise the persistent cache lives in
     ``--cache-dir``, ``$REPRO_CACHE_DIR``, or ``~/.cache/fela-repro``.
     A ``--jobs`` value above the host's CPU count is capped with a
-    warning on stderr.
+    warning on stderr.  ``--ledger`` streams per-job heartbeat rows
+    into a run ledger and ``--progress`` mirrors them as stderr lines;
+    neither changes a byte of the stdout report.
     """
     from repro.exec import (
         ResultCache,
@@ -102,7 +125,13 @@ def _sweep_executor(args: argparse.Namespace) -> _t.Any:
         directory = None
     else:
         directory = getattr(args, "cache_dir", None) or default_cache_dir()
-    return SweepExecutor(jobs=jobs, cache=ResultCache(directory))
+    return SweepExecutor(
+        jobs=jobs,
+        cache=ResultCache(directory),
+        ledger=_open_ledger(args),
+        sweep_label=getattr(args, "command", "sweep") or "sweep",
+        progress=getattr(args, "progress", False),
+    )
 
 
 def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
@@ -119,6 +148,16 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result cache directory "
         "(default: $REPRO_CACHE_DIR or ~/.cache/fela-repro)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="stream per-job sweep heartbeats into this run ledger "
+        "(SQLite, or JSONL when FILE ends in .jsonl)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-job progress lines to stderr (stdout output "
+        "stays byte-identical)",
     )
 
 
@@ -168,7 +207,7 @@ def _cmd_partition(args: argparse.Namespace) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
-    from repro.obs import Tracer, write_chrome_trace
+    from repro.obs import Sampler, Tracer, write_chrome_trace
 
     runner = ExperimentRunner()
     spec = ExperimentSpec(
@@ -178,6 +217,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         iterations=args.iterations,
     )
     tracer = Tracer() if args.trace_out else None
+    sampler = Sampler(args.sample) if args.sample else None
     faults = None
     injector = parse_faults(args.faults)
     if injector is not None:
@@ -196,6 +236,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         tracer=tracer,
         faults=faults,
         invariants=invariants,
+        sampler=sampler,
     )
     rows = [
         ["runtime", result.runtime_name],
@@ -217,15 +258,37 @@ def _cmd_run(args: argparse.Namespace) -> str:
             ["lost compute (s)", summary["lost_compute_seconds"]],
         ]
     table = render_table(["Metric", "Value"], rows)
+    if sampler is not None:
+        table += f"\nsampled {len(sampler.samples)} gauge points"
     if tracer is not None:
-        count = write_chrome_trace(args.trace_out, tracer.events)
+        count = write_chrome_trace(
+            args.trace_out,
+            tracer.events,
+            samples=sampler.samples if sampler is not None else (),
+        )
         table += f"\nwrote {count} trace events to {args.trace_out}"
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        from repro.store import run_row_from_result
+
+        with ledger:
+            run_id = ledger.record_run(
+                command="run",
+                kind=args.runtime,
+                result=result,
+                label=args.model,
+                config=run_row_from_result(result),
+                samples=sampler.samples if sampler is not None else (),
+                events=tracer.events if tracer is not None else (),
+            )
+        table += f"\nrecorded run {run_id} in {args.ledger}"
     return table
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.obs import (
         MetricsRegistry,
+        Sampler,
         Tracer,
         render_run_report,
         write_chrome_trace,
@@ -241,19 +304,40 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     )
     tracer = Tracer()
     metrics = MetricsRegistry()
+    sampler = Sampler(args.sample) if args.sample else None
     result = runner.run(
         "fela",
         spec,
         parse_straggler(args.straggler),
         tracer=tracer,
         metrics=metrics,
+        sampler=sampler,
     )
     lines = []
-    count = write_chrome_trace(args.out, tracer.events)
+    count = write_chrome_trace(
+        args.out,
+        tracer.events,
+        samples=sampler.samples if sampler is not None else (),
+    )
     lines.append(f"wrote {count} trace events to {args.out}")
     if args.metrics_csv:
         write_metrics_csv(args.metrics_csv, metrics)
         lines.append(f"wrote metrics CSV to {args.metrics_csv}")
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        from repro.store import run_row_from_result
+
+        with ledger:
+            run_id = ledger.record_run(
+                command="trace",
+                kind="fela",
+                result=result,
+                label=args.model,
+                config=run_row_from_result(result),
+                samples=sampler.samples if sampler is not None else (),
+                events=tracer.events,
+            )
+        lines.append(f"recorded run {run_id} in {args.ledger}")
     lines.append("")
     lines.append(render_run_report(result, tracer.events, metrics))
     return "\n".join(lines)
@@ -339,6 +423,12 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
             title="Registered benchmark scenarios",
         )
 
+    if args.history:
+        store = args.compare or args.out or "BENCH_core.json"
+        return perf.render_history(
+            perf.load_store(store), args.history
+        )
+
     if args.scenarios:
         names = [
             part for part in args.scenarios.split(",") if part
@@ -401,6 +491,13 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
         perf.append_run(args.out, run)
         text += f"\nappended run {run.label!r} to {args.out}"
 
+    if args.ledger:
+        from repro.store import RunLedger
+
+        with RunLedger(args.ledger) as ledger:
+            bench_id = ledger.record_bench_run(run)
+        text += f"\nrecorded bench run {bench_id} in {args.ledger}"
+
     if baseline is not None:
         comparison = perf.compare_runs(
             run, baseline, threshold_pct=args.fail_on_regress
@@ -460,6 +557,32 @@ def _cmd_tune(args: argparse.Namespace) -> str:
         f"wall {result.wall_seconds:.2f}s"
     )
     return f"{table}\n{summary}\n{diagnostics}"
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> str:
+    import pathlib
+
+    from repro.store import (
+        RunLedger,
+        load_dashboard,
+        render_html_dashboard,
+        render_text_dashboard,
+    )
+
+    if not pathlib.Path(args.ledger).exists():
+        raise ConfigurationError(f"no run ledger at {args.ledger}")
+    with RunLedger(args.ledger) as ledger:
+        data = load_dashboard(ledger)
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            render_html_dashboard(data), encoding="utf-8"
+        )
+        return (
+            f"wrote dashboard for {len(data['runs'])} runs, "
+            f"{len(data['sweeps'])} sweeps, "
+            f"{len(data['bench'])} bench scenarios to {args.out}"
+        )
+    return render_text_dashboard(data)
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
@@ -533,6 +656,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the runtime invariant checker (fela runtime only)",
     )
+    run.add_argument(
+        "--sample", type=float, default=None, metavar="SECONDS",
+        help="sample gauge time-series every SECONDS of simulated time "
+        "(fela runtime only)",
+    )
+    run.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="record the run (config, stats, samples, trace events) in "
+        "this run ledger",
+    )
 
     trace = sub.add_parser(
         "trace", help="traced Fela run: Chrome trace + run report"
@@ -553,6 +686,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--metrics-csv", default=None, metavar="FILE",
         help="also dump the metrics registry as CSV",
+    )
+    trace.add_argument(
+        "--sample", type=float, default=None, metavar="SECONDS",
+        help="sample gauge time-series every SECONDS of simulated time "
+        "(exported as Chrome counter tracks)",
+    )
+    trace.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="record the traced run (config, stats, samples, events) "
+        "in this run ledger",
     )
 
     compare = sub.add_parser("compare", help="compare all runtimes")
@@ -676,7 +819,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=15,
         help="functions per hotspot report (with --profile)",
     )
+    bench.add_argument(
+        "--history", default=None, metavar="SCENARIO",
+        help="print the full-store trend of one scenario and exit "
+        "(store: --compare, --out, or BENCH_core.json)",
+    )
     _add_sweep_flags(bench)
+
+    dashboard = sub.add_parser(
+        "dashboard", help="render run-ledger dashboards (text or HTML)"
+    )
+    dashboard.add_argument("ledger", help="run ledger file to render")
+    dashboard.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write a self-contained HTML dashboard to FILE "
+        "(default: print the plain-text dashboard)",
+    )
 
     return parser
 
@@ -697,6 +855,7 @@ _COMMANDS: dict[
     "figures": _cmd_figures,
     "analyze": _cmd_analyze,
     "bench": _cmd_bench,
+    "dashboard": _cmd_dashboard,
 }
 
 

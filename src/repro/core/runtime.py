@@ -29,6 +29,7 @@ from repro.errors import ConfigurationError
 from repro.hardware import Cluster, ClusterSpec
 from repro.metrics import IterationRecord, RunResult
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import NULL_SAMPLER, NullSampler
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.sim import Event
 from repro.stragglers import NoStraggler, StragglerInjector
@@ -54,6 +55,7 @@ class FelaRuntime:
         tracer: NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
         faults: "FaultController | None" = None,
+        sampler: NullSampler | None = None,
     ) -> None:
         self.config = config
         self.cluster = cluster or Cluster(
@@ -102,6 +104,14 @@ class FelaRuntime:
         self.faults = faults
         if faults is not None:
             faults.attach(self)
+        #: Optional time-series :class:`~repro.obs.timeseries.Sampler`;
+        #: the shared null sampler when sampling is off, so no sampler
+        #: object is ever constructed for an unsampled run.
+        self.sampler = sampler if sampler is not None else NULL_SAMPLER
+        if self.sampler.enabled:
+            # Attach last: the sampler reads workers/server/faults state
+            # that must all exist before the first (t=0) tick.
+            self.sampler.attach_runtime(self)
 
     def _validate_memory(self) -> None:
         """Every (sub-model, token batch) pair must fit in GPU memory."""
@@ -125,6 +135,8 @@ class FelaRuntime:
         if self.invariants is not None:
             self.invariants.on_run_end(self.server)
         total_time = env.now
+        if self.sampler.enabled:
+            self.sampler.finish(total_time)
         if self.recorder is not None:
             # The timeline is a post-run *view* of the trace stream, not a
             # second instrumentation surface.

@@ -29,6 +29,12 @@ from repro.core.server import TokenServer
 from repro.core.tokens import Token
 from repro.errors import SchedulingError
 from repro.faults.signals import ReviveWork, WorkerCrash
+from repro.obs.timeseries import (
+    PHASE_COMPUTE,
+    PHASE_DELAY,
+    PHASE_FETCH,
+    PHASE_IDLE,
+)
 from repro.hardware import Node
 from repro.sim import Interrupt
 
@@ -63,6 +69,10 @@ class Worker:
         #: safe to wake with a ReviveWork interrupt.
         self._parked = False
         self.crashed = False
+        #: What the worker is doing *right now* (a phase constant from
+        #: :mod:`repro.obs.timeseries`); read by the sampler, never by
+        #: the scheduler, so updating it cannot perturb a run.
+        self.phase = PHASE_IDLE
         # Statistics.
         self.tokens_trained: int = 0
         self.bytes_fetched: float = 0.0
@@ -105,7 +115,9 @@ class Worker:
                 # Straggler injection: the worker may not start work until
                 # ``start_delay`` seconds into the iteration.
                 delay_from = env.now
+                self.phase = PHASE_DELAY
                 yield env.timeout(start_delay)
+                self.phase = PHASE_IDLE
                 self.delay_seconds += env.now - delay_from
                 if env.tracer.enabled:
                     env.tracer.straggler_delay(
@@ -152,7 +164,9 @@ class Worker:
             start_delay = runtime.start_delay(iteration, self.wid)
             if start_delay > 0:
                 delay_from = env.now
+                self.phase = PHASE_DELAY
                 yield env.timeout(start_delay)
+                self.phase = PHASE_IDLE
                 self.delay_seconds += env.now - delay_from
                 if env.tracer.enabled:
                     env.tracer.straggler_delay(
@@ -211,7 +225,9 @@ class Worker:
             return
         fetch_start = env.now
         bytes_before = self.bytes_fetched
+        self.phase = PHASE_FETCH
         yield from self._fetch_inputs(token)
+        self.phase = PHASE_IDLE
         if env.now > fetch_start:
             self.fetch_seconds += env.now - fetch_start
             if tracer.enabled:
@@ -233,7 +249,9 @@ class Worker:
             submodel.layers, token.batch
         )
         before = env.now
+        self.phase = PHASE_COMPUTE
         yield from self.node.compute(duration)
+        self.phase = PHASE_IDLE
         self.compute_seconds += env.now - before
         if tracer.enabled:
             tracer.token_trained(token, self.wid, before, env.now)

@@ -68,6 +68,16 @@ class CacheError(ReproError):
     """
 
 
+class LedgerError(ReproError):
+    """The run ledger was used or fed incorrectly.
+
+    Examples: opening a ledger file written with a different schema
+    version, recording rows with missing required columns, or a
+    validation pass over a ledger whose rows reference runs/sweeps
+    that were never recorded.
+    """
+
+
 class BenchmarkError(ReproError):
     """The performance lab was used or fed incorrectly.
 

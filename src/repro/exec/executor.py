@@ -23,12 +23,24 @@ that every fan-out goes through here.
 from __future__ import annotations
 
 import os
+import sys
+import time
 import typing as _t
 import warnings
 
 from repro.errors import CacheError, ConfigurationError
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import JobSpec, execute_job
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.store.ledger import RunLedger
+
+
+def _timed_execute(job: JobSpec) -> tuple[_t.Any, float]:
+    """Run one job and measure its wall time (picklable for the pool)."""
+    started = time.perf_counter()
+    value = execute_job(job)
+    return value, time.perf_counter() - started
 
 
 def resolve_jobs(requested: int) -> tuple[int, str | None]:
@@ -52,12 +64,25 @@ class SweepExecutor:
     """Cache-aware fan-out of independent simulation jobs."""
 
     def __init__(
-        self, jobs: int = 1, cache: ResultCache | None = None
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        ledger: "RunLedger | None" = None,
+        sweep_label: str = "sweep",
+        progress: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1: {jobs}")
         self.jobs = jobs
         self.cache = cache
+        #: Optional :class:`~repro.store.ledger.RunLedger` receiving
+        #: per-job heartbeat rows (started / done / cached), so long
+        #: sweeps are observable from the ledger while still running.
+        self.ledger = ledger
+        self.sweep_label = sweep_label
+        #: Opt-in per-job progress lines on *stderr* — stdout stays
+        #: byte-identical to a silent serial sweep.
+        self.progress = progress
         self.cache_hits = 0
         self.jobs_executed = 0
         self._pool: _t.Any = None
@@ -65,9 +90,21 @@ class SweepExecutor:
     # -- the one public operation ---------------------------------------------
 
     def map(self, jobs: _t.Sequence[JobSpec]) -> list[_t.Any]:
-        """Run ``jobs``; results come back in job order."""
+        """Run ``jobs``; results come back in job order.
+
+        Heartbeats (when a ledger is attached) and ``progress`` lines
+        (stderr) land in job-index order in both serial and parallel
+        mode, so the observable side channel is deterministic too.
+        """
         results: dict[int, _t.Any] = {}
         pending: list[tuple[int, JobSpec, str | None]] = []
+        total = len(jobs)
+        sweep_id: int | None = None
+        if self.ledger is not None and total:
+            sweep_id = self.ledger.start_sweep(
+                label=self.sweep_label, total_jobs=total
+            )
+        completed = 0
         for index, job in enumerate(jobs):
             key = job.cache_key() if self.cache is not None else None
             if key is not None:
@@ -76,13 +113,39 @@ class SweepExecutor:
                 if value is not None:
                     results[index] = value
                     self.cache_hits += 1
+                    completed += 1
+                    if sweep_id is not None:
+                        assert self.ledger is not None
+                        self.ledger.record_sweep_job(
+                            sweep_id,
+                            index=index,
+                            kind=type(job).__name__,
+                            status="cached",
+                            cache_hit=True,
+                        )
+                    if self.progress:
+                        self._progress_line(
+                            completed, total, index, job, cached=True
+                        )
                     continue
             pending.append((index, job, key))
         if pending:
+            if sweep_id is not None:
+                assert self.ledger is not None
+                for index, job, _ in pending:
+                    self.ledger.record_sweep_job(
+                        sweep_id,
+                        index=index,
+                        kind=type(job).__name__,
+                        status="started",
+                    )
             values = self._execute([job for _, job, _ in pending])
-            for (index, job, key), value in zip(pending, values):
+            for (index, job, key), (value, elapsed) in zip(
+                pending, values
+            ):
                 results[index] = value
                 self.jobs_executed += 1
+                completed += 1
                 if key is not None:
                     assert self.cache is not None
                     try:
@@ -94,18 +157,52 @@ class SweepExecutor:
                         # stays uncached; the sweep's output is the
                         # same either way.
                         pass
+                if sweep_id is not None:
+                    assert self.ledger is not None
+                    self.ledger.record_sweep_job(
+                        sweep_id,
+                        index=index,
+                        kind=type(job).__name__,
+                        status="done",
+                        elapsed_wall=elapsed,
+                    )
+                if self.progress:
+                    self._progress_line(
+                        completed, total, index, job, elapsed=elapsed
+                    )
         return [results[index] for index in range(len(jobs))]
+
+    def _progress_line(
+        self,
+        completed: int,
+        total: int,
+        index: int,
+        job: JobSpec,
+        cached: bool = False,
+        elapsed: float = 0.0,
+    ) -> None:
+        detail = (
+            "cache hit" if cached else f"done in {elapsed:.2f}s"
+        )
+        print(
+            f"[{completed}/{total}] {type(job).__name__} #{index} "
+            f"{detail} ({self.cache_hits} cache hits)",
+            file=sys.stderr,
+        )
 
     # -- execution backends ---------------------------------------------------
 
-    def _execute(self, jobs: _t.Sequence[JobSpec]) -> list[_t.Any]:
+    def _execute(
+        self, jobs: _t.Sequence[JobSpec]
+    ) -> list[tuple[_t.Any, float]]:
+        """Run jobs, returning ``(result, wall_seconds)`` per job."""
         if self.jobs == 1 or len(jobs) == 1:
-            return [execute_job(job) for job in jobs]
+            return [_timed_execute(job) for job in jobs]
         from concurrent.futures.process import BrokenProcessPool
 
         try:
             pool = self._ensure_pool()
-            futures = [pool.submit(execute_job, job) for job in jobs]
+            futures = [pool.submit(_timed_execute, job) for job in jobs]
             return [future.result() for future in futures]
         except BrokenProcessPool:
             self.close()
@@ -114,7 +211,7 @@ class SweepExecutor:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return [execute_job(job) for job in jobs]
+            return [_timed_execute(job) for job in jobs]
 
     def _ensure_pool(self) -> _t.Any:
         if self._pool is None:

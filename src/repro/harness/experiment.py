@@ -226,6 +226,7 @@ class ExperimentRunner:
         metrics: _t.Any | None = None,
         faults: _t.Any | None = None,
         invariants: _t.Any | None = None,
+        sampler: _t.Any | None = None,
         **overrides: _t.Any,
     ) -> RunResult:
         """Run one runtime kind against a spec and return its result.
@@ -234,13 +235,16 @@ class ExperimentRunner:
         a :class:`~repro.obs.metrics.MetricsRegistry`) attach observability
         to the run; ``faults`` (a
         :class:`~repro.faults.controller.FaultController`) injects
-        failures and elastic membership, and ``invariants`` (an
+        failures and elastic membership; ``invariants`` (an
         :class:`~repro.analysis.invariants.InvariantChecker`) validates
-        token conservation.  Only the Fela runtime supports any of them,
-        so passing one with a baseline kind is a configuration error.
-        Attached runs execute in-process and bypass the result cache —
-        their side channels (trace events, metric streams, fault
-        controllers) live outside the cached :class:`RunResult`.
+        token conservation; ``sampler`` (a
+        :class:`~repro.obs.timeseries.Sampler`) snapshots gauge
+        time-series at a fixed sim-second interval.  Only the Fela
+        runtime supports any of them, so passing one with a baseline
+        kind is a configuration error.  Attached runs execute
+        in-process and bypass the result cache — their side channels
+        (trace events, metric streams, fault controllers, sample
+        streams) live outside the cached :class:`RunResult`.
         """
         straggler = straggler or NoStraggler()
         if (
@@ -248,6 +252,7 @@ class ExperimentRunner:
             and metrics is None
             and faults is None
             and invariants is None
+            and sampler is None
         ):
             request = RunRequest(
                 kind=kind,
@@ -275,8 +280,8 @@ class ExperimentRunner:
                 )
         if kind != "fela":
             raise ConfigurationError(
-                f"tracing/metrics/faults/invariants are only supported "
-                f"for the 'fela' runtime, not {kind!r}"
+                f"tracing/metrics/faults/invariants/sampling are only "
+                f"supported for the 'fela' runtime, not {kind!r}"
             )
         cluster = Cluster(cluster_spec)
         config = self.fela_config(spec)
@@ -292,6 +297,7 @@ class ExperimentRunner:
             metrics=metrics,
             faults=faults,
             invariants=invariants,
+            sampler=sampler,
         ).run()
 
     def run_all(

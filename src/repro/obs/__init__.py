@@ -11,6 +11,10 @@ package makes them *visible*:
   :class:`NullTracer` makes instrumentation free when tracing is off.
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters /
   gauges / histograms that the runtime derives ``RunResult.stats`` from.
+* :mod:`repro.obs.timeseries` — a sim-time-driven :class:`Sampler`
+  (null-object pair, like the tracer) snapshotting gauges — worker
+  phase, buffer depth, fabric utilization, membership, staleness — at a
+  fixed sim-second interval with zero schedule perturbation.
 * :mod:`repro.obs.exporters` — Chrome trace-event JSON (open in
   Perfetto or ``chrome://tracing``), CSV metric dumps, schema validation,
   and the bridge feeding the ASCII timeline from the trace stream.
@@ -76,6 +80,17 @@ from repro.obs.report import (
     render_run_report,
     straggler_attribution,
 )
+from repro.obs.timeseries import (
+    NULL_SAMPLER,
+    PHASE_CODES,
+    PHASE_NAMES,
+    SERIES,
+    NullSampler,
+    Sample,
+    Sampler,
+    series_keys,
+    series_points,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -108,8 +123,15 @@ __all__ = [
     "Histogram",
     "InvariantMonitor",
     "MetricsRegistry",
+    "NULL_SAMPLER",
     "NULL_TRACER",
+    "NullSampler",
     "NullTracer",
+    "PHASE_CODES",
+    "PHASE_NAMES",
+    "SERIES",
+    "Sample",
+    "Sampler",
     "SpanSink",
     "TOKEN_LIFECYCLE",
     "TS_TRACK",
@@ -123,6 +145,8 @@ __all__ = [
     "metrics_to_csv",
     "read_chrome_trace",
     "render_run_report",
+    "series_keys",
+    "series_points",
     "straggler_attribution",
     "timeline_spans",
     "validate_chrome_trace",

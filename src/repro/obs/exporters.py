@@ -43,7 +43,8 @@ from repro.obs.metrics import MetricsRegistry
 _US = 1e6
 
 #: Chrome event phases this exporter produces / the validator accepts.
-_PHASES = frozenset({"M", "X", "i", "s", "t", "f"})
+#: "C" (counter) events carry the sampler's gauge time-series.
+_PHASES = frozenset({"M", "X", "i", "s", "t", "f", "C"})
 
 #: pid used for the whole simulated cluster.
 _PID = 0
@@ -65,8 +66,17 @@ def chrome_trace(
     events: _t.Sequence[TraceEvent],
     *,
     process_name: str = "fela-sim",
+    samples: _t.Sequence[_t.Any] = (),
 ) -> dict[str, _t.Any]:
-    """Render events as a Chrome trace-event JSON object."""
+    """Render events (plus optional sampler gauges) as Chrome trace JSON.
+
+    ``samples`` is a sequence of
+    :class:`~repro.obs.timeseries.Sample` rows; each distinct
+    ``(series, time)`` pair becomes one counter ("C") event whose args
+    hold every key sampled at that instant, so Perfetto draws the
+    buffer depths, fabric utilization and membership gauges as stacked
+    counter tracks alongside the span timeline.
+    """
     trace_events: list[dict[str, _t.Any]] = []
 
     trace_events.append(
@@ -114,7 +124,31 @@ def chrome_trace(
         )
 
     trace_events.extend(_flow_events(events))
+    trace_events.extend(_counter_events(samples))
     return {"displayTimeUnit": "ms", "traceEvents": trace_events}
+
+
+def _counter_events(
+    samples: _t.Sequence[_t.Any],
+) -> list[dict[str, _t.Any]]:
+    """Sampler gauges as counter events, one per (series, tick)."""
+    grouped: dict[tuple[str, float], dict[str, float]] = {}
+    for sample in samples:
+        grouped.setdefault((sample.series, sample.time), {})[
+            sample.key or "value"
+        ] = sample.value
+    return [
+        {
+            "name": series,
+            "cat": "sample",
+            "ph": "C",
+            "ts": ts * _US,
+            "pid": _PID,
+            "tid": 0,
+            "args": {key: values[key] for key in sorted(values)},
+        }
+        for (series, ts), values in sorted(grouped.items())
+    ]
 
 
 def _flow_events(
@@ -258,6 +292,19 @@ def validate_chrome_trace(payload: _t.Any) -> list[str]:
         args = event.get("args")
         if args is not None and not isinstance(args, dict):
             problems.append(f"{where}: 'args' is not an object")
+            continue
+        if phase == "C":
+            if not isinstance(args, dict) or not args:
+                problems.append(
+                    f"{where}: counter event needs non-empty 'args'"
+                )
+            else:
+                for key in sorted(args):
+                    if not isinstance(args[key], (int, float)):
+                        problems.append(
+                            f"{where}: counter value {key!r} is not "
+                            "numeric"
+                        )
     return problems
 
 

@@ -236,6 +236,37 @@ def render_run_report(
                 f"({fraction:.1%})"
             )
 
+    # -- faults -------------------------------------------------------------
+    faults = result.stats.get("faults")
+    if faults is not None:
+        lines.append("")
+        lines.append("-- Faults and degradation --")
+        for record in faults["failures"]:
+            lines.append(
+                f"  W{record['wid']} crashed at "
+                f"{record['crash_time']:.3f} s: detected in "
+                f"{record['detection_seconds']:.3f} s, "
+                f"{record['lost_compute_seconds']:.3f} s of compute "
+                f"lost ({record['reclaimed']} reclaimed, "
+                f"{record['reminted']} re-minted, "
+                f"{record['invalidated']} invalidated tokens)"
+            )
+        if not faults["failures"]:
+            lines.append("  (no worker failures)")
+        if faults["joined"]:
+            joined = ", ".join(f"W{wid}" for wid in faults["joined"])
+            lines.append(f"  joined mid-run: {joined}")
+        if faults["left"]:
+            left = ", ".join(f"W{wid}" for wid in faults["left"])
+            lines.append(f"  left gracefully: {left}")
+        detection = sum(faults["recovery_detection_seconds"])
+        lost = faults["lost_compute_seconds"]
+        share = lost / total if total > 0 else 0.0
+        lines.append(
+            f"  totals: {detection:.3f} s detection latency, "
+            f"{lost:.3f} s compute lost = {share:.1%} of the run"
+        )
+
     # -- token server -------------------------------------------------------
     requests = _by_name(events, EV_TS_REQUEST)
     lines.append("")

@@ -43,7 +43,9 @@ from repro.perf.store import (
     append_run,
     compare_runs,
     load_store,
+    render_history,
     save_store,
+    scenario_history,
 )
 
 __all__ = [
@@ -64,8 +66,10 @@ __all__ = [
     "load_store",
     "measure_scenario",
     "profile_scenario",
+    "render_history",
     "run_benchmarks",
     "save_store",
+    "scenario_history",
     "scenario_names",
     "scenarios",
     "tuned_fela_config",

@@ -177,6 +177,69 @@ def append_run(
     return runs
 
 
+# -- history ------------------------------------------------------------------
+
+
+def scenario_history(
+    runs: _t.Sequence[BenchRun], scenario: str
+) -> list[tuple[str, float]]:
+    """``(run label, median wall seconds)`` for every run measuring it."""
+    history = [
+        (run.label, record.wall_seconds_median)
+        for run in runs
+        for record in run.records
+        if record.name == scenario
+    ]
+    if not history:
+        known = sorted(
+            {record.name for run in runs for record in run.records}
+        )
+        raise BenchmarkError(
+            f"no recorded runs measure scenario {scenario!r}; store "
+            f"holds: {', '.join(known) or '(nothing)'}"
+        )
+    return history
+
+
+def render_history(
+    runs: _t.Sequence[BenchRun], scenario: str
+) -> str:
+    """Trend report over the full store history of one scenario.
+
+    Complements the last-run-only comparator: first/min/median/last
+    median-wall values plus a per-run sparkline, so a slow drift that
+    never trips the single-step regression gate is still visible.
+    """
+    from repro.store.dashboard import sparkline
+
+    history = scenario_history(runs, scenario)
+    walls = [wall for _, wall in history]
+    ordered = sorted(walls)
+    median = ordered[len(ordered) // 2]
+    from repro.harness import render_table
+
+    trend = render_table(
+        ["Run", "Label", "Wall med (s)", "vs first"],
+        [
+            [
+                position,
+                label,
+                f"{wall:.4f}",
+                f"{(wall / walls[0] - 1) * 100:+.1f}%"
+                if walls[0] > 0 else "-",
+            ]
+            for position, (label, wall) in enumerate(history)
+        ],
+        title=f"History of {scenario!r} ({len(history)} runs)",
+    )
+    summary = (
+        f"first {walls[0]:.4f}s  min {min(walls):.4f}s  "
+        f"median {median:.4f}s  last {walls[-1]:.4f}s\n"
+        f"trend {sparkline(walls)}"
+    )
+    return f"{trend}\n{summary}"
+
+
 # -- comparison ---------------------------------------------------------------
 
 

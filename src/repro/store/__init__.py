@@ -1,0 +1,36 @@
+"""The run ledger: one append-only store for every experiment artifact.
+
+Every ``repro run/tune/compare/bench`` invocation can land its config,
+result stats, fault accounting, sampled time-series, and trace events in
+one schema-versioned :class:`RunLedger` (SQLite via the stdlib
+``sqlite3``; a ``.jsonl`` path selects the dependency-free JSONL
+backend).  ``SweepExecutor`` streams per-job heartbeat rows into the
+same ledger, so long sweeps are observable while still running, and
+``repro dashboard`` renders the whole thing — utilization heatmaps,
+throughput/buffer curves with fault markers, sweep progress, bench
+trends — from the ledger alone.
+
+CLI entry points: ``--ledger`` on ``run``/``trace``/``bench`` and the
+sweep commands, ``repro dashboard``, and ``python -m
+repro.store.validate`` for schema validation.
+"""
+
+from repro.store.dashboard import (
+    load_dashboard,
+    render_html_dashboard,
+    render_text_dashboard,
+)
+from repro.store.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    run_row_from_result,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "RunLedger",
+    "load_dashboard",
+    "render_html_dashboard",
+    "render_text_dashboard",
+    "run_row_from_result",
+]

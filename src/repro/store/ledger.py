@@ -1,0 +1,551 @@
+"""Append-only, schema-versioned run ledger (SQLite or JSONL).
+
+One ledger file accumulates every experiment artifact the repro
+produces:
+
+========== ==================================================== ========
+table      one row per                                          written by
+========== ==================================================== ========
+runs       completed training run (config + ``RunResult.stats``) ``repro run/trace``
+samples    sampler tick × gauge (see :mod:`repro.obs.timeseries`) ``--sample``
+events     trace event of a recorded run                         ``--trace-out``
+sweeps     ``SweepExecutor.map`` invocation                      sweep commands
+sweep_jobs per-job heartbeat (started / finished / cache-hit)    ``SweepExecutor``
+bench_runs ``repro bench`` invocation                            ``bench --ledger``
+bench_records per-scenario bench measurement                     ``bench --ledger``
+========== ==================================================== ========
+
+Design rules:
+
+* **Append-only.**  The API exposes no update or delete; history is the
+  point.  Identifiers (``run_id``, ``sweep_id``, ``bench_id``) are
+  assigned sequentially per table, so two identically-scripted sessions
+  produce identical rows — the *only* nondeterministic columns are the
+  wall-clock timestamps, and every one of those is named ``*_wall`` so
+  consumers (and the determinism test) can mask them mechanically.
+* **Schema-versioned.**  The ``meta`` table pins
+  :data:`LEDGER_SCHEMA_VERSION`; opening a ledger written by a
+  different schema raises :class:`~repro.errors.LedgerError` instead of
+  misreading it.
+* **Two backends, one shape.**  SQLite is the default; a path ending in
+  ``.jsonl`` selects a line-per-row JSON backend (same tables, same
+  rows) for environments where a binary file is inconvenient to diff or
+  ship.  Readers always return plain dicts, so the dashboard and the
+  validator are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+import time
+import typing as _t
+
+from repro.errors import LedgerError
+from repro.obs.timeseries import PHASE_CODES, SERIES
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.metrics import RunResult
+    from repro.obs.events import TraceEvent
+    from repro.obs.timeseries import Sample
+    from repro.perf.store import BenchRun
+
+#: Bump on any backwards-incompatible change to the ledger layout.
+LEDGER_SCHEMA_VERSION = 1
+
+#: table -> ordered column tuple.  The first column of ``runs``,
+#: ``sweeps``, and ``bench_runs`` is that table's sequential id.
+TABLES: dict[str, tuple[str, ...]] = {
+    "runs": (
+        "run_id", "created_wall", "command", "kind", "label", "model",
+        "runtime", "total_batch", "num_workers", "iterations",
+        "total_time", "seed", "config", "stats",
+    ),
+    "samples": ("run_id", "time", "series", "key", "value"),
+    "events": (
+        "run_id", "seq", "name", "category", "start", "duration",
+        "track", "args",
+    ),
+    "sweeps": ("sweep_id", "created_wall", "label", "total_jobs"),
+    "sweep_jobs": (
+        "sweep_id", "job_index", "job_kind", "status", "cache_hit",
+        "elapsed_wall", "created_wall",
+    ),
+    "bench_runs": ("bench_id", "created_wall", "label"),
+    "bench_records": (
+        "bench_id", "scenario", "kind", "wall_seconds_median",
+        "wall_seconds_iqr", "events_per_second",
+        "sim_seconds_per_wall_second", "peak_rss_kb",
+    ),
+}
+
+#: Columns holding host wall-clock timestamps — the only columns two
+#: identically-scripted sessions may disagree on.
+WALL_COLUMNS: frozenset[str] = frozenset(
+    {"created_wall", "elapsed_wall"}
+)
+
+_SWEEP_JOB_STATUSES = ("started", "done", "cached")
+
+#: Tables whose ids are assigned sequentially from their row count.
+_ID_TABLES = {"runs": "run_id", "sweeps": "sweep_id",
+              "bench_runs": "bench_id"}
+
+
+def _canonical_json(payload: _t.Any) -> str:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class _SqliteBackend:
+    """SQLite storage; the default for any non-``.jsonl`` path."""
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, "
+            "value TEXT)"
+        )
+        for table in sorted(TABLES):
+            columns = ", ".join(f'"{col}"' for col in TABLES[table])
+            self._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} ({columns})"
+            )
+        self._conn.commit()
+
+    def get_meta(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+        self._conn.commit()
+
+    def insert(self, table: str, rows: _t.Sequence[dict]) -> None:
+        columns = TABLES[table]
+        placeholders = ", ".join("?" for _ in columns)
+        self._conn.executemany(
+            f"INSERT INTO {table} VALUES ({placeholders})",
+            [tuple(row[col] for col in columns) for row in rows],
+        )
+        self._conn.commit()
+
+    def rows(self, table: str) -> list[dict]:
+        columns = TABLES[table]
+        names = ", ".join(f'"{col}"' for col in columns)
+        fetched = self._conn.execute(
+            f"SELECT {names} FROM {table} ORDER BY rowid"
+        ).fetchall()
+        return [dict(zip(columns, row)) for row in fetched]
+
+    def count(self, table: str) -> int:
+        row = self._conn.execute(
+            f"SELECT COUNT(*) FROM {table}"
+        ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class _JsonlBackend:
+    """Line-per-row JSON storage: ``{"table": ..., <columns>}``.
+
+    The whole file is parsed at open (ledgers are append logs, not big
+    data); writes append lines.  Meta rows use the pseudo-table
+    ``meta``.
+    """
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self._path = path
+        self._tables: dict[str, list[dict]] = {
+            table: [] for table in TABLES
+        }
+        self._meta: dict[str, str] = {}
+        if path.exists():
+            self._load()
+        else:
+            path.touch()
+
+    def _load(self) -> None:
+        for number, line in enumerate(
+            self._path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LedgerError(
+                    f"malformed ledger line {number} in {self._path}: "
+                    f"{exc}"
+                ) from None
+            table = payload.pop("table", None)
+            if table == "meta":
+                self._meta[str(payload["key"])] = str(payload["value"])
+            elif table in self._tables:
+                self._tables[table].append(payload)
+            else:
+                raise LedgerError(
+                    f"ledger line {number} in {self._path} names "
+                    f"unknown table {table!r}"
+                )
+
+    def _append_line(self, payload: dict) -> None:
+        with self._path.open("a") as handle:
+            handle.write(_canonical_json(payload) + "\n")
+
+    def get_meta(self, key: str) -> str | None:
+        return self._meta.get(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._meta[key] = value
+        self._append_line({"table": "meta", "key": key, "value": value})
+
+    def insert(self, table: str, rows: _t.Sequence[dict]) -> None:
+        columns = TABLES[table]
+        for row in rows:
+            ordered = {col: row[col] for col in columns}
+            self._tables[table].append(ordered)
+            self._append_line({"table": table, **ordered})
+
+    def rows(self, table: str) -> list[dict]:
+        return [dict(row) for row in self._tables[table]]
+
+    def count(self, table: str) -> int:
+        return len(self._tables[table])
+
+    def close(self) -> None:
+        pass
+
+
+# -- the ledger ----------------------------------------------------------------
+
+
+class RunLedger:
+    """One append-only experiment store; see the module docstring."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        if self.path.suffix == ".jsonl":
+            self._backend: _t.Any = _JsonlBackend(self.path)
+        else:
+            self._backend = _SqliteBackend(self.path)
+        stored = self._backend.get_meta("schema")
+        if stored is None:
+            self._backend.set_meta("schema", str(LEDGER_SCHEMA_VERSION))
+        elif stored != str(LEDGER_SCHEMA_VERSION):
+            raise LedgerError(
+                f"ledger {self.path} has schema {stored}; this tool "
+                f"reads schema {LEDGER_SCHEMA_VERSION}"
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- writers -------------------------------------------------------------
+
+    def record_run(
+        self,
+        *,
+        command: str,
+        kind: str,
+        result: "RunResult",
+        label: str = "",
+        seed: int | None = None,
+        config: dict[str, _t.Any] | None = None,
+        samples: _t.Sequence["Sample"] = (),
+        events: _t.Sequence["TraceEvent"] = (),
+    ) -> int:
+        """Land one completed run (+ its series and events); returns its id."""
+        run_id = self._backend.count("runs")
+        self._backend.insert("runs", [{
+            "run_id": run_id,
+            "created_wall": time.time(),
+            "command": command,
+            "kind": kind,
+            "label": label,
+            "model": result.model_name,
+            "runtime": result.runtime_name,
+            "total_batch": result.total_batch,
+            "num_workers": len(
+                result.stats.get("compute_seconds_by_worker", ())
+            ),
+            "iterations": result.iterations,
+            "total_time": result.total_time,
+            "seed": seed,
+            "config": _canonical_json(config or {}),
+            "stats": _canonical_json(result.stats),
+        }])
+        if samples:
+            self._backend.insert("samples", [{
+                "run_id": run_id,
+                "time": sample.time,
+                "series": sample.series,
+                "key": sample.key,
+                "value": sample.value,
+            } for sample in samples])
+        if events:
+            self._backend.insert("events", [{
+                "run_id": run_id,
+                "seq": event.seq,
+                "name": event.name,
+                "category": event.category,
+                "start": event.start,
+                "duration": event.duration,
+                "track": event.track,
+                "args": _canonical_json(event.args),
+            } for event in events])
+        return run_id
+
+    def start_sweep(self, *, label: str, total_jobs: int) -> int:
+        """Open a sweep heartbeat group; returns its id."""
+        sweep_id = self._backend.count("sweeps")
+        self._backend.insert("sweeps", [{
+            "sweep_id": sweep_id,
+            "created_wall": time.time(),
+            "label": label,
+            "total_jobs": total_jobs,
+        }])
+        return sweep_id
+
+    def record_sweep_job(
+        self,
+        sweep_id: int,
+        *,
+        index: int,
+        kind: str,
+        status: str,
+        cache_hit: bool = False,
+        elapsed_wall: float = 0.0,
+    ) -> None:
+        """One heartbeat row: a job started, finished, or hit the cache."""
+        if status not in _SWEEP_JOB_STATUSES:
+            raise LedgerError(
+                f"unknown sweep-job status {status!r}; expected one of "
+                f"{_SWEEP_JOB_STATUSES}"
+            )
+        self._backend.insert("sweep_jobs", [{
+            "sweep_id": sweep_id,
+            "job_index": index,
+            "job_kind": kind,
+            "status": status,
+            "cache_hit": int(cache_hit),
+            "elapsed_wall": elapsed_wall,
+            "created_wall": time.time(),
+        }])
+
+    def record_bench_run(self, run: "BenchRun") -> int:
+        """Land one ``repro bench`` invocation's records; returns its id."""
+        bench_id = self._backend.count("bench_runs")
+        self._backend.insert("bench_runs", [{
+            "bench_id": bench_id,
+            "created_wall": time.time(),
+            "label": run.label,
+        }])
+        self._backend.insert("bench_records", [{
+            "bench_id": bench_id,
+            "scenario": record.name,
+            "kind": record.kind,
+            "wall_seconds_median": record.wall_seconds_median,
+            "wall_seconds_iqr": record.wall_seconds_iqr,
+            "events_per_second": record.events_per_second,
+            "sim_seconds_per_wall_second":
+                record.sim_seconds_per_wall_second,
+            "peak_rss_kb": record.peak_rss_kb,
+        } for record in run.records])
+        return bench_id
+
+    # -- readers -------------------------------------------------------------
+
+    def runs(self) -> list[dict]:
+        rows = self._backend.rows("runs")
+        for row in rows:
+            row["config"] = json.loads(row["config"])
+            row["stats"] = json.loads(row["stats"])
+        return rows
+
+    def samples(self, run_id: int | None = None) -> list[dict]:
+        rows = self._backend.rows("samples")
+        if run_id is None:
+            return rows
+        return [row for row in rows if row["run_id"] == run_id]
+
+    def events(self, run_id: int | None = None) -> list[dict]:
+        rows = self._backend.rows("events")
+        for row in rows:
+            row["args"] = json.loads(row["args"])
+        if run_id is None:
+            return rows
+        return [row for row in rows if row["run_id"] == run_id]
+
+    def sweeps(self) -> list[dict]:
+        return self._backend.rows("sweeps")
+
+    def sweep_jobs(self, sweep_id: int | None = None) -> list[dict]:
+        rows = self._backend.rows("sweep_jobs")
+        if sweep_id is None:
+            return rows
+        return [row for row in rows if row["sweep_id"] == sweep_id]
+
+    def bench_runs(self) -> list[dict]:
+        return self._backend.rows("bench_runs")
+
+    def bench_records(self, bench_id: int | None = None) -> list[dict]:
+        rows = self._backend.rows("bench_records")
+        if bench_id is None:
+            return rows
+        return [row for row in rows if row["bench_id"] == bench_id]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Structural + referential checks; returns human-readable problems.
+
+        An empty list means the ledger conforms to the schema: ids are
+        dense and sequential, every child row references a recorded
+        parent, sample rows use known series (worker phases restricted
+        to the :data:`~repro.obs.timeseries.PHASE_CODES` codes), and
+        sweep heartbeats use known statuses with in-range indices.
+        """
+        problems: list[str] = []
+        runs = self.runs()
+        for position, row in enumerate(runs):
+            if row["run_id"] != position:
+                problems.append(
+                    f"runs: row {position} has run_id {row['run_id']} "
+                    f"(ids must be dense and sequential)"
+                )
+            if not isinstance(row["stats"], dict):
+                problems.append(
+                    f"runs: run {row['run_id']} stats is not an object"
+                )
+            if row["total_time"] is None or row["total_time"] < 0:
+                problems.append(
+                    f"runs: run {row['run_id']} has invalid total_time "
+                    f"{row['total_time']!r}"
+                )
+        run_ids = {row["run_id"] for row in runs}
+        phase_codes = {float(code) for code in PHASE_CODES.values()}
+        for row in self._backend.rows("samples"):
+            if row["run_id"] not in run_ids:
+                problems.append(
+                    f"samples: row references unknown run "
+                    f"{row['run_id']}"
+                )
+                continue
+            if row["series"] not in SERIES:
+                problems.append(
+                    f"samples: unknown series {row['series']!r} in run "
+                    f"{row['run_id']}"
+                )
+            elif (
+                row["series"] == "worker.phase"
+                and row["value"] not in phase_codes
+            ):
+                problems.append(
+                    f"samples: run {row['run_id']} worker {row['key']} "
+                    f"has invalid phase code {row['value']!r}"
+                )
+            if row["time"] < 0:
+                problems.append(
+                    f"samples: negative time {row['time']} in run "
+                    f"{row['run_id']}"
+                )
+        for row in self._backend.rows("events"):
+            if row["run_id"] not in run_ids:
+                problems.append(
+                    f"events: row references unknown run {row['run_id']}"
+                )
+            if row["duration"] is not None and row["duration"] < 0:
+                problems.append(
+                    f"events: negative duration on seq {row['seq']} in "
+                    f"run {row['run_id']}"
+                )
+        sweeps = self.sweeps()
+        for position, row in enumerate(sweeps):
+            if row["sweep_id"] != position:
+                problems.append(
+                    f"sweeps: row {position} has sweep_id "
+                    f"{row['sweep_id']} (ids must be dense and "
+                    f"sequential)"
+                )
+        totals = {row["sweep_id"]: row["total_jobs"] for row in sweeps}
+        for row in self._backend.rows("sweep_jobs"):
+            total = totals.get(row["sweep_id"])
+            if total is None:
+                problems.append(
+                    f"sweep_jobs: row references unknown sweep "
+                    f"{row['sweep_id']}"
+                )
+                continue
+            if row["status"] not in _SWEEP_JOB_STATUSES:
+                problems.append(
+                    f"sweep_jobs: unknown status {row['status']!r} in "
+                    f"sweep {row['sweep_id']}"
+                )
+            if not 0 <= row["job_index"] < total:
+                problems.append(
+                    f"sweep_jobs: job index {row['job_index']} out of "
+                    f"range for sweep {row['sweep_id']} "
+                    f"({total} jobs)"
+                )
+        bench_ids = set()
+        for position, row in enumerate(self.bench_runs()):
+            bench_ids.add(row["bench_id"])
+            if row["bench_id"] != position:
+                problems.append(
+                    f"bench_runs: row {position} has bench_id "
+                    f"{row['bench_id']} (ids must be dense and "
+                    f"sequential)"
+                )
+        for row in self._backend.rows("bench_records"):
+            if row["bench_id"] not in bench_ids:
+                problems.append(
+                    f"bench_records: row references unknown bench run "
+                    f"{row['bench_id']}"
+                )
+            if row["wall_seconds_median"] < 0:
+                problems.append(
+                    f"bench_records: negative median wall for "
+                    f"{row['scenario']!r}"
+                )
+        return problems
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def run_row_from_result(result: "RunResult") -> dict[str, _t.Any]:
+    """The config-description dict ``record_run`` stores for a result.
+
+    Kept deliberately derivable from the result alone, so every caller
+    (CLI run/trace, scenario jobs, tests) lands the same shape.
+    """
+    return {
+        "model": result.model_name,
+        "runtime": result.runtime_name,
+        "total_batch": result.total_batch,
+        "iterations": result.iterations,
+        "weights": list(result.stats.get("weights", ())),
+        "subset_size": result.stats.get("subset_size"),
+    }

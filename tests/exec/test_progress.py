@@ -1,0 +1,113 @@
+"""Sweep heartbeats and progress lines: observable but non-perturbing."""
+
+import pytest
+
+from repro.exec import ResultCache, SweepExecutor
+from repro.store import RunLedger
+
+from tests.exec.test_executor import SquareJob
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    with RunLedger(tmp_path / "ledger.sqlite") as opened:
+        yield opened
+
+
+class TestHeartbeats:
+    def test_started_then_done_rows_in_index_order(self, ledger):
+        executor = SweepExecutor(ledger=ledger, sweep_label="unit")
+        jobs = [SquareJob(value, cached=False) for value in (3, 1, 2)]
+        assert executor.map(jobs) == [9, 1, 4]
+        sweep = ledger.sweeps()[0]
+        assert sweep["label"] == "unit"
+        assert sweep["total_jobs"] == 3
+        rows = ledger.sweep_jobs(sweep["sweep_id"])
+        assert [(row["status"], row["job_index"]) for row in rows] == [
+            ("started", 0), ("started", 1), ("started", 2),
+            ("done", 0), ("done", 1), ("done", 2),
+        ]
+        assert all(
+            row["elapsed_wall"] >= 0.0
+            for row in rows
+            if row["status"] == "done"
+        )
+
+    def test_cache_hits_become_cached_rows(self, ledger):
+        cache = ResultCache()
+        warmup = SweepExecutor(cache=cache)
+        warmup.map([SquareJob(3)])
+        executor = SweepExecutor(cache=cache, ledger=ledger)
+        assert executor.map([SquareJob(3), SquareJob(5)]) == [9, 25]
+        rows = ledger.sweep_jobs()
+        assert [(row["status"], row["job_index"]) for row in rows] == [
+            ("cached", 0), ("started", 1), ("done", 1),
+        ]
+        assert rows[0]["cache_hit"] == 1
+
+    def test_empty_map_opens_no_sweep(self, ledger):
+        SweepExecutor(ledger=ledger).map([])
+        assert ledger.sweeps() == []
+
+    def test_ledger_rows_validate(self, ledger):
+        SweepExecutor(ledger=ledger).map(
+            [SquareJob(2, cached=False)]
+        )
+        assert ledger.validate() == []
+
+
+class TestProgressLines:
+    def test_lines_go_to_stderr_only(self, capsys):
+        executor = SweepExecutor(progress=True)
+        executor.map([SquareJob(2, cached=False),
+                      SquareJob(3, cached=False)])
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2] SquareJob #0 done in ")
+        assert lines[1].startswith("[2/2] SquareJob #1 done in ")
+
+    def test_cache_hits_are_labelled(self, capsys):
+        cache = ResultCache()
+        SweepExecutor(cache=cache).map([SquareJob(4)])
+        capsys.readouterr()
+        executor = SweepExecutor(cache=cache, progress=True)
+        executor.map([SquareJob(4)])
+        err = capsys.readouterr().err
+        assert "[1/1] SquareJob #0 cache hit (1 cache hits)" in err
+
+    def test_results_identical_with_and_without_side_channel(
+        self, tmp_path, capsys
+    ):
+        jobs = [SquareJob(value, cached=False) for value in range(6)]
+        plain = SweepExecutor().map(jobs)
+        with RunLedger(tmp_path / "ledger.sqlite") as ledger:
+            observed = SweepExecutor(
+                ledger=ledger, progress=True
+            ).map(jobs)
+        capsys.readouterr()
+        assert observed == plain
+
+
+class TestParallelHeartbeats:
+    def test_parallel_row_order_matches_serial(self, tmp_path):
+        jobs = [SquareJob(value, cached=False) for value in range(4)]
+
+        def rows_for(jobs_count, path):
+            with RunLedger(path) as ledger:
+                executor = SweepExecutor(
+                    jobs=jobs_count, ledger=ledger
+                )
+                try:
+                    assert executor.map(jobs) == [0, 1, 4, 9]
+                finally:
+                    executor.close()
+                return [
+                    (row["status"], row["job_index"])
+                    for row in ledger.sweep_jobs()
+                ]
+
+        serial = rows_for(1, tmp_path / "serial.sqlite")
+        parallel = rows_for(2, tmp_path / "parallel.sqlite")
+        assert parallel == serial

@@ -172,3 +172,79 @@ class TestMetricsCsv:
         assert lines[0] == "metric,kind,labels,field,value"
         assert "net.bytes,gauge,,value,123.0" in lines
         assert "ts.requests,counter,,value,4" in lines
+
+
+class TestCounterSamples:
+    """Sampler gauges exported as Chrome counter ("C") events."""
+
+    def _samples(self):
+        from repro.obs import Sample
+
+        return (
+            Sample(0.0, "buffer.depth", "0", 2.0),
+            Sample(0.0, "buffer.depth", "1", 1.0),
+            Sample(0.5, "buffer.depth", "0", 3.0),
+            Sample(0.0, "fabric.utilization", "", 0.25),
+        )
+
+    def test_samples_become_counter_events(self):
+        payload = chrome_trace(
+            _traced_lifecycle().events, samples=self._samples()
+        )
+        counters = [
+            event
+            for event in payload["traceEvents"]
+            if event["ph"] == "C"
+        ]
+        # One event per distinct (series, tick): two buffer ticks plus
+        # one utilization tick.
+        assert len(counters) == 3
+        by_name = {}
+        for event in counters:
+            by_name.setdefault(event["name"], []).append(event)
+        first = by_name["buffer.depth"][0]
+        assert first["ts"] == 0.0
+        assert first["args"] == {"0": 2.0, "1": 1.0}
+        util = by_name["fabric.utilization"][0]
+        assert util["args"] == {"value": 0.25}
+
+    def test_round_trip_with_samples_and_faults_validates(self, tmp_path):
+        tracer = _traced_lifecycle()
+        tracer.worker_failed(
+            0, crash_time=1.0, reclaimed=1, reminted=0
+        )
+        tracer.worker_joined(3, iteration=1)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer.events, samples=self._samples())
+        payload = read_chrome_trace(path)
+        assert validate_chrome_trace(payload) == []
+        names = {
+            event["name"]
+            for event in complete_events(payload)
+        }
+        assert "worker.failed" in names and "worker.joined" in names
+        assert sum(
+            1 for event in payload["traceEvents"] if event["ph"] == "C"
+        ) == 3
+
+    def test_validator_rejects_broken_counters(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "C", "name": "x", "pid": 0, "tid": 0, "ts": 0.0,
+                 "args": {}},
+                {"ph": "C", "name": "y", "pid": 0, "tid": 0, "ts": 0.0,
+                 "args": {"value": "high"}},
+                {"ph": "C", "name": "z", "pid": 0, "tid": 0,
+                 "args": {"value": 1.0}},
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("non-empty 'args'" in p for p in problems)
+        assert any("not numeric" in p for p in problems)
+        assert any("'ts'" in p for p in problems)
+
+    def test_no_samples_means_no_counter_events(self):
+        payload = chrome_trace(_traced_lifecycle().events)
+        assert all(
+            event["ph"] != "C" for event in payload["traceEvents"]
+        )

@@ -88,3 +88,48 @@ class TestRenderRunReport:
         result, tracer, _ = _traced(vgg19_partition)
         report = render_run_report(result, tracer.events)
         assert "Token server" in report
+
+    def test_no_faults_attached_no_faults_section(self, vgg19_partition):
+        result, tracer, _ = _traced(vgg19_partition)
+        assert "Faults and degradation" not in render_run_report(
+            result, tracer.events
+        )
+
+
+class TestFaultsSection:
+    def _faulted(self, partition, script):
+        from repro.faults import FaultController, parse_faults
+
+        config = FelaConfig(
+            partition=partition,
+            total_batch=128,
+            num_workers=4,
+            weights=(1, 2, 8),
+            conditional_subset_size=2,
+            iterations=3,
+        )
+        tracer = Tracer()
+        result = FelaRuntime(
+            config,
+            Cluster(ClusterSpec(num_nodes=4)),
+            tracer=tracer,
+            faults=FaultController(parse_faults(script)),
+        ).run()
+        return result, tracer
+
+    def test_crash_accounting_is_reported(self, vgg19_partition):
+        result, tracer = self._faulted(vgg19_partition, "crash:0@1.0")
+        report = render_run_report(result, tracer.events)
+        assert "-- Faults and degradation --" in report
+        assert "W0 crashed at 1.000 s" in report
+        assert "detected in" in report
+        assert "compute lost" in report
+        summary = result.stats["faults"]
+        detection = sum(summary["recovery_detection_seconds"])
+        assert f"{detection:.3f} s detection latency" in report
+
+    def test_membership_changes_are_reported(self, vgg19_partition):
+        result, tracer = self._faulted(vgg19_partition, "leave:1@2.0")
+        report = render_run_report(result, tracer.events)
+        assert "left gracefully: W1" in report
+        assert "(no worker failures)" in report

@@ -1,0 +1,66 @@
+"""The sampler must be invisible to the schedule, and free when off.
+
+Reuses the five pre-fault ``total_time`` pins: a sampled run must land
+on *bit-identical* times (the sampler only reads state from a step
+monitor; it never schedules events), and an unsampled run must touch no
+sampler machinery at all beyond the shared null object.
+"""
+
+import pytest
+
+from repro.core import FelaRuntime
+from repro.hardware import Cluster, ClusterSpec
+from repro.obs.timeseries import NULL_SAMPLER, Sampler
+
+from tests.faults.test_zero_perturbation import CASES, PINNED, _config
+
+
+def _run(partition, cls, straggler, sampler, **kwargs):
+    cluster = Cluster(ClusterSpec(num_nodes=8))
+    runtime = cls(
+        _config(partition, **kwargs),
+        cluster,
+        straggler=straggler,
+        sampler=sampler,
+    )
+    return runtime, runtime.run()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_sampled_total_time_is_bit_identical(name, vgg19_partition):
+    cls, make_straggler, kwargs = CASES[name]
+    sampler = Sampler(interval=0.5)
+    _, result = _run(
+        vgg19_partition, cls, make_straggler(), sampler, **kwargs
+    )
+    assert repr(result.total_time) == PINNED[name]
+    assert len(sampler.samples) > 0
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_sampling_covers_the_whole_run(name, vgg19_partition):
+    cls, make_straggler, kwargs = CASES[name]
+    sampler = Sampler(interval=1.0)
+    _, result = _run(
+        vgg19_partition, cls, make_straggler(), sampler, **kwargs
+    )
+    times = sorted({sample.time for sample in sampler.samples})
+    assert times[0] == 0.0
+    # finish() flushes the trailing ticks: the last tick is within one
+    # interval of the end of the run, and no tick lies past it.
+    assert result.total_time - times[-1] < 1.0
+    assert times[-1] <= result.total_time
+    # Ticks are exactly the k * interval grid — no gaps, no extras.
+    assert times == [float(k) for k in range(len(times))]
+
+
+def test_disabled_sampling_constructs_no_sampler_objects(vgg19_partition):
+    cluster = Cluster(ClusterSpec(num_nodes=8))
+    runtime = FelaRuntime(_config(vgg19_partition), cluster)
+    assert runtime.sampler is NULL_SAMPLER
+    assert runtime.sampler.enabled is False
+    # No monitor registered: the simulation run loop takes the
+    # monitor-free fast path.
+    assert cluster.env._monitors == []
+    runtime.run()
+    assert runtime.sampler.samples == ()

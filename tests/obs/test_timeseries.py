@@ -1,0 +1,219 @@
+"""Functional contract of the sim-time sampler.
+
+Zero perturbation is pinned in ``test_sampler_zero_perturbation``; this
+file covers what the sampler *records*: the tick grid, the per-series
+content (worker phase, buffer depth, fabric, membership, staleness),
+determinism across reruns, and the API's error paths.
+"""
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.errors import ObservabilityError
+from repro.faults import FaultController, parse_faults
+from repro.hardware import Cluster, ClusterSpec
+from repro.obs.timeseries import (
+    NULL_SAMPLER,
+    PHASE_CODES,
+    PHASE_DEAD,
+    SER_ACTIVE_WORKERS,
+    SER_BUFFER_DEPTH,
+    SER_EPOCH,
+    SER_FABRIC_FLOWS,
+    SER_FABRIC_UTILIZATION,
+    SER_STALENESS,
+    SER_TOKENS_DONE,
+    SER_WORKER_PHASE,
+    NullSampler,
+    Sample,
+    Sampler,
+    series_keys,
+    series_points,
+)
+from repro.stragglers import RoundRobinStraggler
+
+
+def _run_sampled(partition, interval=1.0, straggler=None, faults=None,
+                 **kwargs):
+    defaults = dict(
+        partition=partition,
+        total_batch=128,
+        num_workers=4,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=2,
+    )
+    defaults.update(kwargs)
+    config = FelaConfig(**defaults)
+    cluster = Cluster(ClusterSpec(num_nodes=config.num_workers))
+    sampler = Sampler(interval=interval)
+    runtime = FelaRuntime(
+        config, cluster, straggler=straggler, faults=faults,
+        sampler=sampler,
+    )
+    return sampler, runtime.run()
+
+
+class TestNullSampler:
+    def test_is_disabled_and_empty(self):
+        assert NULL_SAMPLER.enabled is False
+        assert NULL_SAMPLER.samples == ()
+        NULL_SAMPLER.attach_runtime(object())  # no-op, accepts anything
+        NULL_SAMPLER.finish(12.5)
+        assert NULL_SAMPLER.samples == ()
+
+    def test_is_a_shared_singleton(self):
+        assert isinstance(NULL_SAMPLER, NullSampler)
+        assert not isinstance(NULL_SAMPLER, Sampler)
+
+
+class TestSamplerValidation:
+    @pytest.mark.parametrize("interval", [0.0, -1.0])
+    def test_rejects_nonpositive_interval(self, interval):
+        with pytest.raises(ObservabilityError, match="interval"):
+            Sampler(interval=interval)
+
+    def test_rejects_double_attach(self, vgg19_partition):
+        sampler = Sampler()
+        _run = _run_sampled  # noqa: F841 - clarity
+        config = FelaConfig(
+            partition=vgg19_partition, total_batch=128, num_workers=4,
+            weights=(1, 2, 8), conditional_subset_size=2, iterations=1,
+        )
+        FelaRuntime(
+            config, Cluster(ClusterSpec(num_nodes=4)), sampler=sampler
+        )
+        with pytest.raises(ObservabilityError, match="already attached"):
+            FelaRuntime(
+                config, Cluster(ClusterSpec(num_nodes=4)), sampler=sampler
+            )
+
+    def test_sample_rejects_unknown_series(self):
+        with pytest.raises(ObservabilityError, match="unknown sample"):
+            Sample(0.0, "no.such.series", "", 1.0)
+
+    def test_sample_rejects_negative_time(self):
+        with pytest.raises(ObservabilityError, match="negative"):
+            Sample(-0.5, SER_WORKER_PHASE, "0", 1.0)
+
+
+class TestSampleContent:
+    def test_every_tick_is_rectangular(self, vgg19_partition):
+        """Each tick carries one row per worker, per level, and per
+        cluster-wide gauge — so consumers never need gap logic."""
+        sampler, _ = _run_sampled(vgg19_partition, interval=0.5)
+        ticks = sorted({sample.time for sample in sampler.samples})
+        per_tick = {tick: [] for tick in ticks}
+        for sample in sampler.samples:
+            per_tick[sample.time].append(sample)
+        levels = 3  # weights (1, 2, 8)
+        workers = 4
+        for tick in ticks:
+            rows = per_tick[tick]
+            by_series = {}
+            for row in rows:
+                by_series.setdefault(row.series, []).append(row)
+            assert len(by_series[SER_WORKER_PHASE]) == workers
+            assert len(by_series[SER_BUFFER_DEPTH]) == levels
+            for series in (
+                SER_FABRIC_UTILIZATION,
+                SER_FABRIC_FLOWS,
+                SER_ACTIVE_WORKERS,
+                SER_EPOCH,
+                SER_STALENESS,
+                SER_TOKENS_DONE,
+            ):
+                assert len(by_series[series]) == 1
+
+    def test_worker_phases_are_valid_codes(self, vgg19_partition):
+        sampler, _ = _run_sampled(vgg19_partition)
+        codes = set(PHASE_CODES.values())
+        phases = [
+            s.value for s in sampler.samples
+            if s.series == SER_WORKER_PHASE
+        ]
+        assert phases
+        assert all(value in codes for value in phases)
+        # A healthy run leaves the initial all-idle state: at least one
+        # non-idle phase must be observed.
+        assert any(value != 0.0 for value in phases)
+
+    def test_worker_keys_are_all_wids(self, vgg19_partition):
+        sampler, _ = _run_sampled(vgg19_partition)
+        assert series_keys(sampler.samples, SER_WORKER_PHASE) == [
+            "0", "1", "2", "3",
+        ]
+
+    def test_tokens_done_is_monotone_and_ends_at_total(
+        self, vgg19_partition
+    ):
+        sampler, result = _run_sampled(vgg19_partition)
+        points = series_points(sampler.samples, SER_TOKENS_DONE)
+        values = [value for _, value in points]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        total_tokens = sum(result.stats["tokens_by_worker"].values())
+        assert values[-1] <= total_tokens
+
+    def test_buffer_depth_starts_at_zero_before_minting(
+        self, vgg19_partition
+    ):
+        sampler, _ = _run_sampled(vgg19_partition)
+        for level in ("0", "1", "2"):
+            points = series_points(
+                sampler.samples, SER_BUFFER_DEPTH, key=level
+            )
+            assert points[0] == (0.0, 0.0)
+            # Tokens were buffered at some point during the run.
+            assert any(value > 0 for _, value in points) or level != "0"
+
+    def test_staleness_and_utilization_bounds(self, vgg19_partition):
+        sampler, _ = _run_sampled(
+            vgg19_partition, straggler=RoundRobinStraggler(2.0)
+        )
+        for _, value in series_points(sampler.samples, SER_STALENESS):
+            assert 0 <= value <= 2  # iterations in flight
+        for _, value in series_points(
+            sampler.samples, SER_FABRIC_UTILIZATION
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_membership_defaults_without_faults(self, vgg19_partition):
+        sampler, _ = _run_sampled(vgg19_partition)
+        for _, value in series_points(sampler.samples, SER_ACTIVE_WORKERS):
+            assert value == 4.0
+        for _, value in series_points(sampler.samples, SER_EPOCH):
+            assert value == 0.0
+
+    def test_crash_shows_dead_phase_and_shrinks_membership(
+        self, vgg19_partition
+    ):
+        sampler, result = _run_sampled(
+            vgg19_partition,
+            interval=0.25,
+            faults=FaultController(parse_faults("crash:0@1.0")),
+            iterations=3,
+        )
+        dead = PHASE_CODES[PHASE_DEAD]
+        w0 = series_points(sampler.samples, SER_WORKER_PHASE, key="0")
+        assert any(value == dead for _, value in w0)
+        # Once dead, always dead.
+        codes = [value for _, value in w0]
+        first_dead = codes.index(dead)
+        assert all(value == dead for value in codes[first_dead:])
+        active = series_points(sampler.samples, SER_ACTIVE_WORKERS)
+        assert any(value < 4.0 for _, value in active)
+        epochs = [v for _, v in series_points(sampler.samples, SER_EPOCH)]
+        assert epochs[-1] >= 1.0
+        assert "faults" in result.stats
+
+    def test_samples_are_deterministic_across_reruns(
+        self, vgg19_partition
+    ):
+        first, _ = _run_sampled(
+            vgg19_partition, straggler=RoundRobinStraggler(1.0)
+        )
+        second, _ = _run_sampled(
+            vgg19_partition, straggler=RoundRobinStraggler(1.0)
+        )
+        assert first.samples == second.samples

@@ -1,0 +1,73 @@
+"""Bench trend reporting over the full regression-store history."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.perf import (
+    append_run,
+    load_store,
+    render_history,
+    scenario_history,
+)
+
+from tests.store.test_ledger import _bench_run
+
+
+def _record(run, median):
+    import dataclasses
+
+    return dataclasses.replace(
+        run, records=tuple(
+            dataclasses.replace(record, wall_seconds_median=median)
+            for record in run.records
+        )
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    path = tmp_path / "bench.json"
+    for label, median in (("v0", 0.4), ("v1", 0.2), ("v2", 0.3)):
+        append_run(path, _record(_bench_run(label), median))
+    return path
+
+
+class TestScenarioHistory:
+    def test_one_point_per_run_in_order(self, store):
+        history = scenario_history(load_store(store), "micro.example")
+        assert history == [("v0", 0.4), ("v1", 0.2), ("v2", 0.3)]
+
+    def test_unknown_scenario_names_the_known_ones(self, store):
+        with pytest.raises(BenchmarkError, match="micro.example"):
+            scenario_history(load_store(store), "nope")
+
+
+class TestRenderHistory:
+    def test_summary_and_sparkline(self, store):
+        text = render_history(load_store(store), "micro.example")
+        assert "History of 'micro.example' (3 runs)" in text
+        assert "first 0.4000s" in text
+        assert "min 0.2000s" in text
+        assert "last 0.3000s" in text
+        assert "trend " in text
+        # Percent-vs-first column: v1 halved the wall clock.
+        assert "-50.0%" in text
+
+    def test_cli_history_flag(self, store, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["bench", "--history", "micro.example",
+             "--compare", str(store)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "History of 'micro.example'" in out
+
+    def test_cli_history_missing_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["bench", "--history", "x",
+             "--compare", str(tmp_path / "none.json")]
+        ) == 2
+        assert "no benchmark baseline" in capsys.readouterr().err

@@ -1,0 +1,251 @@
+"""Run ledger: both backends, append-only history, determinism, checks."""
+
+import json
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.errors import LedgerError
+from repro.faults import FaultController, parse_faults
+from repro.hardware import Cluster, ClusterSpec
+from repro.obs import Sampler, Tracer
+from repro.perf.store import BenchRun, ScenarioRecord
+from repro.store import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    run_row_from_result,
+)
+from repro.store.ledger import TABLES, WALL_COLUMNS
+
+BACKENDS = ("ledger.sqlite", "ledger.jsonl")
+
+
+def _run(partition, *, sampler=None, tracer=None, faults=None):
+    config = FelaConfig(
+        partition=partition,
+        total_batch=128,
+        num_workers=4,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=2,
+    )
+    return FelaRuntime(
+        config,
+        Cluster(ClusterSpec(num_nodes=4)),
+        sampler=sampler,
+        tracer=tracer,
+        faults=faults,
+    ).run()
+
+
+def _bench_run(label="bench"):
+    return BenchRun(
+        label=label,
+        records=(
+            ScenarioRecord(
+                name="micro.example",
+                kind="micro",
+                repeats=3,
+                warmup=1,
+                wall_seconds=(0.1, 0.2, 0.3),
+                wall_seconds_median=0.2,
+                wall_seconds_iqr=0.1,
+                simulated_seconds=5.0,
+                events=100,
+                sim_seconds_per_wall_second=25.0,
+                events_per_second=500.0,
+                peak_rss_kb=1024.0,
+            ),
+        ),
+    )
+
+
+@pytest.mark.parametrize("filename", BACKENDS)
+class TestRoundTrip:
+    def test_run_with_samples_and_events_round_trips(
+        self, tmp_path, filename, vgg19_partition
+    ):
+        sampler = Sampler(0.5)
+        tracer = Tracer()
+        result = _run(vgg19_partition, sampler=sampler, tracer=tracer)
+        with RunLedger(tmp_path / filename) as ledger:
+            run_id = ledger.record_run(
+                command="run",
+                kind="fela",
+                result=result,
+                label="vgg19",
+                config=run_row_from_result(result),
+                samples=sampler.samples,
+                events=tracer.events,
+            )
+        with RunLedger(tmp_path / filename) as ledger:
+            rows = ledger.runs()
+            assert len(rows) == 1
+            row = rows[0]
+            assert row["run_id"] == run_id == 0
+            assert row["model"] == "vgg19"
+            assert row["total_time"] == result.total_time
+            assert row["config"]["weights"] == [1, 2, 8]
+            assert row["stats"]["ts_requests"] == (
+                result.stats["ts_requests"]
+            )
+            samples = ledger.samples(run_id)
+            assert len(samples) == len(sampler.samples)
+            assert samples[0]["time"] == 0.0
+            events = ledger.events(run_id)
+            assert len(events) == len(tracer.events)
+            assert events[0]["args"] == dict(tracer.events[0].args)
+            assert ledger.validate() == []
+
+    def test_sweep_and_bench_round_trip(self, tmp_path, filename):
+        with RunLedger(tmp_path / filename) as ledger:
+            sweep_id = ledger.start_sweep(label="tune", total_jobs=2)
+            ledger.record_sweep_job(
+                sweep_id, index=0, kind="RunJob", status="cached",
+                cache_hit=True,
+            )
+            ledger.record_sweep_job(
+                sweep_id, index=1, kind="RunJob", status="started"
+            )
+            ledger.record_sweep_job(
+                sweep_id, index=1, kind="RunJob", status="done",
+                elapsed_wall=0.25,
+            )
+            bench_id = ledger.record_bench_run(_bench_run())
+        with RunLedger(tmp_path / filename) as ledger:
+            assert ledger.sweeps()[0]["total_jobs"] == 2
+            jobs = ledger.sweep_jobs(sweep_id)
+            assert [job["status"] for job in jobs] == [
+                "cached", "started", "done"
+            ]
+            assert jobs[0]["cache_hit"] == 1
+            records = ledger.bench_records(bench_id)
+            assert records[0]["scenario"] == "micro.example"
+            assert ledger.validate() == []
+
+    def test_ids_are_sequential_across_reopens(self, tmp_path, filename):
+        path = tmp_path / filename
+        with RunLedger(path) as ledger:
+            assert ledger.start_sweep(label="a", total_jobs=1) == 0
+        with RunLedger(path) as ledger:
+            assert ledger.start_sweep(label="b", total_jobs=1) == 1
+            assert [row["label"] for row in ledger.sweeps()] == ["a", "b"]
+
+    def test_unknown_sweep_status_is_rejected(self, tmp_path, filename):
+        with RunLedger(tmp_path / filename) as ledger:
+            sweep_id = ledger.start_sweep(label="s", total_jobs=1)
+            with pytest.raises(LedgerError, match="status"):
+                ledger.record_sweep_job(
+                    sweep_id, index=0, kind="J", status="finished"
+                )
+
+
+class TestSchema:
+    def test_schema_version_is_pinned_at_creation(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {
+            "table": "meta",
+            "key": "schema",
+            "value": str(LEDGER_SCHEMA_VERSION),
+        }
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            '{"table": "meta", "key": "schema", "value": "999"}\n'
+        )
+        with pytest.raises(LedgerError, match="schema 999"):
+            RunLedger(path)
+
+    def test_malformed_jsonl_line_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(LedgerError, match="line 1"):
+            RunLedger(path)
+
+    def test_unknown_table_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"table": "nope", "x": 1}\n')
+        with pytest.raises(LedgerError, match="unknown table"):
+            RunLedger(path)
+
+    def test_wall_columns_are_the_only_timestamps(self):
+        # The determinism contract: every nondeterministic column is
+        # named *_wall, so consumers can mask them mechanically.
+        for table, columns in TABLES.items():
+            for column in columns:
+                if column.endswith("_wall"):
+                    assert column in WALL_COLUMNS, (table, column)
+
+
+class TestDeterminism:
+    def test_rows_identical_modulo_wall_columns(
+        self, tmp_path, vgg19_partition
+    ):
+        paths = (tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+        for path in paths:
+            sampler = Sampler(0.5)
+            faults = FaultController(parse_faults("crash:0@1.0"))
+            result = _run(
+                vgg19_partition, sampler=sampler, faults=faults
+            )
+            with RunLedger(path) as ledger:
+                ledger.record_run(
+                    command="run",
+                    kind="fela",
+                    result=result,
+                    config=run_row_from_result(result),
+                    samples=sampler.samples,
+                )
+                sweep_id = ledger.start_sweep(label="s", total_jobs=1)
+                ledger.record_sweep_job(
+                    sweep_id, index=0, kind="RunJob", status="done",
+                    elapsed_wall=0.125,
+                )
+
+        def masked(path):
+            rows = []
+            for line in path.read_text().splitlines():
+                payload = json.loads(line)
+                for column in WALL_COLUMNS:
+                    payload.pop(column, None)
+                rows.append(payload)
+            return rows
+
+        assert masked(paths[0]) == masked(paths[1])
+
+
+class TestValidate:
+    def test_flags_unknown_series_and_bad_references(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).close()
+        with path.open("a") as handle:
+            handle.write(json.dumps({
+                "table": "samples", "run_id": 7, "time": -1.0,
+                "series": "nope", "key": "", "value": 0.0,
+            }) + "\n")
+            handle.write(json.dumps({
+                "table": "sweep_jobs", "sweep_id": 3, "job_index": 0,
+                "job_kind": "J", "status": "started", "cache_hit": 0,
+                "elapsed_wall": 0.0, "created_wall": 0.0,
+            }) + "\n")
+        with RunLedger(path) as ledger:
+            problems = ledger.validate()
+        assert any("unknown run 7" in problem for problem in problems)
+        assert any("unknown sweep 3" in problem for problem in problems)
+
+    def test_flags_invalid_phase_codes(self, tmp_path, vgg19_partition):
+        path = tmp_path / "ledger.jsonl"
+        result = _run(vgg19_partition)
+        with RunLedger(path) as ledger:
+            ledger.record_run(command="run", kind="fela", result=result)
+        with path.open("a") as handle:
+            handle.write(json.dumps({
+                "table": "samples", "run_id": 0, "time": 0.0,
+                "series": "worker.phase", "key": "0", "value": 42.0,
+            }) + "\n")
+        with RunLedger(path) as ledger:
+            problems = ledger.validate()
+        assert any("phase code" in problem for problem in problems)
