@@ -27,6 +27,12 @@ class TokenBucket:
             {} for _ in range(num_workers)
         ]
         self._size = 0
+        #: Workers whose STBs currently hold tokens, maintained on every
+        #: add/remove.  Candidate enumeration (helper election) iterates
+        #: this set, so a token-scheduling round costs O(workers with
+        #: backlog) instead of O(all workers) — the difference between 8
+        #: and 1000 workers.
+        self._nonempty: set[int] = set()
 
     def __len__(self) -> int:
         return self._size
@@ -57,6 +63,33 @@ class TokenBucket:
             raise SchedulingError(f"token {token.tid} added twice")
         stb[token.tid] = token
         self._size += 1
+        self._nonempty.add(token.home_worker)
+
+    def add_many(self, tokens: _t.Iterable[Token]) -> None:
+        """Bulk-insert freshly generated tokens (one mint burst).
+
+        Identical outcome to calling :meth:`add` per token; the loop is
+        just flattened so a begin-of-iteration mint of thousands of
+        tokens pays one call.
+        """
+        stbs = self._stbs
+        num_workers = self.num_workers
+        nonempty = self._nonempty
+        count = 0
+        for token in tokens:
+            home = token.home_worker
+            if not 0 <= home < num_workers:
+                raise SchedulingError(
+                    f"token {token.tid} has home worker {home} outside "
+                    f"the {num_workers}-worker cluster"
+                )
+            stb = stbs[home]
+            if token.tid in stb:
+                raise SchedulingError(f"token {token.tid} added twice")
+            stb[token.tid] = token
+            nonempty.add(home)
+            count += 1
+        self._size += count
 
     def remove(self, token: Token) -> None:
         """Take a token out of the bucket (it is being distributed)."""
@@ -68,12 +101,19 @@ class TokenBucket:
             )
         del stb[token.tid]
         self._size -= 1
+        if not stb:
+            self._nonempty.discard(token.home_worker)
 
     # -- queries -----------------------------------------------------------------
 
     def stb_tokens(self, wid: int) -> list[Token]:
         """Tokens currently in worker ``wid``'s STB."""
         return list(self._stbs[wid].values())
+
+    def stb_view(self, wid: int) -> _t.Iterable[Token]:
+        """Zero-copy view over worker ``wid``'s STB (do not mutate the
+        bucket while iterating it)."""
+        return self._stbs[wid].values()
 
     def stb_size(self, wid: int) -> int:
         return len(self._stbs[wid])
@@ -83,9 +123,11 @@ class TokenBucket:
         return [token for stb in self._stbs for token in stb.values()]
 
     def nonempty_stbs(self, exclude: int | None = None) -> list[int]:
-        """Workers whose STBs still hold tokens."""
-        return [
-            wid
-            for wid, stb in enumerate(self._stbs)
-            if stb and wid != exclude
-        ]
+        """Workers whose STBs still hold tokens (ascending wid).
+
+        Served from the incrementally maintained index: O(workers with
+        tokens · log), independent of the cluster size.
+        """
+        if exclude is None:
+            return sorted(self._nonempty)
+        return sorted(wid for wid in self._nonempty if wid != exclude)

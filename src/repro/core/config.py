@@ -57,6 +57,13 @@ class FelaConfig:
     #: Synchronization mode and SSP staleness bound.
     sync_mode: str = SyncMode.BSP
     staleness: int = 0
+    #: Gradient-sync collective: ``"ring"`` (one flat ring over all
+    #: participants) or ``"hierarchical"`` (two-level, √k-sized groups —
+    #: the BML/HiPS-style scheme of the paper's refs [4], [5]).  At
+    #: hundreds-to-thousands of workers the flat ring's 2(k-1) rounds
+    #: dominate; the hierarchical scheme trades them for two smaller
+    #: rings plus a broadcast.
+    collective: str = "ring"
     iterations: int = 100
     #: TS request service time, seconds (the paper: "at most hundreds of
     #: bytes during each transfer", so latency-dominated).
@@ -101,6 +108,11 @@ class FelaConfig:
             )
         if self.sync_mode not in (SyncMode.BSP, SyncMode.SSP, SyncMode.ASP):
             raise ConfigurationError(f"unknown sync mode {self.sync_mode!r}")
+        if self.collective not in ("ring", "hierarchical"):
+            raise ConfigurationError(
+                f"unknown collective {self.collective!r} "
+                "(expected 'ring' or 'hierarchical')"
+            )
         if self.sync_mode == SyncMode.SSP and self.staleness < 1:
             raise ConfigurationError("SSP needs staleness >= 1")
         if self.iterations < 1:

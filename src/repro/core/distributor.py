@@ -131,7 +131,7 @@ class TokenDistributor:
         # will encounter fetching failure" (Section III-E).
         contended = self._in_flight_requests > 1
         if self.config.hf_enabled:
-            own = self._takeable(wid, bucket.stb_tokens(wid))
+            own = self._takeable(wid, bucket.stb_view(wid))
             if own:
                 self._stop_helping(wid)
                 token = self._rank_and_pick(wid, own, info)
@@ -201,22 +201,23 @@ class TokenDistributor:
         """
         current = self._helping.get(wid)
         if current is not None:
-            pool = self._takeable(wid, bucket.stb_tokens(current))
+            pool = self._takeable(wid, bucket.stb_view(current))
             if pool:
                 return pool
             self._stop_helping(wid)
 
         candidates = []
         for straggler in bucket.nonempty_stbs(exclude=wid):
-            pool = self._takeable(wid, bucket.stb_tokens(straggler))
+            pool = self._takeable(wid, bucket.stb_view(straggler))
             if pool:
                 helpers = len(self._helpers.get(straggler, ()))
                 backlog = bucket.stb_size(straggler)
                 candidates.append((helpers, -backlog, straggler, pool))
         if not candidates:
             return []
-        candidates.sort(key=lambda item: item[:3])
-        _, _, straggler, pool = candidates[0]
+        # Stragglers are unique per candidate, so the lexicographic
+        # minimum equals the old sort()[0] without the O(n log n) sort.
+        _, _, straggler, pool = min(candidates, key=lambda item: item[:3])
         self._helping[wid] = straggler
         self._helpers.setdefault(straggler, set()).add(wid)
         return pool

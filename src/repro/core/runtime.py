@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.core.collectives import ring_allreduce
+from repro.core.collectives import hierarchical_allreduce, ring_allreduce
 from repro.core.config import FelaConfig, SyncMode
 from repro.core.server import TokenServer
 from repro.core.worker import Worker
@@ -337,13 +337,31 @@ class FelaRuntime:
             self.invariants.on_sync_start(iteration, level, participants)
             ledger = self.invariants.ledger
         start = self.cluster.env.now
-        yield from ring_allreduce(
-            self.cluster,
-            participants,
-            submodel.param_bytes,
-            ledger=ledger,
-            context=(iteration, level),
-        )
+        if (
+            self.config.collective == "hierarchical"
+            and ledger is None
+            and len(participants) > 3
+        ):
+            # √k-sized groups over the (sorted) participant list.  The
+            # gradient ledger only instruments the flat ring, so checked
+            # runs keep the ring path.
+            k = len(participants)
+            group_size = max(2, int(k**0.5))
+            groups = [
+                participants[i : i + group_size]
+                for i in range(0, k, group_size)
+            ]
+            yield from hierarchical_allreduce(
+                self.cluster, groups, submodel.param_bytes
+            )
+        else:
+            yield from ring_allreduce(
+                self.cluster,
+                participants,
+                submodel.param_bytes,
+                ledger=ledger,
+                context=(iteration, level),
+            )
         env = self.cluster.env
         k = len(participants)
         wire = (

@@ -148,24 +148,31 @@ class TokenServer:
             )
         self.current_iteration = iteration
         self._assigned[iteration] = [0] * self.config.levels
-        self.tokens_by_worker_per_iteration[iteration] = {
-            wid: 0 for wid in range(self.worker_slots)
-        }
+        # Lazily populated (``wid -> count``): consumers read through
+        # ``.get(wid, 0)``, so opening an iteration is O(1) instead of
+        # O(worker_slots).
+        self.tokens_by_worker_per_iteration[iteration] = {}
         for level in range(self.config.levels):
             self._level_done[(iteration, level)] = self.env.event()
         self.distributor.reset_iteration()
         tracer = self.env.tracer
-        for token in self.generator.start_iteration(iteration):
-            self._token_index.setdefault((iteration, 0), []).append(
-                token.tid
-            )
-            if tracer.enabled:
-                tracer.token_minted(token)
-            self.bucket.add(token)
-            if tracer.enabled:
-                tracer.token_buffered(token)
-            if self.invariants is not None:
-                self.invariants.on_minted(token)
+        minted = self.generator.start_iteration(iteration)
+        index = self._token_index.setdefault((iteration, 0), [])
+        if tracer.enabled or self.invariants is not None:
+            for token in minted:
+                index.append(token.tid)
+                if tracer.enabled:
+                    tracer.token_minted(token)
+                self.bucket.add(token)
+                if tracer.enabled:
+                    tracer.token_buffered(token)
+                if self.invariants is not None:
+                    self.invariants.on_minted(token)
+        else:
+            # Untraced, unchecked fast path: one bulk insert for the
+            # whole mint burst.
+            index.extend(token.tid for token in minted)
+            self.bucket.add_many(minted)
         if self.invariants is not None:
             self.invariants.verify_conservation(self)
         self._broadcast()
@@ -259,7 +266,7 @@ class TokenServer:
                     token.iteration
                 )
                 if per_iteration is not None:
-                    per_iteration[wid] += 1
+                    per_iteration[wid] = per_iteration.get(wid, 0) + 1
                 self._broadcast()
                 contended = selection.contended and not selection.from_own_stb
                 if contended:
@@ -346,8 +353,8 @@ class TokenServer:
         self._tokens_assigned.append(
             self.metrics.counter("ts.tokens_assigned", worker=wid)
         )
-        for counts in self.tokens_by_worker_per_iteration.values():
-            counts.setdefault(wid, 0)
+        # Per-iteration attribution dicts are lazy; the new worker's
+        # entries appear on its first assignment.
         return wid
 
     def is_revoked(self, tid: int) -> bool:

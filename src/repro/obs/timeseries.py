@@ -30,6 +30,7 @@ one quiet stretch all record the same (correct, unchanged) state.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as _t
 
 from repro.errors import ObservabilityError
@@ -165,8 +166,12 @@ class Sampler(NullSampler):
     def attach_runtime(self, runtime: "FelaRuntime") -> None:
         """Observe ``runtime``: register the read-only step monitor.
 
-        Called once from ``FelaRuntime.__init__``; the tick at t=0
-        records the initial (all-idle, full-buffer-empty) state.
+        Called once from ``FelaRuntime.__init__``.  Ticks land on
+        ``k * interval`` boundaries of *absolute* simulation time, also
+        for environments constructed with a positive ``initial_time``:
+        if the attach instant is itself a boundary (t=0 always is), it
+        records the initial state; otherwise the first sample lands on
+        the next boundary, never at the off-grid attach time.
         """
         if self._runtime is not None:
             raise ObservabilityError(
@@ -174,9 +179,17 @@ class Sampler(NullSampler):
             )
         self._runtime = runtime
         env = runtime.cluster.env
-        self._next = env.now
-        self._tick(env.now)
-        self._next = env.now + self.interval
+        now = env.now
+        interval = self.interval
+        k = math.ceil(now / interval)
+        boundary = k * interval
+        while boundary < now:  # guard against float dust in the ceil
+            k += 1
+            boundary = k * interval
+        if boundary == now:
+            self._tick(now)
+            boundary += interval
+        self._next = boundary
         env.attach_monitor(self._on_step)
 
     def _on_step(self, now: float, _event: _t.Any) -> None:

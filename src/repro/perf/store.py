@@ -214,8 +214,18 @@ def render_history(
 
     history = scenario_history(runs, scenario)
     walls = [wall for _, wall in history]
+    if not walls:  # scenario_history raises first; keep the gate local too
+        raise BenchmarkError(
+            f"no recorded runs measure scenario {scenario!r}"
+        )
     ordered = sorted(walls)
-    median = ordered[len(ordered) // 2]
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        # True median: even-length histories average the two middles
+        # (indexing [len // 2] alone reports the upper one).
+        median = (ordered[mid - 1] + ordered[mid]) / 2.0
     from repro.harness import render_table
 
     trend = render_table(

@@ -1,17 +1,22 @@
 """The discrete-event simulation environment (event loop).
 
-The environment keeps a priority queue of ``(time, priority, sequence,
-event)`` entries.  Ties at equal time and priority are broken by insertion
-order, which makes every simulation in this package fully deterministic.
+The environment orders events by ``(time, priority, sequence)``.  Ties at
+equal time and priority are broken by insertion order, which makes every
+simulation in this package fully deterministic.  Storage is a
+:class:`~repro.sim.calendar.CalendarQueue`: delay-zero events ride O(1)
+FIFO lanes, positive delays go through a binary heap — the pop order is
+identical to the single global heap this environment used to keep.
 """
 
 from __future__ import annotations
 
 import typing as _t
+from functools import partial as _partial
 from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import (
     NORMAL,
     PENDING,
@@ -45,9 +50,25 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: CalendarQueue = CalendarQueue()
+        #: Aliases to the calendar queue's three structures.  The queue
+        #: never replaces them, so hot paths (Timeout, succeed, resume)
+        #: save one attribute hop per insert by going through these.
+        self._urgent = self._queue.urgent
+        self._normal = self._queue.normal
+        self._future = self._queue.future
         self._eid: int = 0
         self._active_proc: Process | None = None
+        # Per-instance C-level constructors shadowing the factory
+        # methods below: ``env.timeout(...)`` resolves to a
+        # ``functools.partial`` and skips one Python frame per call —
+        # measurable, because timeouts dominate every workload.  The
+        # class-level methods remain as the documented interface.
+        self.timeout = _partial(Timeout, self)
+        self.event = _partial(Event, self)
+        self.process = _partial(Process, self)
+        self.all_of = _partial(AllOf, self)
+        self.any_of = _partial(AnyOf, self)
         #: Step monitors (e.g. the invariant checker's clock-monotonicity
         #: probe); called as ``monitor(now, event)`` after each pop.
         self._monitors: list[_t.Callable[[float, Event], None]] = []
@@ -120,14 +141,18 @@ class Environment:
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
         """Queue ``event`` to be processed after ``delay`` time units."""
-        heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
-        self._eid += 1
+        eid = self._eid
+        self._eid = eid + 1
+        if delay == 0.0:
+            self._queue.push((self._now, priority, eid, event), True)
+        else:
+            heappush(
+                self._queue.future, (self._now + delay, priority, eid, event)
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else Infinity
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -135,7 +160,7 @@ class Environment:
         Raises :class:`EmptySchedule` when no events remain.
         """
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, _, _, event = self._queue.pop()
         except IndexError:
             raise EmptySchedule() from None
 
@@ -189,12 +214,41 @@ class Environment:
         # cycle avoids one method call, one try/except, and repeated
         # attribute loads per event.  Semantics — pop order, monitor
         # hooks, callback handling, failed-event re-raise — are identical
-        # to :meth:`step`.
+        # to :meth:`step`.  The three-way head compare below is
+        # ``CalendarQueue.pop`` unrolled: each lane is internally sorted,
+        # so the smallest of the three heads is the global minimum, and
+        # when both lanes are empty the only cost over a bare heap is two
+        # truthiness checks.
         queue = self._queue
+        urgent = queue.urgent
+        normal = queue.normal
+        future = queue.future
+        pop_urgent = urgent.popleft
+        pop_normal = normal.popleft
         monitors = self._monitors
         try:
-            while queue:
-                self._now, _, _, event = heappop(queue)
+            while True:
+                if urgent:
+                    entry = urgent[0]
+                    if normal and normal[0] < entry:
+                        if future and future[0] < normal[0]:
+                            entry = heappop(future)
+                        else:
+                            entry = pop_normal()
+                    elif future and future[0] < entry:
+                        entry = heappop(future)
+                    else:
+                        entry = pop_urgent()
+                elif normal:
+                    if future and future[0] < normal[0]:
+                        entry = heappop(future)
+                    else:
+                        entry = pop_normal()
+                elif future:
+                    entry = heappop(future)
+                else:
+                    break
+                self._now, _, _, event = entry
 
                 if monitors:
                     now = self._now

@@ -18,6 +18,7 @@ from repro.sim.events import (
     Initialize,
     Interrupt,
     Interruption,
+    Timeout,
 )
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -35,7 +36,7 @@ class Process(Event):
     yielding the other process.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -45,6 +46,10 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
+        #: One bound method reused for every subscription this process
+        #: ever makes (binding ``self._resume`` afresh per wait is pure
+        #: allocator churn on the hottest path).
+        self._resume_cb = self._resume
         #: The event this process currently waits on (``None`` while active).
         self._target: Event | None = Initialize(env, self)
 
@@ -76,22 +81,35 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the outcome of ``event``."""
-        self.env._active_proc = self
+        """Advance the generator with the outcome of ``event``.
+
+        This is the hottest frame in every simulation (it runs once per
+        process wake-up), so the generator, environment, and resume
+        callback are cached in locals, and process termination appends
+        straight to the calendar queue's URGENT lane — the same entry
+        ``env.schedule(self, priority=URGENT)`` would push, minus the
+        call overhead.
+        """
+        env = self.env
+        generator = self._generator
+        env._active_proc = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The exception is now being handed to the process; the
                     # process becomes responsible for it.
-                    event.defused()
-                    exc = _t.cast(BaseException, event._value)
-                    next_event = self._generator.throw(exc)
+                    event._defused = True
+                    next_event = generator.throw(
+                        _t.cast(BaseException, event._value)
+                    )
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env.schedule(self, priority=URGENT)
+                eid = env._eid
+                env._eid = eid + 1
+                env._queue.urgent.append((env._now, URGENT, eid, self))
                 break
             except BaseException as exc:
                 self._ok = False
@@ -99,30 +117,38 @@ class Process(Event):
                 # Attach a hint about which process died for debuggability.
                 if not getattr(exc, "__repro_process__", None):
                     exc.__repro_process__ = self.name  # type: ignore[attr-defined]
-                self.env.schedule(self, priority=URGENT)
+                eid = env._eid
+                env._eid = eid + 1
+                env._queue.urgent.append((env._now, URGENT, eid, self))
                 break
 
-            if not isinstance(next_event, Event):
+            # ``__class__ is Event/Timeout`` catches the overwhelmingly
+            # common yields without the full isinstance scan.
+            cls = next_event.__class__
+            if cls is not Event and cls is not Timeout and not isinstance(
+                next_event, Event
+            ):
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 try:
-                    self._generator.throw(error)
+                    generator.throw(error)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
-                    self.env.schedule(self, priority=URGENT)
+                    env.schedule(self, priority=URGENT)
                     break
                 except BaseException as exc:
                     self._ok = False
                     self._value = exc
-                    self.env.schedule(self, priority=URGENT)
+                    env.schedule(self, priority=URGENT)
                     break
                 continue
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # The event has not been processed yet: subscribe and pause.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_event
                 break
 
@@ -130,4 +156,4 @@ class Process(Event):
             event = next_event
 
         self._target = None if self._value is not PENDING else self._target
-        self.env._active_proc = None
+        env._active_proc = None

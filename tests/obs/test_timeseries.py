@@ -217,3 +217,117 @@ class TestSampleContent:
             vgg19_partition, straggler=RoundRobinStraggler(1.0)
         )
         assert first.samples == second.samples
+
+
+# -- tick-grid alignment ------------------------------------------------------
+
+
+class _FakeWorker:
+    wid = 0
+    tokens_trained = 0
+    crashed = False
+    phase = "idle"
+
+
+class _FakeBucket:
+    @staticmethod
+    def all_tokens():
+        return []
+
+
+class _FakeServer:
+    bucket = _FakeBucket()
+
+
+class _FakeFabric:
+    active_flows = ()
+    link_bandwidth = 1.0
+    num_nodes = 1
+
+
+class _FakeCluster:
+    def __init__(self, env):
+        self.env = env
+        self.fabric = _FakeFabric()
+
+
+class _FakeConfig:
+    levels = 1
+    num_workers = 1
+
+
+class _FakeRuntime:
+    """Just enough runtime surface for ``Sampler._tick`` to snapshot."""
+
+    def __init__(self, env):
+        self.cluster = _FakeCluster(env)
+        self.workers = [_FakeWorker()]
+        self.server = _FakeServer()
+        self.config = _FakeConfig()
+        self.faults = None
+        self._sync_done = {}
+
+
+def _ticks(sampler):
+    return sorted({sample.time for sample in sampler.samples})
+
+
+class TestTickGridAlignment:
+    """Ticks land on k * interval regardless of the env's initial time."""
+
+    def test_attach_at_zero_records_the_t0_tick(self):
+        from repro.sim import Environment
+
+        sampler = Sampler(interval=1.0)
+        sampler.attach_runtime(_FakeRuntime(Environment()))
+        assert _ticks(sampler) == [0.0]
+
+    def test_offgrid_initial_time_waits_for_the_next_boundary(self):
+        from repro.sim import Environment
+
+        sampler = Sampler(interval=1.0)
+        sampler.attach_runtime(
+            _FakeRuntime(Environment(initial_time=2.5))
+        )
+        # No off-grid sample at 2.5; the first tick is the 3.0 boundary.
+        assert sampler.samples == ()
+        sampler._on_step(3.2, None)
+        assert _ticks(sampler) == [3.0]
+        sampler.finish(5.0)
+        assert _ticks(sampler) == [3.0, 4.0, 5.0]
+
+    def test_boundary_initial_time_records_once(self):
+        from repro.sim import Environment
+
+        sampler = Sampler(interval=1.0)
+        sampler.attach_runtime(
+            _FakeRuntime(Environment(initial_time=2.0))
+        )
+        assert _ticks(sampler) == [2.0]
+        # A same-time event pop must not record the 2.0 boundary again.
+        sampler._on_step(2.0, None)
+        assert _ticks(sampler) == [2.0]
+        sampler.finish(2.0)
+        assert _ticks(sampler) == [2.0]
+
+    def test_run_ending_exactly_on_a_tick_records_it_once(self):
+        from repro.sim import Environment
+
+        sampler = Sampler(interval=1.0)
+        sampler.attach_runtime(_FakeRuntime(Environment()))
+        sampler._on_step(1.0, None)  # event pops exactly on the tick
+        assert _ticks(sampler) == [0.0, 1.0]
+        sampler.finish(1.0)  # run ends on the same tick
+        assert _ticks(sampler) == [0.0, 1.0]
+        assert len(
+            [s for s in sampler.samples if s.time == 1.0]
+        ) == len([s for s in sampler.samples if s.time == 0.0])
+
+    def test_finish_flushes_a_trailing_boundary_once(self):
+        from repro.sim import Environment
+
+        sampler = Sampler(interval=1.0)
+        sampler.attach_runtime(_FakeRuntime(Environment()))
+        sampler._on_step(0.4, None)  # last event before the run ends
+        sampler.finish(1.0)
+        assert _ticks(sampler) == [0.0, 1.0]

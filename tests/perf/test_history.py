@@ -7,6 +7,7 @@ from repro.perf import (
     append_run,
     load_store,
     render_history,
+    save_store,
     scenario_history,
 )
 
@@ -71,3 +72,42 @@ class TestRenderHistory:
              "--compare", str(tmp_path / "none.json")]
         ) == 2
         assert "no benchmark baseline" in capsys.readouterr().err
+
+    def test_even_length_history_averages_the_middles(self, store):
+        # Sorted walls 0.2 / 0.3 / 0.4 / 0.8: the median must be the
+        # mean of the two middles (0.35), not the upper one (0.4).
+        append_run(store, _record(_bench_run("v3"), 0.8))
+        text = render_history(load_store(store), "micro.example")
+        assert "median 0.3500s" in text
+
+    def test_odd_length_history_keeps_exact_middle(self, store):
+        text = render_history(load_store(store), "micro.example")
+        assert "median 0.3000s" in text
+
+    def test_cli_unknown_scenario_is_a_clean_error(self, store, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["bench", "--history", "micro.nope",
+             "--compare", str(store)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "no recorded runs measure scenario 'micro.nope'" in err
+        assert "Traceback" not in err
+
+    def test_cli_empty_store_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.json"
+        save_store(path, [])
+        assert main(
+            ["bench", "--history", "micro.example",
+             "--compare", str(path)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "no recorded runs measure" in err
+        assert "Traceback" not in err
+
+    def test_render_history_empty_walls_raises_cleanly(self):
+        with pytest.raises(BenchmarkError, match="no recorded runs"):
+            render_history([], "micro.example")
