@@ -34,8 +34,15 @@ Commands map onto the library's public API:
 ``dashboard LEDGER [--out FILE]``
     Render a run ledger (see :mod:`repro.store`) as a plain-text or
     self-contained HTML dashboard: per-run utilization heatmaps,
-    throughput/buffer curves with fault markers, sweep progress, and
-    bench trends.
+    throughput/buffer curves with fault markers, sweep progress, bench
+    trends, and cluster-run Gantt/utilization/JCT sections.
+``cluster {run,compare} [--trace-kind K --jobs N --seed S --pool P]``
+    The multi-tenant cluster service (see :mod:`repro.cluster`): play a
+    seeded arrival trace of training jobs onto a shared GPU pool under
+    a FIFO / fair-share / throughput-elastic scheduler (``run``), or
+    report JCT/makespan/utilization across several schedulers on the
+    same trace (``compare``).  ``--ledger`` lands ``cluster_runs`` and
+    ``cluster_jobs`` rows.
 
 Observability flags shared by several commands: ``--sample SECONDS``
 attaches the gauge sampler, ``--ledger FILE`` lands runs / sweep
@@ -580,9 +587,139 @@ def _cmd_dashboard(args: argparse.Namespace) -> str:
         return (
             f"wrote dashboard for {len(data['runs'])} runs, "
             f"{len(data['sweeps'])} sweeps, "
-            f"{len(data['bench'])} bench scenarios to {args.out}"
+            f"{len(data['bench'])} bench scenarios, "
+            f"{len(data['cluster'])} cluster runs to {args.out}"
         )
     return render_text_dashboard(data)
+
+
+def _cluster_trace_spec(args: argparse.Namespace) -> _t.Any:
+    from repro.cluster import DEFAULT_MODELS, TraceSpec
+
+    models = (
+        tuple(name.strip() for name in args.models.split(",") if name.strip())
+        if args.models
+        else DEFAULT_MODELS
+    )
+    return TraceSpec(
+        kind=args.trace_kind,
+        num_jobs=args.jobs,
+        seed=args.seed,
+        mean_interarrival=args.mean_interarrival,
+        models=models,
+    )
+
+
+def _cluster_summary_rows(results: _t.Sequence[_t.Any]) -> list[list]:
+    rows = []
+    for result in results:
+        rows.append([
+            result.scheduler_display,
+            f"{result.makespan:.1f}",
+            f"{result.mean_jct:.2f}",
+            f"{result.p50_jct:.2f}",
+            f"{result.p99_jct:.2f}",
+            f"{result.mean_queue_delay:.2f}",
+            f"{100 * result.mean_utilization:.1f}%",
+            result.total_resizes,
+            f"{result.lost_compute_seconds:.2f}",
+        ])
+    return rows
+
+
+_CLUSTER_SUMMARY_HEADER = [
+    "Scheduler", "Makespan", "Mean JCT", "p50 JCT", "p99 JCT",
+    "Mean queue", "Util", "Resizes", "Lost compute",
+]
+
+
+def _cmd_cluster(args: argparse.Namespace) -> str:
+    from repro.cluster import ClusterSimulator, generate_trace
+
+    spec = _cluster_trace_spec(args)
+    trace = generate_trace(spec)
+    trace_desc = (
+        f"{spec.kind}/jobs={spec.num_jobs}/seed={spec.seed}"
+    )
+
+    def simulate(scheduler: str) -> _t.Any:
+        return ClusterSimulator(
+            trace,
+            scheduler,
+            pool_size=args.pool,
+            crash_probability=args.crash_probability,
+            crash_seed=args.crash_seed,
+        ).run()
+
+    schedulers = (
+        [args.scheduler]
+        if args.cluster_command == "run"
+        else [
+            name.strip()
+            for name in args.schedulers.split(",")
+            if name.strip()
+        ]
+    )
+    results = [simulate(name) for name in schedulers]
+    lines = []
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        with ledger:
+            for result in results:
+                run_id = ledger.record_cluster_run(
+                    result,
+                    label=args.label or trace_desc,
+                    trace=trace_desc,
+                )
+                lines.append(
+                    f"recorded cluster run {run_id} "
+                    f"({result.scheduler}) in {args.ledger}"
+                )
+    if getattr(args, "trace_out", None):
+        from repro.obs import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out, results[0].events)
+        lines.append(
+            f"wrote {count} job lifecycle events to {args.trace_out}"
+        )
+    title = (
+        f"Cluster trace {trace_desc} on {args.pool} GPUs"
+        + (
+            f", crash p={args.crash_probability}"
+            if args.crash_probability
+            else ""
+        )
+    )
+    lines.append(render_table(
+        _CLUSTER_SUMMARY_HEADER,
+        _cluster_summary_rows(results),
+        title=title,
+    ))
+    if args.cluster_command == "run" and args.per_job:
+        job_rows = [
+            [
+                job["job_id"], job["model"], job["iterations"],
+                f"{job['submit_time']:.1f}", f"{job['start_time']:.1f}",
+                f"{job['finish_time']:.1f}", f"{job['jct']:.2f}",
+                f"{job['queue_delay']:.2f}",
+                f"{job['initial_workers']}->{job['final_workers']}",
+                job["resize_count"],
+            ]
+            for job in results[0].jobs
+        ]
+        lines.append(render_table(
+            ["Job", "Model", "Iters", "Submit", "Start", "Finish",
+             "JCT", "Queue", "Workers", "Resizes"],
+            job_rows,
+            title="Per-job accounting",
+        ))
+    if args.cluster_command == "compare" and len(results) > 1:
+        best = min(results, key=lambda r: r.mean_jct)
+        lines.append(
+            f"best mean JCT: {best.scheduler_display} "
+            f"({best.mean_jct:.2f}s)"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
@@ -836,6 +973,86 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: print the plain-text dashboard)",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-tenant cluster service: job streams on a shared "
+        "GPU pool",
+    )
+    cluster_sub = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--trace-kind", default="poisson",
+            choices=("poisson", "diurnal", "bursty"),
+            help="arrival process of the job stream",
+        )
+        parser.add_argument(
+            "--jobs", type=int, default=20,
+            help="number of jobs in the trace",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=0, help="trace seed"
+        )
+        parser.add_argument(
+            "--mean-interarrival", type=float, default=30.0,
+            metavar="SECONDS",
+            help="mean simulated seconds between arrivals",
+        )
+        parser.add_argument(
+            "--models", default=None, metavar="A,B,...",
+            help="comma-separated model mix (default: the zoo minus "
+            "resnet152 and lenet5)",
+        )
+        parser.add_argument(
+            "--pool", type=int, default=16,
+            help="GPUs in the shared pool",
+        )
+        parser.add_argument(
+            "--crash-probability", type=float, default=0.0,
+            metavar="P",
+            help="per-worker per-iteration crash probability",
+        )
+        parser.add_argument(
+            "--crash-seed", type=int, default=0,
+            help="seed for crash injection (independent of the trace)",
+        )
+        parser.add_argument(
+            "--ledger", default=None, metavar="FILE",
+            help="record cluster_runs/cluster_jobs rows in a run ledger",
+        )
+        parser.add_argument(
+            "--label", default="", help="ledger label for this run"
+        )
+
+    cluster_run = cluster_sub.add_parser(
+        "run", help="run one trace under one scheduler"
+    )
+    _add_cluster_flags(cluster_run)
+    cluster_run.add_argument(
+        "--scheduler", default="elastic",
+        choices=("fifo", "fair", "elastic"),
+        help="allocation policy",
+    )
+    cluster_run.add_argument(
+        "--per-job", action="store_true",
+        help="also print the per-job accounting table",
+    )
+    cluster_run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write job lifecycle events as a Chrome trace",
+    )
+
+    cluster_compare = cluster_sub.add_parser(
+        "compare", help="run one trace under several schedulers"
+    )
+    _add_cluster_flags(cluster_compare)
+    cluster_compare.add_argument(
+        "--schedulers", default="fifo,fair,elastic", metavar="A,B,...",
+        help="comma-separated schedulers to compare",
+    )
+
     return parser
 
 
@@ -856,6 +1073,7 @@ _COMMANDS: dict[
     "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "dashboard": _cmd_dashboard,
+    "cluster": _cmd_cluster,
 }
 
 

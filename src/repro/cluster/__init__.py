@@ -1,0 +1,58 @@
+"""``repro.cluster`` — the multi-tenant elastic cluster service.
+
+Turns the single-job runtime into a shared service: seeded arrival
+traces (:mod:`~repro.cluster.traces`) submit a stream of training jobs
+to a :class:`~repro.cluster.simulator.ClusterSimulator` that owns one
+GPU pool (:mod:`~repro.cluster.pool`) and one virtual clock, admits and
+resizes jobs per a pluggable scheduler policy
+(:mod:`~repro.cluster.schedulers`), and drives every resize through the
+fault layer's membership machinery via per-job
+:class:`~repro.cluster.director.ElasticDirector` instances.  See
+``docs/cluster.md``.
+"""
+
+from repro.cluster.director import ElasticDirector
+from repro.cluster.pool import GpuPool
+from repro.cluster.schedulers import (
+    SCHEDULER_NAMES,
+    CostProfile,
+    FairShareScheduler,
+    FifoScheduler,
+    Scheduler,
+    ThroughputElasticScheduler,
+    get_scheduler,
+)
+from repro.cluster.simulator import (
+    ClusterResult,
+    ClusterSimulator,
+    JobState,
+)
+from repro.cluster.traces import (
+    DEFAULT_MODELS,
+    TRACE_KINDS,
+    JobSpec,
+    TraceSpec,
+    generate_trace,
+    trace_json,
+)
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "TRACE_KINDS",
+    "DEFAULT_MODELS",
+    "ClusterResult",
+    "ClusterSimulator",
+    "CostProfile",
+    "ElasticDirector",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "GpuPool",
+    "JobSpec",
+    "JobState",
+    "Scheduler",
+    "ThroughputElasticScheduler",
+    "TraceSpec",
+    "generate_trace",
+    "get_scheduler",
+    "trace_json",
+]

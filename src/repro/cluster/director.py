@@ -1,0 +1,134 @@
+"""Per-job elasticity director: scheduler targets → membership changes.
+
+:class:`ElasticDirector` subclasses the PR 3
+:class:`~repro.faults.controller.FaultController` and adds **no new
+elasticity mechanism**: growing is queueing pending joins for
+``provision_worker`` to realize at the next iteration boundary, and
+shrinking is the controller's own graceful drain (``_do_leave``), where
+a worker finishes its current token before departing.  What the
+director adds is *direction*: at every iteration boundary it compares
+the job's live worker count against the cluster scheduler's current
+target and books the difference, and it reports every worker it gains
+or loses back to the simulator so the shared GPU pool stays exact.
+
+One director per job; the simulator is the single ``control`` they all
+talk to.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.faults.controller import FaultController
+from repro.faults.injector import FaultInjector, NoFaults
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    pass
+
+
+class DirectorControl(_t.Protocol):
+    """What a director needs from the cluster simulator."""
+
+    def target_workers(self, job_id: int) -> int:
+        """The scheduler's current worker target for one job."""
+
+    def grant_gpus(self, job_id: int, want: int) -> int:
+        """Try to take ``want`` GPUs from the pool; returns the grant."""
+
+    def ungrant_gpus(self, job_id: int, count: int) -> None:
+        """Return GPUs whose pending joins were cancelled before use."""
+
+    def worker_released(self, job_id: int, reason: str) -> None:
+        """One worker's GPU went back to the pool (drain or failure)."""
+
+
+class ElasticDirector(FaultController):
+    """Fault controller that also follows cluster scheduler targets.
+
+    The default injector is :class:`~repro.faults.injector.NoFaults`;
+    passing a real one (the simulator does, when crash injection is on)
+    composes cluster-driven elasticity with fault recovery on the same
+    membership state machine.
+    """
+
+    def __init__(
+        self,
+        control: DirectorControl,
+        job_id: int,
+        injector: FaultInjector | None = None,
+        lease_timeout: float = 1.0,
+    ) -> None:
+        super().__init__(
+            injector if injector is not None else NoFaults(),
+            lease_timeout=lease_timeout,
+        )
+        self._control = control
+        self.job_id = job_id
+
+    # -- boundary hook --------------------------------------------------------
+
+    def iteration_started(self, iteration: int) -> None:
+        # Book grows/shrinks *before* the base class drains pending
+        # joins, so a grow granted here becomes live workers at this
+        # very boundary rather than the next one.
+        self._apply_target()
+        super().iteration_started(iteration)
+
+    def _apply_target(self) -> None:
+        assert self.runtime is not None and self.membership is not None
+        target = self._control.target_workers(self.job_id)
+        live = [
+            wid
+            for wid in self.membership.active_workers()
+            if wid not in self._crashed
+        ]
+        current = len(live) + self._pending_joins
+        if target > current:
+            self._grow(target - current)
+        elif target < current:
+            self._shrink(current - target, live)
+
+    def _grow(self, want: int) -> None:
+        assert self.runtime is not None
+        runtime = self.runtime
+        # Joins consume fresh node ids (a drained wid never comes back),
+        # so growth is additionally capped by the job cluster's node
+        # headroom; running out degrades to "stay at current size".
+        headroom = runtime.cluster.num_nodes - (
+            runtime.server.worker_slots + self._pending_joins
+        )
+        want = min(want, headroom)
+        if want <= 0:
+            return
+        granted = self._control.grant_gpus(self.job_id, want)
+        self._pending_joins += granted
+
+    def _shrink(self, excess: int, live: list[int]) -> None:
+        # Cancel not-yet-provisioned joins first: they cost nothing.
+        if self._pending_joins > 0 and excess > 0:
+            cancel = min(self._pending_joins, excess)
+            self._pending_joins -= cancel
+            excess -= cancel
+            self._control.ungrant_gpus(self.job_id, cancel)
+        assert self.membership is not None
+        # Drain newest workers first (highest wid): they hold the least
+        # cached state and it keeps wid churn at the membership's tail.
+        for wid in sorted(live, reverse=True):
+            if excess <= 0:
+                break
+            self._do_leave(wid)
+            if self.membership.is_draining(wid):
+                excess -= 1
+
+    # -- departure accounting -------------------------------------------------
+
+    def worker_departed(self, wid: int) -> None:
+        super().worker_departed(wid)
+        self._control.worker_released(self.job_id, "drain")
+
+    def _handle_failure(self, wid: int) -> None:
+        super()._handle_failure(wid)
+        # The dead worker's GPU (node) returns to the pool; if the
+        # scheduler still targets the old size, the next boundary grows
+        # a replacement out of the pool through the normal join path.
+        self._control.worker_released(self.job_id, "failure")

@@ -1,0 +1,80 @@
+"""The shared GPU pool: allocation bookkeeping and utilization accounting.
+
+The pool never talks to the simulation queue — it is pure accounting.
+Allocation decisions live in the schedulers; the simulator calls
+:meth:`GpuPool.allocate` / :meth:`GpuPool.release` at the instants jobs
+acquire or free GPUs, and the pool integrates GPU-seconds between those
+instants so mean utilization falls out exactly, not from sampling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class GpuPool:
+    """Counting semaphore over ``size`` identical GPUs, with a timeline.
+
+    ``timeline`` records every change as ``(time, gpus_in_use)``
+    breakpoints — a right-continuous step function the dashboard renders
+    directly and :meth:`mean_utilization` integrates.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"pool needs at least one GPU: {size}")
+        self.size = size
+        self.used = 0
+        self.timeline: list[tuple[float, int]] = [(0.0, 0)]
+        self._gpu_seconds = 0.0
+        self._last_time = 0.0
+
+    @property
+    def free(self) -> int:
+        return self.size - self.used
+
+    def allocate(self, count: int, now: float) -> None:
+        """Take ``count`` GPUs out of the free pool at time ``now``."""
+        if count < 0:
+            raise ConfigurationError(f"cannot allocate {count} GPUs")
+        if count > self.free:
+            raise CapacityError(
+                f"pool has {self.free} free GPUs, not {count}"
+            )
+        if count:
+            self._advance(now)
+            self.used += count
+            self._mark(now)
+
+    def release(self, count: int, now: float) -> None:
+        """Return ``count`` GPUs to the free pool at time ``now``."""
+        if count < 0:
+            raise ConfigurationError(f"cannot release {count} GPUs")
+        if count > self.used:
+            raise CapacityError(
+                f"pool has {self.used} GPUs in use, not {count}"
+            )
+        if count:
+            self._advance(now)
+            self.used -= count
+            self._mark(now)
+
+    def _advance(self, now: float) -> None:
+        self._gpu_seconds += self.used * (now - self._last_time)
+        self._last_time = now
+
+    def _mark(self, now: float) -> None:
+        if self.timeline[-1][0] == now:
+            self.timeline[-1] = (now, self.used)
+        else:
+            self.timeline.append((now, self.used))
+
+    def gpu_seconds(self, until: float) -> float:
+        """GPU-seconds consumed from t=0 through ``until``."""
+        return self._gpu_seconds + self.used * (until - self._last_time)
+
+    def mean_utilization(self, until: float) -> float:
+        """Mean fraction of the pool in use over ``[0, until]``."""
+        if until <= 0:
+            return 0.0
+        return self.gpu_seconds(until) / (self.size * until)

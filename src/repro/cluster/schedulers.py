@@ -1,0 +1,260 @@
+"""Cluster schedulers: who gets the next GPU.
+
+A scheduler is a pure policy function.  Given the pool size and the
+current job mix it returns a *target allocation* — ``job_id → workers``
+— and never touches simulation state; the :class:`ClusterSimulator`
+turns targets into reality through the membership join/drain machinery
+at each job's next iteration boundary.  Jobs absent from the plan (or
+targeted below their ``min_workers``) stay queued.
+
+Three policies, in ascending sophistication:
+
+* :class:`FifoScheduler` — strict arrival order, whole allocation,
+  run-to-completion.  The head job waits until its full ``max_workers``
+  fit; nothing backfills behind it.  The baseline every study beats.
+* :class:`FairShareScheduler` — admit everything that fits at
+  ``min_workers``, then deal remaining GPUs round-robin up to each
+  job's ceiling: an equal split rebalanced on every arrival/departure.
+* :class:`ThroughputElasticScheduler` — fair-share's admission, but
+  surplus GPUs go one at a time to the job whose *throughput* gains
+  most from one more worker, per the analytic iteration-time model in
+  :class:`CostProfile` (compute shrinks ~1/w, ring-allreduce wire time
+  grows with w).  Jobs past their communication knee stop bidding, so
+  GPUs flow to whoever can still convert them into progress — the
+  utility policy of *Elastic Deep Learning in Multi-Tenant GPU
+  Clusters*, with Fela's cost model supplying the utility.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+from repro.errors import ConfigurationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cluster.simulator import JobState
+
+
+class CostProfile:
+    """Analytic per-iteration time of one job as a function of workers.
+
+    ``compute_seconds`` is the job's total per-iteration GPU work (every
+    token of every level, from the profiler's layer timings); dividing
+    by the worker count models Fela's work-stealing token pool, which
+    keeps all workers busy regardless of how tokens are cut.  Sync cost
+    is the ring-allreduce wire time ``2(k-1)/k · bytes / bandwidth``
+    summed over sub-models — growing in ``k``, which is exactly what
+    caps useful parallelism for communication-bound models.
+    """
+
+    __slots__ = ("compute_seconds", "level_param_bytes", "bandwidth")
+
+    def __init__(
+        self,
+        compute_seconds: float,
+        level_param_bytes: _t.Sequence[float],
+        bandwidth: float,
+    ) -> None:
+        if compute_seconds <= 0:
+            raise ConfigurationError(
+                f"compute seconds must be > 0: {compute_seconds}"
+            )
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0: {bandwidth}")
+        self.compute_seconds = compute_seconds
+        self.level_param_bytes = tuple(level_param_bytes)
+        self.bandwidth = bandwidth
+
+    def iteration_seconds(self, workers: int) -> float:
+        """Modelled seconds per iteration with ``workers`` workers."""
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        compute = self.compute_seconds / workers
+        if workers == 1:
+            return compute
+        ring = 2 * (workers - 1) / workers / self.bandwidth
+        sync = sum(ring * bytes_ for bytes_ in self.level_param_bytes)
+        return compute + sync
+
+    def rate(self, workers: int) -> float:
+        """Modelled iterations per second with ``workers`` workers."""
+        return 1.0 / self.iteration_seconds(workers)
+
+    def marginal_gain(self, workers: int) -> float:
+        """Throughput gained by the ``workers + 1``-th worker."""
+        return self.rate(workers + 1) - self.rate(workers)
+
+
+class Scheduler(abc.ABC):
+    """Target-allocation policy; stateless and deterministic."""
+
+    #: Canonical CLI name.
+    name: str = ""
+    #: Human-facing name for reports.
+    display_name: str = ""
+    #: Whole-allocation schedulers only admit a job when its *entire*
+    #: target fits in the free pool; elastic ones start at whatever is
+    #: free (≥ ``min_workers``) and grow later.
+    whole_allocation: bool = False
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        pool_size: int,
+        running: _t.Sequence["JobState"],
+        queued: _t.Sequence["JobState"],
+    ) -> dict[int, int]:
+        """Return ``job_id → target workers``.
+
+        ``running`` is in admission order, ``queued`` in submission
+        order; both orders are deterministic, and policies must iterate
+        them positionally (never via unordered collections) so equal
+        inputs always produce equal plans.
+        """
+
+
+class FifoScheduler(Scheduler):
+    """Strict arrival order, whole allocation, run to completion."""
+
+    name = "fifo"
+    display_name = "FIFO"
+    whole_allocation = True
+
+    def plan(
+        self,
+        pool_size: int,
+        running: _t.Sequence["JobState"],
+        queued: _t.Sequence["JobState"],
+    ) -> dict[int, int]:
+        targets: dict[int, int] = {}
+        free = pool_size
+        for state in running:
+            # Never resize a running job; its admission-time grant is
+            # reserved even while a crash recovery re-grows toward it.
+            targets[state.job_id] = state.admitted_workers
+            free -= state.admitted_workers
+        for state in queued:
+            want = min(state.spec.max_workers, pool_size)
+            if want > free:
+                # Head-of-line blocking is the *point* of this baseline:
+                # nothing backfills past a waiting head job.
+                break
+            targets[state.job_id] = want
+            free -= want
+        return targets
+
+
+def _admit_at_min(
+    pool_size: int,
+    running: _t.Sequence["JobState"],
+    queued: _t.Sequence["JobState"],
+) -> tuple[dict[int, int], list["JobState"], int]:
+    """Shared elastic admission: floor every admissible job at its min.
+
+    Running jobs always keep their floor (they were admitted under it);
+    queued jobs are admitted in submission order while floors fit.
+    Returns the floored plan, the admitted jobs in rebalance order
+    (running first, then newly admitted), and the GPUs left over.
+    """
+    targets: dict[int, int] = {}
+    admitted: list["JobState"] = []
+    free = pool_size
+    for state in running:
+        targets[state.job_id] = state.spec.min_workers
+        free -= state.spec.min_workers
+        admitted.append(state)
+    for state in queued:
+        if free >= state.spec.min_workers:
+            targets[state.job_id] = state.spec.min_workers
+            free -= state.spec.min_workers
+            admitted.append(state)
+    return targets, admitted, free
+
+
+class FairShareScheduler(Scheduler):
+    """Equal pool split, rebalanced on every arrival and departure."""
+
+    name = "fair"
+    display_name = "fair-share"
+
+    def plan(
+        self,
+        pool_size: int,
+        running: _t.Sequence["JobState"],
+        queued: _t.Sequence["JobState"],
+    ) -> dict[int, int]:
+        targets, admitted, free = _admit_at_min(pool_size, running, queued)
+        # Deal the surplus one GPU per job per round: everyone converges
+        # to the same share modulo their [min, max] clamps, with the
+        # leftover of an uneven split going to the longest-admitted.
+        while free > 0:
+            progressed = False
+            for state in admitted:
+                if free == 0:
+                    break
+                if targets[state.job_id] < state.spec.max_workers:
+                    targets[state.job_id] += 1
+                    free -= 1
+                    progressed = True
+            if not progressed:
+                break
+        return targets
+
+
+class ThroughputElasticScheduler(Scheduler):
+    """Marginal-throughput utility: each GPU goes where it helps most."""
+
+    name = "elastic"
+    display_name = "throughput-elastic"
+
+    def plan(
+        self,
+        pool_size: int,
+        running: _t.Sequence["JobState"],
+        queued: _t.Sequence["JobState"],
+    ) -> dict[int, int]:
+        targets, admitted, free = _admit_at_min(pool_size, running, queued)
+        while free > 0:
+            best: "JobState | None" = None
+            best_gain = 0.0
+            for state in admitted:
+                target = targets[state.job_id]
+                if target >= state.spec.max_workers:
+                    continue
+                gain = state.cost.marginal_gain(target)
+                # Strict > : ties (and zero/negative gains) resolve to
+                # the earliest-admitted job, deterministically.
+                if gain > best_gain:
+                    best_gain = gain
+                    best = state
+            if best is None:
+                # Nobody converts another GPU into throughput — leave
+                # the rest free rather than burn them on sync overhead.
+                break
+            targets[best.job_id] += 1
+            free -= 1
+        return targets
+
+
+#: Canonical scheduler names, in report order.
+SCHEDULER_NAMES: tuple[str, ...] = ("fifo", "fair", "elastic")
+
+_SCHEDULERS: dict[str, type[Scheduler]] = {
+    "fifo": FifoScheduler,
+    "fair": FairShareScheduler,
+    "fair-share": FairShareScheduler,
+    "elastic": ThroughputElasticScheduler,
+    "throughput-elastic": ThroughputElasticScheduler,
+}
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by (canonical or long) name."""
+    try:
+        return _SCHEDULERS[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{sorted(set(_SCHEDULERS))}"
+        ) from None

@@ -132,11 +132,24 @@ class FelaRuntime:
         env = self.cluster.env
         main = env.process(self._main())
         env.run(main)
+        return self.finalize()
+
+    def finalize(self, started_at: float = 0.0) -> RunResult:
+        """Settle accounting after ``_main`` has finished; build the result.
+
+        Split out of :meth:`run` so a cluster-level driver can run
+        ``_main`` as one process among many in a shared environment and
+        close the books itself once the job's process completes.
+        ``started_at`` is the sim time the job began: ``total_time`` is
+        the job's *elapsed* time, not the absolute clock (the two
+        coincide for a single-job run, which starts at t=0).
+        """
+        env = self.cluster.env
         if self.invariants is not None:
             self.invariants.on_run_end(self.server)
-        total_time = env.now
+        total_time = env.now - started_at
         if self.sampler.enabled:
-            self.sampler.finish(total_time)
+            self.sampler.finish(env.now)
         if self.recorder is not None:
             # The timeline is a post-run *view* of the trace stream, not a
             # second instrumentation surface.

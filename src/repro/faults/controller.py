@@ -113,6 +113,11 @@ class FaultController:
         self._crashed: dict[int, float] = {}
         self._pending_joins = 0
         self._ledger = _Ledger()
+        #: Set by :meth:`stop` once the run is over, so the lease monitor
+        #: terminates instead of ticking forever — irrelevant when the
+        #: environment dies with the run, load-bearing when many runs
+        #: share one environment (``repro.cluster``).
+        self._stopped = False
 
     # -- wiring ---------------------------------------------------------------
 
@@ -243,7 +248,7 @@ class FaultController:
     def _monitor(self) -> _t.Iterator[_t.Any]:
         assert self.runtime is not None
         env = self.runtime.cluster.env
-        while True:
+        while not self._stopped:
             if not self._deadlines:
                 yield env.timeout(self.lease_timeout)
                 continue
@@ -261,6 +266,15 @@ class FaultController:
                     # Lease expired but the probe answers: the worker is
                     # alive, just idle (parked or mid-compute).  Renew.
                     self._deadlines[wid] = env.now + self.lease_timeout
+
+    def stop(self) -> None:
+        """Retire the controller: the lease monitor exits at its next wake.
+
+        Called by cluster-level drivers when the attached job finishes;
+        single-job runs never need it because ``env.run(main)`` simply
+        stops pumping events once the main process completes.
+        """
+        self._stopped = True
 
     def touch(self, wid: int) -> None:
         """Renew a worker's lease (called on every TS interaction)."""

@@ -150,9 +150,15 @@ class Node:
 class Cluster:
     """Environment + fabric + nodes for one simulated experiment."""
 
-    def __init__(self, spec: ClusterSpec | None = None) -> None:
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        env: Environment | None = None,
+    ) -> None:
         self.spec = spec or ClusterSpec()
-        self.env = Environment()
+        #: A cluster normally owns its environment; ``repro.cluster``
+        #: passes a shared one so many job clusters tick on one clock.
+        self.env = env if env is not None else Environment()
         self.fabric = Fabric(
             self.env,
             num_nodes=self.spec.num_nodes,

@@ -346,12 +346,19 @@ class Fabric:
             if key not in seen_keys:
                 seen_keys.add(key)
                 frontier.append(key)
-        empty: dict[int, Flow] = {}
         while frontier:
             key = frontier.pop()
-            for fid, flow in by_resource.get(key, empty).items():
+            flows_here = by_resource.get(key)
+            if not flows_here:
+                continue
+            # Ascending-fid traversal: the discovered component is a set
+            # (order-independent), but walking a sorted snapshot keeps
+            # the bail-out point a function of the component alone, not
+            # of the index dict's insertion history.
+            for fid in sorted(flows_here):
                 if fid in component:
                     continue
+                flow = flows_here[fid]
                 component.add(fid)
                 if len(component) > bail:
                     return None
@@ -390,30 +397,37 @@ class Fabric:
         # Resources: tx NIC (key ``node``) and rx NIC (key ``num_nodes +
         # node``) per node, plus optionally the aggregate switch (key
         # ``-1``).  Each resource holds one fused ``[remaining capacity,
-        # live (unfrozen) flow count, member flows]`` entry, so a round's
-        # share scan is one insertion-ordered pass over a single dict.
-        # The arithmetic — the ``cap / count`` sequence, the strict ``<``
+        # live (unfrozen) flow count, member flows]`` entry.  A round's
+        # share scan walks ``entries``, an explicit list in resource
+        # first-seen order — the same order the dict view used to yield,
+        # now pinned by construction instead of by dict internals.  The
+        # arithmetic — the ``cap / count`` sequence, the strict ``<``
         # tie-break, the clamp at zero — matches the naive per-flow form
         # exactly, so the allocation is bit-identical to it.
         link_bandwidth = self.link_bandwidth
         num_nodes = self.num_nodes
         state: dict[int, list[_t.Any]] = {}
+        entries: list[list[_t.Any]] = []
         for flow in flows:
             for key in (flow.src, num_nodes + flow.dst):
                 entry = state.get(key)
                 if entry is None:
-                    state[key] = [link_bandwidth, 1, [flow]]
+                    entry = [link_bandwidth, 1, [flow]]
+                    state[key] = entry
+                    entries.append(entry)
                 else:
                     entry[1] += 1
                     entry[2].append(flow)
         has_switch = self.switch_bandwidth is not None
         skey = -1
         if has_switch:
-            state[skey] = [
+            entry = [
                 _t.cast(float, self.switch_bandwidth),
                 len(flows),
                 list(flows),
             ]
+            state[skey] = entry
+            entries.append(entry)
 
         unfrozen: set[int] = {flow.fid for flow in flows}
         infinity = float("inf")
@@ -422,7 +436,7 @@ class Fabric:
             # Fair share offered by each still-relevant resource.
             best_entry: list[_t.Any] | None = None
             best_share = infinity
-            for entry in state.values():
+            for entry in entries:
                 count = entry[1]
                 if not count:
                     continue

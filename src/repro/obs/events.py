@@ -35,6 +35,7 @@ CAT_STRAGGLER = "straggler"
 CAT_TS = "ts"
 CAT_WORKER = "worker"
 CAT_FAULT = "fault"
+CAT_CLUSTER = "cluster"
 
 #: Every category a conforming trace may contain.
 CATEGORIES: frozenset[str] = frozenset(
@@ -46,6 +47,7 @@ CATEGORIES: frozenset[str] = frozenset(
         CAT_TS,
         CAT_WORKER,
         CAT_FAULT,
+        CAT_CLUSTER,
     }
 )
 
@@ -70,6 +72,14 @@ EV_TOKEN_REMINTED = "token.reminted"
 EV_TOKEN_INVALIDATED = "token.invalidated"
 EV_WORKER_JOINED = "worker.joined"
 EV_WORKER_LEFT = "worker.left"
+
+# Multi-tenant job lifecycle events (category CAT_CLUSTER).  The track
+# is the cluster job id; ``repro.cluster`` emits these so a whole
+# scheduler run can be read as one Chrome trace.
+EV_JOB_SUBMITTED = "job.submitted"
+EV_JOB_STARTED = "job.started"
+EV_JOB_RESIZED = "job.resized"
+EV_JOB_FINISHED = "job.finished"
 
 #: The token lifecycle stages, in causal order.  A *complete* chain has
 #: every stage once, followed by the level's :data:`EV_ALLREDUCE` span.

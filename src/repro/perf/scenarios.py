@@ -317,6 +317,33 @@ def _fela_1000workers(ctx: ScenarioContext) -> RunOnce:
     return run_once
 
 
+@register(
+    "macro.cluster_100jobs",
+    MACRO,
+    "multi-tenant cluster service: 100-job Poisson trace scheduled "
+    "elastically onto one 32-GPU pool (admission, membership-driven "
+    "resizes, many runtimes on one shared clock)",
+)
+def _cluster_100jobs(_ctx: ScenarioContext) -> RunOnce:
+    from repro.cluster import ClusterSimulator, TraceSpec, generate_trace
+
+    # Trace generation is cheap but stays outside the timer anyway so
+    # the measurement is pure simulator work.
+    trace = generate_trace(
+        TraceSpec(kind="poisson", num_jobs=100, seed=11,
+                  mean_interarrival=12.0)
+    )
+
+    def run_once() -> ScenarioStats:
+        result = ClusterSimulator(trace, "elastic", pool_size=32).run()
+        return ScenarioStats(
+            simulated_seconds=result.makespan,
+            events=result.events_scheduled,
+        )
+
+    return run_once
+
+
 def _baseline_macro_builder(
     kind: str, model_name: str, total_batch: int, iterations: int
 ) -> _t.Callable[[ScenarioContext], RunOnce]:

@@ -11,8 +11,10 @@ heatmap from the ``worker.phase`` series, a throughput curve (tokens
 completed per tick), and per-level buffer-depth curves — all annotated
 with fault/join markers taken from the run's ``fault``-category trace
 events.  Plus: sweep progress and cache-hit tables from the heartbeat
-rows, and per-scenario bench trend sparklines over every recorded
-bench run.
+rows, per-scenario bench trend sparklines over every recorded bench
+run, and — per recorded cluster run — a job Gantt
+(queued/running/resizing), the pool-utilization curve, and a JCT CDF
+table from the ``cluster_runs``/``cluster_jobs`` tables.
 """
 
 from __future__ import annotations
@@ -117,7 +119,19 @@ def load_dashboard(ledger: "RunLedger") -> dict[str, _t.Any]:
             history.setdefault(record["scenario"], []).append(
                 record["wall_seconds_median"]
             )
-    return {"runs": runs, "sweeps": sweeps, "bench": history}
+    cluster = [
+        {
+            "run": row,
+            "jobs": ledger.cluster_jobs(row["cluster_run_id"]),
+        }
+        for row in ledger.cluster_runs()
+    ]
+    return {
+        "runs": runs,
+        "sweeps": sweeps,
+        "bench": history,
+        "cluster": cluster,
+    }
 
 
 def _phase_grid(
@@ -179,8 +193,11 @@ def render_text_dashboard(data: dict[str, _t.Any]) -> str:
         sections.append(_text_sweep_section(data["sweeps"]))
     if data["bench"]:
         sections.append(_text_bench_section(data["bench"]))
+    for entry in data.get("cluster", []):
+        sections.append(_text_cluster_section(entry))
     if not sections:
-        return "(ledger holds no runs, sweeps, or bench records)"
+        return ("(ledger holds no runs, sweeps, bench, or cluster "
+                "records)")
     return "\n\n".join(sections)
 
 
@@ -280,6 +297,137 @@ def _text_bench_section(history: dict[str, list[float]]) -> str:
         rows,
         title="== bench trends (median wall seconds)",
     )
+
+
+# -- cluster helpers -----------------------------------------------------------
+
+#: Gantt glyphs for allocations 0..35; counts beyond 35 clamp to "z".
+_WORKER_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+#: JCT CDF percentiles shown in both backends.
+_CDF_POINTS = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+
+
+def _worker_glyph(count: int) -> str:
+    return _WORKER_GLYPHS[min(max(count, 0), len(_WORKER_GLYPHS) - 1)]
+
+
+def _job_segments(job: dict) -> list[tuple[float, float, int]]:
+    """``(start, end, workers)`` allocation spans of one cluster job.
+
+    Reconstructed from ``initial_workers`` plus the recorded
+    ``(time, delta, held_after)`` resize triples.
+    """
+    segments: list[tuple[float, float, int]] = []
+    at = job["start_time"]
+    workers = job["initial_workers"]
+    for when, _delta, held_after in job["resizes"]:
+        if when > at:
+            segments.append((at, when, workers))
+            at = when
+        workers = held_after
+    if job["finish_time"] > at:
+        segments.append((at, job["finish_time"], workers))
+    return segments
+
+
+def _workers_at(segments: _t.Sequence[tuple[float, float, int]],
+                time: float) -> int:
+    for start, end, workers in segments:
+        if start <= time < end:
+            return workers
+    return segments[-1][2] if segments else 0
+
+
+def _nearest_rank(sorted_values: _t.Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))
+    return sorted_values[min(len(sorted_values) - 1, rank - 1)]
+
+
+def _jct_cdf_rows(jobs: _t.Sequence[dict]) -> list[list[str]]:
+    jcts = sorted(job["jct"] for job in jobs)
+    rows = [
+        [f"p{int(q * 100)}", f"{_nearest_rank(jcts, q):.3f}"]
+        for q in _CDF_POINTS
+    ]
+    if jcts:
+        rows.append(["max", f"{jcts[-1]:.3f}"])
+    return rows
+
+
+def _pool_step_points(
+    timeline: _t.Sequence[_t.Sequence[float]], makespan: float
+) -> list[tuple[float, float]]:
+    """Breakpoints -> step-function polyline points for plotting."""
+    points: list[tuple[float, float]] = []
+    for time, used in timeline:
+        if points:
+            points.append((time, points[-1][1]))
+        points.append((time, used))
+    if points and makespan > points[-1][0]:
+        points.append((makespan, points[-1][1]))
+    return points
+
+
+def _text_cluster_section(entry: dict[str, _t.Any]) -> str:
+    run = entry["run"]
+    jobs = entry["jobs"]
+    label = f" [{run['label']}]" if run["label"] else ""
+    trace = f" on {run['trace']}" if run["trace"] else ""
+    lines = [
+        f"== cluster run {run['cluster_run_id']}{label}: "
+        f"{run['scheduler']}{trace}, pool {run['pool_gpus']} GPUs, "
+        f"{run['num_jobs']} jobs",
+        f"   makespan {run['makespan']:.3f}s  "
+        f"mean JCT {run['mean_jct']:.3f}s  "
+        f"mean queue {run['mean_queue_delay']:.3f}s  "
+        f"util {run['mean_utilization']:.2f}  "
+        f"resizes {run['total_resizes']}  "
+        f"lost {run['lost_compute_seconds']:.3f}s",
+    ]
+    makespan = run["makespan"]
+    if jobs and makespan > 0:
+        width = min(_TEXT_COLUMNS - 8, max(8, len(jobs) * 4))
+        bucket = makespan / width
+        lines.append(
+            "   job schedule (q=queued, digit=granted workers):"
+        )
+        for job in jobs:
+            segments = _job_segments(job)
+            cells = []
+            for column in range(width):
+                time = (column + 0.5) * bucket
+                if time < job["submit_time"]:
+                    cells.append(" ")
+                elif time < job["start_time"]:
+                    cells.append("q")
+                elif time < job["finish_time"]:
+                    cells.append(_worker_glyph(
+                        _workers_at(segments, time)
+                    ))
+                else:
+                    cells.append(".")
+            lines.append(
+                f"     j{job['job_id']:>3} {''.join(cells)} "
+                f"{job['model']}"
+            )
+        lines.append(f"     t=0..{makespan:g}s")
+    timeline = run["pool_timeline"]
+    if timeline:
+        lines.append(
+            "   pool GPUs in use: "
+            + sparkline([used for _, used in timeline])
+        )
+    cdf = _jct_cdf_rows(jobs)
+    if cdf:
+        lines.append(
+            "   JCT CDF (s): "
+            + "  ".join(f"{name}={value}" for name, value in cdf)
+        )
+    return "\n".join(lines)
 
 
 # -- HTML renderer -------------------------------------------------------------
@@ -444,6 +592,111 @@ def _html_run_section(entry: dict[str, _t.Any]) -> str:
     return "".join(parts)
 
 
+def _svg_cluster_gantt(
+    jobs: _t.Sequence[dict],
+    makespan: float,
+    *,
+    width: int = 640,
+    row_height: int = 14,
+) -> str:
+    """Per-job timeline bars: queued (orange) then running (green,
+    darker while more workers are granted; one rect per allocation
+    span, so every resize shows as a shade change)."""
+    if not jobs or makespan <= 0:
+        return ""
+    pad = 6
+    label_w = 46
+    span = width - label_w - pad
+
+    def sx(time: float) -> float:
+        return label_w + time / makespan * span
+
+    height = pad * 2 + row_height * len(jobs)
+    max_workers = max(job["max_workers"] for job in jobs)
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="job schedule">',
+        "<title>job schedule (queued, then running; darker = more "
+        "workers)</title>",
+    ]
+    for position, job in enumerate(jobs):
+        y = pad + position * row_height
+        bar_h = row_height - 3
+        parts.append(
+            f'<text x="2" y="{y + bar_h - 1}" font-size="9" '
+            f'fill="#555">j{job["job_id"]}</text>'
+        )
+        queued = sx(job["start_time"]) - sx(job["submit_time"])
+        if queued > 0.1:
+            parts.append(
+                f'<rect x="{sx(job["submit_time"]):.1f}" y="{y}" '
+                f'width="{queued:.1f}" height="{bar_h}" '
+                f'fill="#ff9800" opacity="0.55">'
+                f'<title>j{job["job_id"]} queued '
+                f'{job["queue_delay"]:.3f}s</title></rect>'
+            )
+        for start, end, workers in _job_segments(job):
+            opacity = 0.35 + 0.65 * min(workers / max_workers, 1.0)
+            parts.append(
+                f'<rect x="{sx(start):.1f}" y="{y}" '
+                f'width="{max(sx(end) - sx(start), 0.5):.1f}" '
+                f'height="{bar_h}" fill="#4caf50" '
+                f'opacity="{opacity:.2f}">'
+                f'<title>j{job["job_id"]} ({_html.escape(job["model"])})'
+                f' {workers} workers, t={start:.1f}-{end:.1f}s</title>'
+                f'</rect>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _html_cluster_section(entry: dict[str, _t.Any]) -> str:
+    run = entry["run"]
+    jobs = entry["jobs"]
+    label = f" [{_html.escape(str(run['label']))}]" if run["label"] else ""
+    trace = (
+        f" on {_html.escape(str(run['trace']))}" if run["trace"] else ""
+    )
+    parts = [
+        f"<h2>Cluster run {run['cluster_run_id']}{label}: "
+        f"{_html.escape(str(run['scheduler']))}{trace}, "
+        f"pool {run['pool_gpus']} GPUs</h2>",
+        _html_table(
+            ["Jobs", "Makespan (s)", "Mean JCT (s)", "p50 JCT (s)",
+             "p99 JCT (s)", "Mean queue (s)", "Mean util", "Resizes",
+             "Lost compute (s)"],
+            [[
+                run["num_jobs"],
+                f"{run['makespan']:.3f}",
+                f"{run['mean_jct']:.3f}",
+                f"{run['p50_jct']:.3f}",
+                f"{run['p99_jct']:.3f}",
+                f"{run['mean_queue_delay']:.3f}",
+                f"{run['mean_utilization']:.2f}",
+                run["total_resizes"],
+                f"{run['lost_compute_seconds']:.3f}",
+            ]],
+        ),
+    ]
+    gantt = _svg_cluster_gantt(jobs, run["makespan"])
+    if gantt:
+        parts.append("<h3>Job schedule</h3>")
+        parts.append(gantt)
+    points = _pool_step_points(run["pool_timeline"], run["makespan"])
+    if points:
+        parts.append(_svg_curve(
+            points, [],
+            title=f"pool GPUs in use (of {run['pool_gpus']})",
+        ))
+    cdf = _jct_cdf_rows(jobs)
+    if cdf:
+        parts.append("<h3>JCT CDF</h3>")
+        parts.append(_html_table(
+            ["Percentile", "JCT (s)"], cdf,
+        ))
+    return "".join(parts)
+
+
 def render_html_dashboard(data: dict[str, _t.Any]) -> str:
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
@@ -451,9 +704,10 @@ def render_html_dashboard(data: dict[str, _t.Any]) -> str:
         f"<style>{_CSS}</style></head><body>",
         "<h1>fela-repro run ledger dashboard</h1>",
     ]
-    if not (data["runs"] or data["sweeps"] or data["bench"]):
-        parts.append('<p class="note">Ledger holds no runs, sweeps, or '
-                     "bench records.</p>")
+    if not (data["runs"] or data["sweeps"] or data["bench"]
+            or data.get("cluster")):
+        parts.append('<p class="note">Ledger holds no runs, sweeps, '
+                     "bench, or cluster records.</p>")
     for entry in data["runs"]:
         parts.append(_html_run_section(entry))
     if data["sweeps"]:
@@ -486,5 +740,7 @@ def render_html_dashboard(data: dict[str, _t.Any]) -> str:
              "Trend"],
             rows,
         ))
+    for entry in data.get("cluster", []):
+        parts.append(_html_cluster_section(entry))
     parts.append("</body></html>")
     return "".join(parts)

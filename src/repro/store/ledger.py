@@ -13,6 +13,8 @@ sweeps     ``SweepExecutor.map`` invocation                      sweep commands
 sweep_jobs per-job heartbeat (started / finished / cache-hit)    ``SweepExecutor``
 bench_runs ``repro bench`` invocation                            ``bench --ledger``
 bench_records per-scenario bench measurement                     ``bench --ledger``
+cluster_runs ``repro cluster`` scheduler run over one trace      ``cluster --ledger``
+cluster_jobs per-job completion record of a cluster run          ``cluster --ledger``
 ========== ==================================================== ========
 
 Design rules:
@@ -46,6 +48,7 @@ from repro.errors import LedgerError
 from repro.obs.timeseries import PHASE_CODES, SERIES
 
 if _t.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cluster.simulator import ClusterResult
     from repro.metrics import RunResult
     from repro.obs.events import TraceEvent
     from repro.obs.timeseries import Sample
@@ -78,6 +81,19 @@ TABLES: dict[str, tuple[str, ...]] = {
         "wall_seconds_iqr", "events_per_second",
         "sim_seconds_per_wall_second", "peak_rss_kb",
     ),
+    "cluster_runs": (
+        "cluster_run_id", "created_wall", "label", "scheduler",
+        "trace", "pool_gpus", "num_jobs", "makespan", "mean_jct",
+        "p50_jct", "p99_jct", "mean_queue_delay", "mean_utilization",
+        "total_resizes", "lost_compute_seconds", "pool_timeline",
+    ),
+    "cluster_jobs": (
+        "cluster_run_id", "job_id", "model", "total_batch",
+        "iterations", "min_workers", "max_workers", "submit_time",
+        "start_time", "finish_time", "jct", "queue_delay",
+        "initial_workers", "final_workers", "resize_count", "resizes",
+        "faults",
+    ),
 }
 
 #: Columns holding host wall-clock timestamps — the only columns two
@@ -90,7 +106,8 @@ _SWEEP_JOB_STATUSES = ("started", "done", "cached")
 
 #: Tables whose ids are assigned sequentially from their row count.
 _ID_TABLES = {"runs": "run_id", "sweeps": "sweep_id",
-              "bench_runs": "bench_id"}
+              "bench_runs": "bench_id",
+              "cluster_runs": "cluster_run_id"}
 
 
 def _canonical_json(payload: _t.Any) -> str:
@@ -375,6 +392,33 @@ class RunLedger:
         } for record in run.records])
         return bench_id
 
+    def record_cluster_run(
+        self,
+        result: "ClusterResult",
+        *,
+        label: str = "",
+        trace: str = "",
+    ) -> int:
+        """Land one cluster scheduler run (+ per-job rows); returns its id.
+
+        ``trace`` is a free-form description of the arrival trace (kind,
+        size, seed) so two runs over the same stream are groupable.
+        """
+        cluster_run_id = self._backend.count("cluster_runs")
+        row: dict[str, _t.Any] = {
+            "cluster_run_id": cluster_run_id,
+            "created_wall": time.time(),
+            "label": label,
+            "trace": trace,
+        }
+        row.update(result.summary_row())
+        self._backend.insert("cluster_runs", [row])
+        self._backend.insert("cluster_jobs", [
+            {"cluster_run_id": cluster_run_id, **job}
+            for job in result.jobs
+        ])
+        return cluster_run_id
+
     # -- readers -------------------------------------------------------------
 
     def runs(self) -> list[dict]:
@@ -415,6 +459,31 @@ class RunLedger:
         if bench_id is None:
             return rows
         return [row for row in rows if row["bench_id"] == bench_id]
+
+    def cluster_runs(self) -> list[dict]:
+        rows = self._backend.rows("cluster_runs")
+        for row in rows:
+            row["pool_timeline"] = json.loads(row["pool_timeline"])
+        return rows
+
+    def cluster_jobs(
+        self, cluster_run_id: int | None = None
+    ) -> list[dict]:
+        rows = self._backend.rows("cluster_jobs")
+        for row in rows:
+            row["resizes"] = json.loads(row["resizes"])
+            row["faults"] = (
+                json.loads(row["faults"])
+                if row["faults"] is not None
+                else None
+            )
+        if cluster_run_id is None:
+            return rows
+        return [
+            row
+            for row in rows
+            if row["cluster_run_id"] == cluster_run_id
+        ]
 
     # -- validation ----------------------------------------------------------
 
@@ -528,6 +597,68 @@ class RunLedger:
                 problems.append(
                     f"bench_records: negative median wall for "
                     f"{row['scenario']!r}"
+                )
+        from repro.cluster.schedulers import SCHEDULER_NAMES
+
+        cluster_runs = self.cluster_runs()
+        job_counts: dict[int, int] = {}
+        for position, row in enumerate(cluster_runs):
+            if row["cluster_run_id"] != position:
+                problems.append(
+                    f"cluster_runs: row {position} has cluster_run_id "
+                    f"{row['cluster_run_id']} (ids must be dense and "
+                    f"sequential)"
+                )
+            if row["scheduler"] not in SCHEDULER_NAMES:
+                problems.append(
+                    f"cluster_runs: run {row['cluster_run_id']} has "
+                    f"unknown scheduler {row['scheduler']!r}"
+                )
+            if row["makespan"] is None or row["makespan"] <= 0:
+                problems.append(
+                    f"cluster_runs: run {row['cluster_run_id']} has "
+                    f"invalid makespan {row['makespan']!r}"
+                )
+            if not 0 <= row["mean_utilization"] <= 1:
+                problems.append(
+                    f"cluster_runs: run {row['cluster_run_id']} has "
+                    f"utilization {row['mean_utilization']!r} outside "
+                    f"[0, 1]"
+                )
+            job_counts[row["cluster_run_id"]] = 0
+        for row in self.cluster_jobs():
+            run_id = row["cluster_run_id"]
+            if run_id not in job_counts:
+                problems.append(
+                    f"cluster_jobs: row references unknown cluster run "
+                    f"{run_id}"
+                )
+                continue
+            job_counts[run_id] += 1
+            if row["queue_delay"] < 0:
+                problems.append(
+                    f"cluster_jobs: job {row['job_id']} of run {run_id} "
+                    f"has negative queue delay {row['queue_delay']!r}"
+                )
+            if not (
+                row["submit_time"]
+                <= row["start_time"]
+                <= row["finish_time"]
+            ):
+                problems.append(
+                    f"cluster_jobs: job {row['job_id']} of run {run_id} "
+                    f"violates submit <= start <= finish"
+                )
+        for row in cluster_runs:
+            run_id = row["cluster_run_id"]
+            if (
+                run_id in job_counts
+                and job_counts[run_id] != row["num_jobs"]
+            ):
+                problems.append(
+                    f"cluster_runs: run {run_id} claims "
+                    f"{row['num_jobs']} jobs but has "
+                    f"{job_counts[run_id]} cluster_jobs rows"
                 )
         return problems
 

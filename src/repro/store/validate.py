@@ -3,8 +3,8 @@
 Opens each ledger (SQLite or ``.jsonl``), checks its schema version,
 and runs :meth:`repro.store.ledger.RunLedger.validate` — dense
 sequential ids, referential integrity of samples/events/sweep-jobs/
-bench-records, known sample series and worker phase codes, known sweep
-statuses.  CI runs this on the ledger a dashboard artifact was rendered
+bench-records/cluster-jobs, known sample series and worker phase codes,
+known sweep statuses and cluster schedulers.  CI runs this on the ledger a dashboard artifact was rendered
 from.  Exit code 0 means every file passed.
 """
 
@@ -48,7 +48,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                 counts = (
                     f"{len(ledger.runs())} runs, "
                     f"{len(ledger.sweeps())} sweeps, "
-                    f"{len(ledger.bench_runs())} bench runs"
+                    f"{len(ledger.bench_runs())} bench runs, "
+                    f"{len(ledger.cluster_runs())} cluster runs"
                 )
             print(f"{path}: OK ({counts})")
     return 1 if failed else 0

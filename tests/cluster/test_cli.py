@@ -1,0 +1,89 @@
+"""The ``repro cluster`` CLI: run, compare, ledger recording."""
+
+import pytest
+
+from repro.cli import main
+from repro.store import RunLedger
+from repro.store.validate import main as validate_main
+
+_SMALL = ["--trace-kind", "bursty", "--jobs", "8", "--seed", "3",
+          "--mean-interarrival", "10", "--pool", "6"]
+
+
+class TestClusterRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["cluster", "run", *_SMALL,
+                     "--scheduler", "elastic"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput-elastic" in out
+        assert "Mean JCT" in out
+        assert "Makespan" in out
+
+    def test_per_job_table(self, capsys):
+        assert main(["cluster", "run", *_SMALL, "--scheduler", "fifo",
+                     "--per-job"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        for job_id in range(8):
+            assert any(
+                line.split() and line.split()[0] == str(job_id)
+                for line in lines
+            )
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "cluster.trace.json"
+        assert main(["cluster", "run", *_SMALL, "--scheduler", "fair",
+                     "--trace-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "job.submitted" in names
+        assert "job.finished" in names
+
+    def test_unknown_scheduler_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "run", *_SMALL, "--scheduler", "lottery"])
+
+
+class TestClusterCompare:
+    def test_compare_records_and_validates(self, tmp_path, capsys):
+        ledger_path = tmp_path / "cluster.sqlite"
+        assert main(["cluster", "compare", *_SMALL,
+                     "--ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "FIFO" in out
+        assert "fair-share" in out
+        assert "throughput-elastic" in out
+        assert "best mean JCT" in out
+        with RunLedger(ledger_path) as ledger:
+            assert len(ledger.cluster_runs()) == 3
+            assert ledger.validate() == []
+        assert validate_main([str(ledger_path)]) == 0
+        assert "3 cluster runs" in capsys.readouterr().out
+
+    def test_acceptance_elastic_beats_fifo_on_bursty_100_jobs(
+        self, tmp_path, capsys
+    ):
+        # The PR's headline claim, pinned end to end: on a 100-job
+        # bursty trace the throughput-elastic scheduler strictly beats
+        # run-to-completion FIFO on mean JCT.
+        ledger_path = tmp_path / "acceptance.sqlite"
+        assert main([
+            "cluster", "compare", "--trace-kind", "bursty",
+            "--jobs", "100", "--seed", "0", "--mean-interarrival", "10",
+            "--pool", "16", "--ledger", str(ledger_path),
+        ]) == 0
+        capsys.readouterr()
+        with RunLedger(ledger_path) as ledger:
+            runs = {
+                row["scheduler"]: row for row in ledger.cluster_runs()
+            }
+        assert set(runs) == {"fifo", "fair", "elastic"}
+        for row in runs.values():
+            assert row["num_jobs"] == 100
+            assert row["makespan"] > 0
+            assert row["mean_jct"] > 0
+            assert 0 < row["p50_jct"] <= row["p99_jct"]
+            assert 0.0 < row["mean_utilization"] <= 1.0
+        assert runs["elastic"]["mean_jct"] < runs["fifo"]["mean_jct"]

@@ -1,0 +1,47 @@
+"""GPU-pool accounting: exact integration, exact breakpoints."""
+
+import pytest
+
+from repro.cluster import GpuPool
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestGpuPool:
+    def test_timeline_records_every_change(self):
+        pool = GpuPool(8)
+        pool.allocate(4, 1.0)
+        pool.allocate(2, 2.0)
+        pool.release(6, 5.0)
+        assert pool.timeline == [(0.0, 0), (1.0, 4), (2.0, 6), (5.0, 0)]
+        assert pool.free == 8
+
+    def test_same_instant_changes_coalesce(self):
+        pool = GpuPool(4)
+        pool.allocate(1, 1.0)
+        pool.allocate(2, 1.0)
+        assert pool.timeline == [(0.0, 0), (1.0, 3)]
+
+    def test_gpu_seconds_integrate_exactly(self):
+        pool = GpuPool(10)
+        pool.allocate(5, 0.0)
+        pool.release(5, 4.0)    # 20 gpu-s
+        pool.allocate(10, 6.0)  # + 40 gpu-s through t=10
+        assert pool.gpu_seconds(10.0) == pytest.approx(60.0)
+        assert pool.mean_utilization(10.0) == pytest.approx(0.6)
+
+    def test_zero_count_is_a_no_op(self):
+        pool = GpuPool(2)
+        pool.allocate(0, 3.0)
+        assert pool.timeline == [(0.0, 0)]
+
+    def test_over_allocation_and_over_release_rejected(self):
+        pool = GpuPool(2)
+        with pytest.raises(CapacityError):
+            pool.allocate(3, 0.0)
+        pool.allocate(2, 0.0)
+        with pytest.raises(CapacityError):
+            pool.release(3, 1.0)
+        with pytest.raises(ConfigurationError):
+            pool.allocate(-1, 0.0)
+        with pytest.raises(ConfigurationError):
+            GpuPool(0)

@@ -1,0 +1,168 @@
+"""Scheduler policies as pure functions of the job mix."""
+
+import pytest
+
+from repro.cluster import CostProfile, JobSpec, JobState, get_scheduler
+from repro.cluster.schedulers import SCHEDULER_NAMES
+from repro.cluster.simulator import STATUS_RUNNING
+from repro.errors import ConfigurationError
+
+
+def _job(
+    job_id,
+    *,
+    min_workers=1,
+    max_workers=4,
+    compute=10.0,
+    param_bytes=(1e6,),
+    submit=0.0,
+    running=False,
+    admitted=0,
+):
+    spec = JobSpec(
+        job_id=job_id,
+        model="vgg19",
+        total_batch=64,
+        iterations=2,
+        min_workers=min_workers,
+        max_workers=max_workers,
+        submit_time=submit,
+    )
+    cost = CostProfile(
+        compute_seconds=compute,
+        level_param_bytes=param_bytes,
+        bandwidth=1e9,
+    )
+    state = JobState(spec, cost)
+    if running:
+        state.status = STATUS_RUNNING
+        state.admitted_workers = admitted
+    return state
+
+
+class TestCostProfile:
+    def test_single_worker_pays_no_sync(self):
+        cost = CostProfile(10.0, [1e9], 1e9)
+        assert cost.iteration_seconds(1) == pytest.approx(10.0)
+        # Two workers halve compute but pay one ring step.
+        assert cost.iteration_seconds(2) == pytest.approx(5.0 + 1.0)
+
+    def test_communication_knee_caps_gain(self):
+        # Tiny compute, huge parameters: adding workers only adds wire
+        # time, so the marginal gain is negative immediately.
+        bound = CostProfile(0.1, [8e9], 1e9)
+        assert bound.marginal_gain(1) < 0
+        # Pure compute keeps gaining.
+        free = CostProfile(100.0, [1.0], 1e9)
+        assert free.marginal_gain(1) > 0
+        assert free.marginal_gain(4) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostProfile(0.0, [1.0], 1e9)
+        with pytest.raises(ConfigurationError):
+            CostProfile(1.0, [1.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            CostProfile(1.0, [1.0], 1e9).iteration_seconds(0)
+
+
+class TestFifo:
+    def test_head_of_line_blocks_backfill(self):
+        fifo = get_scheduler("fifo")
+        running = [_job(0, running=True, admitted=6)]
+        queued = [
+            _job(1, max_workers=8),  # head: needs 8, only 2 free
+            _job(2, max_workers=2),  # would fit, must NOT backfill
+        ]
+        plan = fifo.plan(8, running, queued)
+        assert plan == {0: 6}
+
+    def test_admits_in_order_while_whole_grants_fit(self):
+        fifo = get_scheduler("fifo")
+        queued = [_job(0, max_workers=4), _job(1, max_workers=4),
+                  _job(2, max_workers=4)]
+        plan = fifo.plan(8, [], queued)
+        assert plan == {0: 4, 1: 4}
+
+    def test_grant_clamps_to_pool_size(self):
+        plan = get_scheduler("fifo").plan(4, [], [_job(0, max_workers=8)])
+        assert plan == {0: 4}
+
+    def test_never_resizes_running_jobs(self):
+        running = [_job(0, running=True, admitted=3)]
+        plan = get_scheduler("fifo").plan(8, running, [])
+        assert plan[0] == 3
+        assert get_scheduler("fifo").whole_allocation
+
+
+class TestFairShare:
+    def test_equal_split_clamped_to_bounds(self):
+        fair = get_scheduler("fair")
+        queued = [
+            _job(0, max_workers=8),
+            _job(1, max_workers=2),
+            _job(2, max_workers=8),
+        ]
+        plan = fair.plan(12, [], queued)
+        assert plan[1] == 2  # clamped at its ceiling
+        assert plan[0] + plan[1] + plan[2] == 12
+        assert abs(plan[0] - plan[2]) <= 1
+
+    def test_uneven_leftover_goes_to_longest_admitted(self):
+        fair = get_scheduler("fair")
+        plan = fair.plan(5, [], [_job(0), _job(1)])
+        assert plan == {0: 3, 1: 2}
+
+    def test_admits_only_what_fits_at_min(self):
+        fair = get_scheduler("fair")
+        queued = [_job(0, min_workers=2, max_workers=2),
+                  _job(1, min_workers=2, max_workers=2),
+                  _job(2, min_workers=2, max_workers=2)]
+        plan = fair.plan(5, [], queued)
+        assert plan == {0: 2, 1: 2}
+
+
+class TestThroughputElastic:
+    def test_surplus_follows_marginal_gain(self):
+        elastic = get_scheduler("elastic")
+        hungry = _job(0, compute=100.0, param_bytes=(1.0,))
+        sated = _job(1, compute=0.1, param_bytes=(8e9,))
+        plan = elastic.plan(6, [], [hungry, sated])
+        # The communication-bound job stays at its floor; every surplus
+        # GPU converts to throughput only on the compute-bound job.
+        assert plan[0] == 4  # its max
+        assert plan[1] == 1
+
+    def test_leaves_gpus_idle_past_the_knee(self):
+        elastic = get_scheduler("elastic")
+        bound = [_job(0, compute=0.1, param_bytes=(8e9,), max_workers=8)]
+        plan = elastic.plan(8, [], bound)
+        assert plan == {0: 1}
+
+    def test_ties_resolve_to_earliest_admitted(self):
+        elastic = get_scheduler("elastic")
+        twins = [_job(0, compute=10.0), _job(1, compute=10.0)]
+        plan = elastic.plan(3, [], twins)
+        assert plan == {0: 2, 1: 1}
+
+
+class TestRegistry:
+    def test_canonical_names_resolve(self):
+        for name in SCHEDULER_NAMES:
+            assert get_scheduler(name).name == name
+
+    def test_long_aliases(self):
+        assert get_scheduler("fair-share").name == "fair"
+        assert get_scheduler("throughput-elastic").name == "elastic"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scheduler("lottery")
+
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_plans_are_deterministic(self, name):
+        scheduler = get_scheduler(name)
+        queued = [_job(0), _job(1, max_workers=2), _job(2)]
+        assert scheduler.plan(8, [], queued) == scheduler.plan(
+            8, [], queued
+        )

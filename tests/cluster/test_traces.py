@@ -1,0 +1,118 @@
+"""Arrival-trace determinism: equal specs ⇒ byte-identical streams."""
+
+import json
+
+import pytest
+
+from repro.cluster import TRACE_KINDS, JobSpec, TraceSpec, generate_trace
+from repro.cluster.traces import trace_json
+from repro.errors import ConfigurationError
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_same_seed_is_byte_identical(self, kind):
+        spec = TraceSpec(kind=kind, num_jobs=25, seed=42)
+        first = trace_json(generate_trace(spec))
+        second = trace_json(generate_trace(spec))
+        assert first == second
+
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_different_seeds_differ(self, kind):
+        base = TraceSpec(kind=kind, num_jobs=25, seed=42)
+        other = TraceSpec(kind=kind, num_jobs=25, seed=43)
+        assert trace_json(generate_trace(base)) != trace_json(
+            generate_trace(other)
+        )
+
+    def test_pinned_small_trace(self):
+        # The determinism contract, pinned byte for byte: if this moves,
+        # every recorded cluster comparison silently changes meaning.
+        spec = TraceSpec(kind="poisson", num_jobs=2, seed=0)
+        assert trace_json(generate_trace(spec)) == (
+            '[{"iterations":4,"job_id":0,"max_workers":7,'
+            '"min_workers":2,"model":"vgg19","submit_time":55.818213,'
+            '"total_batch":128},'
+            '{"iterations":4,"job_id":1,"max_workers":8,'
+            '"min_workers":1,"model":"vgg16","submit_time":98.377088,'
+            '"total_batch":256}]'
+        )
+
+
+class TestTraceShape:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_submit_times_are_monotone(self, kind):
+        jobs = generate_trace(TraceSpec(kind=kind, num_jobs=40, seed=7))
+        times = [job.submit_time for job in jobs]
+        assert times == sorted(times)
+        assert all(time >= 0 for time in times)
+
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_job_ids_are_dense(self, kind):
+        jobs = generate_trace(TraceSpec(kind=kind, num_jobs=12, seed=1))
+        assert [job.job_id for job in jobs] == list(range(12))
+
+    def test_attributes_respect_spec_ranges(self):
+        spec = TraceSpec(
+            kind="bursty",
+            num_jobs=30,
+            seed=5,
+            models=("alexnet", "zfnet"),
+            batches=(64,),
+            iterations_range=(2, 3),
+            min_workers_range=(1, 1),
+            max_workers_range=(2, 4),
+        )
+        for job in generate_trace(spec):
+            assert job.model in spec.models
+            assert job.total_batch == 64
+            assert 2 <= job.iterations <= 3
+            assert job.min_workers == 1
+            assert 2 <= job.max_workers <= 4
+
+    def test_bursty_clumps_arrivals(self):
+        spec = TraceSpec(
+            kind="bursty", num_jobs=24, seed=9, burst_size=6,
+            burst_spread=0.5,
+        )
+        jobs = generate_trace(spec)
+        gaps = [
+            second.submit_time - first.submit_time
+            for first, second in zip(jobs, jobs[1:])
+        ]
+        # Within-burst gaps are sub-second; inter-burst gaps are long.
+        assert sum(1 for gap in gaps if gap < 5.0) >= len(gaps) // 2
+        assert max(gaps) > spec.mean_interarrival
+
+    def test_trace_json_is_canonical(self):
+        jobs = generate_trace(TraceSpec(num_jobs=3, seed=2))
+        payload = json.loads(trace_json(jobs))
+        assert [entry["job_id"] for entry in payload] == [0, 1, 2]
+        assert list(payload[0]) == sorted(payload[0])
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(kind="lumpy")
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(iterations_range=(3, 2))
+        with pytest.raises(ConfigurationError):
+            TraceSpec(mean_interarrival=0.0)
+        with pytest.raises(ConfigurationError):
+            TraceSpec(min_workers_range=(1, 6), max_workers_range=(4, 8))
+
+    def test_job_spec_invariants(self):
+        good = dict(
+            job_id=0, model="vgg19", total_batch=64, iterations=2,
+            min_workers=1, max_workers=4, submit_time=0.0,
+        )
+        JobSpec(**good)
+        with pytest.raises(ConfigurationError):
+            JobSpec(**{**good, "max_workers": 0})
+        with pytest.raises(ConfigurationError):
+            JobSpec(**{**good, "total_batch": 2})
+        with pytest.raises(ConfigurationError):
+            JobSpec(**{**good, "submit_time": -1.0})

@@ -21,7 +21,8 @@ from tests.store.test_ledger import _bench_run
 
 @pytest.fixture()
 def populated(tmp_path, vgg19_partition):
-    """A ledger holding one faulted+sampled+traced run, sweep, bench."""
+    """A ledger holding one faulted+sampled+traced run, sweep, bench,
+    and one cluster scheduler run."""
     path = tmp_path / "ledger.sqlite"
     sampler = Sampler(0.5)
     tracer = Tracer()
@@ -65,6 +66,21 @@ def populated(tmp_path, vgg19_partition):
         )
         ledger.record_bench_run(_bench_run("first"))
         ledger.record_bench_run(_bench_run("second"))
+        from repro.cluster import (
+            ClusterSimulator,
+            TraceSpec,
+            generate_trace,
+        )
+
+        trace = generate_trace(
+            TraceSpec(kind="bursty", num_jobs=4, seed=3,
+                      mean_interarrival=10.0)
+        )
+        ledger.record_cluster_run(
+            ClusterSimulator(trace, "fair", 4).run(),
+            label="smoke",
+            trace="bursty/jobs=4/seed=3",
+        )
     return path
 
 
@@ -96,6 +112,9 @@ class TestLoadDashboard:
         assert sweep["completed"] == 2  # one cached + one done
         assert sweep["cache_hits"] == 1
         assert data["bench"]["micro.example"] == [0.2, 0.2]
+        cluster = data["cluster"][0]
+        assert cluster["run"]["scheduler"] == "fair"
+        assert len(cluster["jobs"]) == 4
 
     def test_empty_ledger_renders_placeholder(self, tmp_path):
         with RunLedger(tmp_path / "empty.sqlite") as ledger:
@@ -120,6 +139,11 @@ class TestTextDashboard:
         # Sweep and bench sections.
         assert "tune" in text
         assert "micro.example" in text
+        # Cluster section: summary, Gantt, utilization, JCT CDF.
+        assert "cluster run 0 [smoke]: fair" in text
+        assert "job schedule" in text
+        assert "pool GPUs in use" in text
+        assert "JCT CDF" in text
 
     def test_deterministic_rendering(self, populated):
         with RunLedger(populated) as ledger:
@@ -141,6 +165,10 @@ class TestHtmlDashboard:
         assert "<svg" in html
         assert "Run 0" in html
         assert "worker.failed" in html
+        # Cluster section: summary table, Gantt bars, JCT CDF.
+        assert "Cluster run 0" in html
+        assert "Job schedule" in html
+        assert "JCT CDF" in html
 
     def test_parses_cleanly(self, populated):
         from html.parser import HTMLParser
