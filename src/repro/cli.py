@@ -470,7 +470,8 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
             f"{record.wall_seconds_median:.4f}",
             f"{record.wall_seconds_iqr:.4f}",
             f"{record.sim_seconds_per_wall_second:.1f}",
-            f"{record.events_per_second:.0f}",
+            f"{record.events_per_second:.0f}"
+            + ("*" if record.events_elided else ""),
             f"{record.peak_rss_kb / 1024.0:.1f}",
         ]
         for record in run.records
@@ -482,6 +483,14 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
         title=f"Benchmark run {run.label!r} "
         f"({args.repeats} repeats, {args.warmup} warmup)",
     )
+    elided = [r for r in run.records if r.events_elided]
+    if elided:
+        # Keep sim-s-per-wall-s honest: part of the counted events were
+        # drained analytically, never dispatched.
+        detail = ", ".join(
+            f"{record.name}={record.events_elided}" for record in elided
+        )
+        text += f"\n* events fast-forwarded (scheduled, not dispatched): {detail}"
 
     # Resolve the baseline before --out appends, so that comparing and
     # appending to the same store measures against the previous run.
@@ -492,7 +501,15 @@ def _cmd_bench(args: argparse.Namespace) -> str | tuple[str, int]:
             raise ConfigurationError(
                 f"baseline store {args.compare} holds no runs"
             )
-        baseline = baseline_runs[-1]
+        if args.baseline:
+            baseline = perf.run_for_label(baseline_runs, args.baseline)
+        else:
+            baseline = baseline_runs[-1]
+    elif args.baseline:
+        raise ConfigurationError(
+            "--baseline names a run inside the --compare store; "
+            "pass --compare as well"
+        )
 
     if args.out:
         perf.append_run(args.out, run)
@@ -947,6 +964,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--fail-on-regress", type=float, default=20.0, metavar="PCT",
         help="regression gate for --compare (median wall-clock %%)",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="LABEL",
+        help="with --compare: gate against the latest run stored under "
+        "LABEL instead of the last run in the store",
     )
     bench.add_argument(
         "--profile", action="store_true",

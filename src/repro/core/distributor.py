@@ -147,7 +147,10 @@ class TokenDistributor:
         return Selection(token=token, from_own_stb=False, contended=contended)
 
     def _takeable(self, wid: int, tokens: _t.Iterable[Token]) -> list[Token]:
-        return [t for t in tokens if self.may_take(wid, t.level)]
+        if not self.config.ctd_enabled:
+            return list(tokens)
+        levels = self.takeable_levels(wid)
+        return [t for t in tokens if t.level in levels]
 
     def _rank_and_pick(
         self, wid: int, pool: list[Token], info: InfoMapping
@@ -197,30 +200,55 @@ class TokenDistributor:
         Prefer the straggler this worker is already helping (sticky
         assignment); otherwise elect the straggler with the fewest current
         helpers, then the slowest progress (largest STB backlog), then the
-        lowest id.
+        lowest id.  Only the elected straggler's pool is materialized:
+        a CTD-restricted helper checks the losers with a short-circuit
+        scan, and an unrestricted one (subset member or CTD off) may take
+        anything, so every non-empty STB qualifies outright.
         """
+        restricted = (
+            self.config.ctd_enabled and wid not in self.current_subset()
+        )
+        levels = self.takeable_levels(wid) if restricted else None
         current = self._helping.get(wid)
         if current is not None:
-            pool = self._takeable(wid, bucket.stb_view(current))
+            view = bucket.stb_view(current)
+            pool = (
+                list(view)
+                if levels is None
+                else [t for t in view if t.level in levels]
+            )
             if pool:
                 return pool
             self._stop_helping(wid)
 
-        candidates = []
+        helpers = self._helpers
+        best_key: tuple[int, int, int] | None = None
+        best = -1
         for straggler in bucket.nonempty_stbs(exclude=wid):
-            pool = self._takeable(wid, bucket.stb_view(straggler))
-            if pool:
-                helpers = len(self._helpers.get(straggler, ()))
-                backlog = bucket.stb_size(straggler)
-                candidates.append((helpers, -backlog, straggler, pool))
-        if not candidates:
+            if levels is not None and not any(
+                t.level in levels for t in bucket.stb_view(straggler)
+            ):
+                continue
+            key = (
+                len(helpers.get(straggler, ())),
+                -bucket.stb_size(straggler),
+                straggler,
+            )
+            # Stragglers are unique per candidate, so the strict < running
+            # minimum equals the old sort()[0] without building the pools.
+            if best_key is None or key < best_key:
+                best_key = key
+                best = straggler
+        if best_key is None:
             return []
-        # Stragglers are unique per candidate, so the lexicographic
-        # minimum equals the old sort()[0] without the O(n log n) sort.
-        _, _, straggler, pool = min(candidates, key=lambda item: item[:3])
-        self._helping[wid] = straggler
-        self._helpers.setdefault(straggler, set()).add(wid)
-        return pool
+        self._helping[wid] = best
+        helpers.setdefault(best, set()).add(wid)
+        view = bucket.stb_view(best)
+        return (
+            list(view)
+            if levels is None
+            else [t for t in view if t.level in levels]
+        )
 
     def _stop_helping(self, wid: int) -> None:
         straggler = self._helping.pop(wid, None)

@@ -27,9 +27,10 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import typing as _t
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 
 from repro.errors import SimulationError
-from repro.sim import Environment, Event, Interrupt
+from repro.sim import Environment, Event
 
 #: Rates below this (bytes/second) are treated as zero to avoid scheduling
 #: wake-ups astronomically far in the future due to floating-point dust.
@@ -66,6 +67,40 @@ class FabricStats:
     flows_started: int = 0
     flows_completed: int = 0
     bytes_transferred: float = 0.0
+    #: Waterfills over the whole flow table / over one dirty component.
+    solves_full: int = 0
+    solves_restricted: int = 0
+    #: Single-flow add/remove churn absorbed by the rate-reuse path
+    #: without re-solving, and churn that was eligible (single flow,
+    #: record present) but failed the proof obligation and fell back.
+    reuse_hits: int = 0
+    reuse_fallbacks: int = 0
+
+
+class _ReuseState:
+    """The frozen cascade of the last full-table waterfill.
+
+    ``res``/``members`` hold, per resource key, the residual capacity
+    after every flow froze and the total number of member flows;
+    ``s_max`` is the largest frozen share.  ``stack`` records flows
+    admitted by the add-reuse proof afterwards, LIFO, each with the
+    exact pre-add values of everything the add mutated — popping the
+    stack on removal restores the record bit-for-bit, so no
+    floating-point drift can accumulate across add/remove cycles.
+    """
+
+    __slots__ = ("res", "members", "s_max", "stack")
+
+    def __init__(
+        self,
+        res: dict[int, float],
+        members: dict[int, int],
+        s_max: float,
+    ) -> None:
+        self.res = res
+        self.members = members
+        self.s_max = s_max
+        self.stack: list[tuple[_t.Any, ...]] = []
 
 
 class Fabric:
@@ -138,9 +173,29 @@ class Fabric:
         #: bit-identical rates, so this is a host-side knob only; tests
         #: set it to 0 to force the restricted path.
         self.incremental_cutoff: int = 24
+        #: Entry count above which a waterfill switches from the linear
+        #: per-round scan to the lazy-invalidation min-heap.  Both paths
+        #: compute bit-identical rates (same ``cap / count`` sequence,
+        #: same first-seen tie-break); the heap only wins once the
+        #: rounds-times-entries product outgrows its bookkeeping, so
+        #: small solves keep the scan.  Host-side knob; tests sweep it.
+        self.waterfill_heap_cutoff: int = 48
+        #: Flow-table size from which a full solve records its cascade
+        #: for the single-flow add/remove reuse path.  Below it the
+        #: record's upkeep costs more than the solve it might save.
+        self.reuse_cutoff: int = 128
+        #: Cascade record of the last full-table solve (``None`` when no
+        #: valid record exists; any non-reuse mutation invalidates it).
+        self._reuse: _ReuseState | None = None
         self._fid = itertools.count()
         self._last_settle = env.now
-        self._waker: _t.Any = None  # Process sleeping until next completion
+        #: Timeout armed for the next flow completion.  Cancellation is
+        #: a callback removal — the orphaned timeout stays on the heap as
+        #: a dead event for the run loop's fast-forward to elide — so a
+        #: reallocation storm costs one Timeout each, not a full
+        #: process interrupt/respawn cycle.
+        self._waker: _t.Any = None
+        self._wake_cb = self._on_wake  # one bound method for the lifetime
 
     # -- public API ---------------------------------------------------------
 
@@ -174,7 +229,7 @@ class Fabric:
         self._flows[flow.fid] = flow
         if not self._index_stale:
             self._index_flow(flow)
-        self._reallocate((src, self.num_nodes + dst))
+        self._reallocate((src, self.num_nodes + dst), added=flow)
         return done
 
     def transfer_many(
@@ -195,6 +250,8 @@ class Fabric:
         events: list[Event] = []
         env = self.env
         new_flows = False
+        started: Flow | None = None
+        count = 0
         dirty: list[int] = []
         for src, dst, size in requests:
             self._check_node(src)
@@ -225,10 +282,14 @@ class Fabric:
             self._flows[flow.fid] = flow
             if not self._index_stale:
                 self._index_flow(flow)
+            started = flow
+            count += 1
             dirty.append(src)
             dirty.append(self.num_nodes + dst)
         if new_flows:
-            self._reallocate(dirty)
+            # A batch of one is the same event sequence as transfer():
+            # let it ride the single-add reuse proof.
+            self._reallocate(dirty, added=started if count == 1 else None)
         return events
 
     @property
@@ -269,6 +330,38 @@ class Fabric:
             flow.remaining -= moved
             stats.bytes_transferred += moved
 
+    def _settle_and_find_due(self) -> list[Flow] | None:
+        """One pass: account bytes *and* collect completion candidates.
+
+        Same arithmetic as :meth:`_settle` (``min`` spelled as a branch),
+        with the wake-up's completion predicate evaluated on each flow in
+        the same iteration — the flow table is walked once instead of
+        twice per completion event.  Returns ``None`` when no time has
+        passed since the last settle: nothing moved in this call, but an
+        *earlier* settle at the same instant may already have driven
+        flows to zero, so the caller must fall back to the full scan.
+        """
+        now = self.env.now
+        elapsed = now - self._last_settle
+        if elapsed <= 0:
+            return None
+        self._last_settle = now
+        stats = self.stats
+        due: list[Flow] = []
+        for flow in self._flows.values():
+            remaining = flow.remaining
+            moved = flow.rate * elapsed
+            if moved > remaining:
+                moved = remaining
+            remaining -= moved
+            flow.remaining = remaining
+            stats.bytes_transferred += moved
+            if remaining <= _BYTES_EPS or (
+                flow.rate > _RATE_EPS and remaining / flow.rate < 1e-9
+            ):
+                due.append(flow)
+        return due
+
     def _index_flow(self, flow: Flow) -> None:
         by_resource = self._by_resource
         for key in (flow.src, self.num_nodes + flow.dst):
@@ -288,7 +381,10 @@ class Fabric:
                     del by_resource[key]
 
     def _reallocate(
-        self, dirty: _t.Iterable[int] | None = None
+        self,
+        dirty: _t.Iterable[int] | None = None,
+        added: Flow | None = None,
+        removed: Flow | None = None,
     ) -> None:
         """Recompute max-min fair rates and reschedule the wake-up.
 
@@ -301,7 +397,26 @@ class Fabric:
         rates, which the full progressive fill would reproduce
         bit-for-bit anyway because disjoint components never share a
         capacity term.
+
+        ``added``/``removed`` name the single flow when exactly one was
+        added or removed; with a valid cascade record the rate-reuse
+        proof (:meth:`_try_reuse_add` / :meth:`_try_reuse_remove`) may
+        then absorb the churn without any solve at all.  Whenever the
+        proof obligation fails, the normal solve path runs.
         """
+        if self._reuse is not None:
+            if added is not None and removed is None:
+                if self._try_reuse_add(added):
+                    self.stats.reuse_hits += 1
+                    self._schedule_wakeup()
+                    return
+                self.stats.reuse_fallbacks += 1
+            elif removed is not None and added is None:
+                if self._try_reuse_remove(removed):
+                    self.stats.reuse_hits += 1
+                    self._schedule_wakeup()
+                    return
+                self.stats.reuse_fallbacks += 1
         if (
             dirty is None
             or self.switch_bandwidth is not None
@@ -321,6 +436,86 @@ class Fabric:
         for flow in self._flows.values():
             self._index_flow(flow)
         self._index_stale = False
+
+    def _try_reuse_add(self, flow: Flow) -> bool:
+        """Admit one new flow on top of the recorded cascade, if provable.
+
+        Sufficient condition, checked per entry ``e`` of the flow: the
+        entry's recorded residual capacity split across its member count
+        plus the newcomer still beats the cascade's largest frozen share
+        — ``res_e / (members_e + 1) > s_max``.  Then at every round of a
+        from-scratch solve the entry's offer would exceed that round's
+        share (caps only shrink toward the residual, counts only grow
+        toward the total, float division is monotone), so the newcomer
+        never preempts the recorded freeze order and simply freezes
+        alone in one extra final round at ``min(res_tx, res_rx)`` — the
+        exact rate a full re-solve would assign it, with every other
+        rate untouched.  Resources absent from the record carry a full
+        idle link.  The strict ``>`` also rules out ties, which the
+        linear scan would otherwise break by entry seniority.
+        """
+        rec = self._reuse
+        assert rec is not None
+        bandwidth = self.link_bandwidth
+        res = rec.res
+        members = rec.members
+        s_max = rec.s_max
+        tx = flow.src
+        rx = self.num_nodes + flow.dst
+        res_tx = res.get(tx, bandwidth)
+        mem_tx = members.get(tx, 0)
+        if res_tx / (mem_tx + 1) <= s_max:
+            return False
+        res_rx = res.get(rx, bandwidth)
+        mem_rx = members.get(rx, 0)
+        if res_rx / (mem_rx + 1) <= s_max:
+            return False
+        share = res_tx if res_tx <= res_rx else res_rx
+        flow.rate = share
+        rec.stack.append(
+            (flow.fid, tx, rx, res_tx, mem_tx, res_rx, mem_rx, s_max)
+        )
+        cap = res_tx - share
+        res[tx] = cap if cap > 0.0 else 0.0
+        cap = res_rx - share
+        res[rx] = cap if cap > 0.0 else 0.0
+        members[tx] = mem_tx + 1
+        members[rx] = mem_rx + 1
+        rec.s_max = share  # provably > the old maximum
+        return True
+
+    def _try_reuse_remove(self, flow: Flow) -> bool:
+        """Retire a reuse-added flow by unwinding its stack frame.
+
+        Only the most recent reuse-added flow qualifies: its round is
+        the cascade's last, it froze alone, and the frame holds the
+        exact pre-add residuals/counts/``s_max`` — restoring them yields
+        the record a full solve of the remaining flows would rebuild,
+        bit for bit, with no other rate touched.  Anything else (a flow
+        that froze inside the cascade, out-of-order removals, batched
+        completions) falls back to a real solve.
+        """
+        rec = self._reuse
+        assert rec is not None
+        if not rec.stack or rec.stack[-1][0] != flow.fid:
+            return False
+        _, tx, rx, res_tx, mem_tx, res_rx, mem_rx, s_max = rec.stack.pop()
+        res = rec.res
+        members = rec.members
+        if mem_tx:
+            res[tx] = res_tx
+            members[tx] = mem_tx
+        else:
+            del res[tx]
+            del members[tx]
+        if mem_rx:
+            res[rx] = res_rx
+            members[rx] = mem_rx
+        else:
+            del res[rx]
+            del members[rx]
+        rec.s_max = s_max
+        return True
 
     def _dirty_component(
         self, dirty: _t.Iterable[int]
@@ -351,14 +546,16 @@ class Fabric:
             flows_here = by_resource.get(key)
             if not flows_here:
                 continue
-            # Ascending-fid traversal: the discovered component is a set
-            # (order-independent), but walking a sorted snapshot keeps
-            # the bail-out point a function of the component alone, not
-            # of the index dict's insertion history.
-            for fid in sorted(flows_here):
+            # Walk the index dict directly: its insertion order is a
+            # deterministic function of the (deterministic) simulation,
+            # so the bail-out point is reproducible run-to-run, and the
+            # discovered component is a set — order-independent — so the
+            # solve itself cannot see the traversal order.  Sorting a
+            # snapshot per visited resource (the previous form) was the
+            # single largest cost of the discovery at scale.
+            for fid, flow in flows_here.items():
                 if fid in component:
                     continue
-                flow = flows_here[fid]
                 component.add(fid)
                 if len(component) > bail:
                     return None
@@ -386,9 +583,16 @@ class Fabric:
         slice of the full solve, because resources never span components,
         so the resulting rates are bit-identical.
         """
-        flows = (
-            list(self._flows.values()) if component is None else component
-        )
+        # Any solve invalidates the cascade record: a restricted solve
+        # leaves the record describing a table that no longer exists,
+        # and a full solve rebuilds it below when worthwhile.
+        self._reuse = None
+        if component is None:
+            self.stats.solves_full += 1
+            flows: list[Flow] | _t.Any = list(self._flows.values())
+        else:
+            self.stats.solves_restricted += 1
+            flows = component
         for flow in flows:
             flow.rate = 0.0
         if not flows:
@@ -412,7 +616,7 @@ class Fabric:
             for key in (flow.src, num_nodes + flow.dst):
                 entry = state.get(key)
                 if entry is None:
-                    entry = [link_bandwidth, 1, [flow]]
+                    entry = [link_bandwidth, 1, [flow], len(entries)]
                     state[key] = entry
                     entries.append(entry)
                 else:
@@ -425,6 +629,7 @@ class Fabric:
                 _t.cast(float, self.switch_bandwidth),
                 len(flows),
                 list(flows),
+                len(entries),
             ]
             state[skey] = entry
             entries.append(entry)
@@ -432,42 +637,128 @@ class Fabric:
         unfrozen: set[int] = {flow.fid for flow in flows}
         infinity = float("inf")
 
-        while unfrozen:
-            # Fair share offered by each still-relevant resource.
-            best_entry: list[_t.Any] | None = None
-            best_share = infinity
-            for entry in entries:
-                count = entry[1]
-                if not count:
+        if len(entries) > self.waterfill_heap_cutoff:
+            # Sub-quadratic fill: a lazy-invalidation min-heap of
+            # ``(share, seq, entry)`` candidates replaces the per-round
+            # scan.  Every time an entry's ``cap``/``count`` changes a
+            # fresh candidate is pushed with the new ``cap / count``, so
+            # the heap always holds each live entry's current share;
+            # stale candidates are recognized on pop (the stored share
+            # no longer equals the entry's current quotient) and
+            # dropped.  The first valid pop is therefore the exact
+            # ``(share, seq)`` minimum — the same entry the strict-``<``
+            # first-seen scan selects, computing the same ``cap /
+            # count`` float — so the freeze order, the arithmetic
+            # sequence, and the resulting rates are bit-identical to
+            # the scan's.  Cost drops from rounds × entries to
+            # O((entries + flows) log entries).
+            heap = [
+                (entry[0] / entry[1], entry[3], entry) for entry in entries
+            ]
+            _heapify(heap)
+            while unfrozen and heap:
+                best_share, _, best_entry = _heappop(heap)
+                count = best_entry[1]
+                if not count or best_entry[0] / count != best_share:
                     continue
-                share = entry[0] / count
-                if share < best_share:
-                    best_share = share
-                    best_entry = entry
-            if best_entry is None:
-                break
-            for flow in best_entry[2]:
-                fid = flow.fid
-                if fid not in unfrozen:
-                    continue
-                flow.rate = best_share
-                unfrozen.discard(fid)
-                for key in (flow.src, num_nodes + flow.dst):
-                    entry = state[key]
-                    cap = entry[0] - best_share
-                    entry[0] = cap if cap > 0.0 else 0.0
-                    entry[1] -= 1
-                if has_switch:
-                    entry = state[skey]
-                    cap = entry[0] - best_share
-                    entry[0] = cap if cap > 0.0 else 0.0
-                    entry[1] -= 1
+                for flow in best_entry[2]:
+                    fid = flow.fid
+                    if fid not in unfrozen:
+                        continue
+                    flow.rate = best_share
+                    unfrozen.discard(fid)
+                    for key in (flow.src, num_nodes + flow.dst):
+                        entry = state[key]
+                        cap = entry[0] - best_share
+                        entry[0] = cap if cap > 0.0 else 0.0
+                        count = entry[1] - 1
+                        entry[1] = count
+                        if count:
+                            _heappush(
+                                heap, (entry[0] / count, entry[3], entry)
+                            )
+                    if has_switch:
+                        entry = state[skey]
+                        cap = entry[0] - best_share
+                        entry[0] = cap if cap > 0.0 else 0.0
+                        count = entry[1] - 1
+                        entry[1] = count
+                        if count:
+                            _heappush(
+                                heap, (entry[0] / count, entry[3], entry)
+                            )
+        else:
+            while unfrozen:
+                # Fair share offered by each still-relevant resource.
+                best_entry = None
+                best_share = infinity
+                for entry in entries:
+                    count = entry[1]
+                    if not count:
+                        continue
+                    share = entry[0] / count
+                    if share < best_share:
+                        best_share = share
+                        best_entry = entry
+                if best_entry is None:
+                    break
+                for flow in best_entry[2]:
+                    fid = flow.fid
+                    if fid not in unfrozen:
+                        continue
+                    flow.rate = best_share
+                    unfrozen.discard(fid)
+                    for key in (flow.src, num_nodes + flow.dst):
+                        entry = state[key]
+                        cap = entry[0] - best_share
+                        entry[0] = cap if cap > 0.0 else 0.0
+                        entry[1] -= 1
+                    if has_switch:
+                        entry = state[skey]
+                        cap = entry[0] - best_share
+                        entry[0] = cap if cap > 0.0 else 0.0
+                        entry[1] -= 1
+
+        if (
+            component is None
+            and not has_switch
+            and len(flows) >= self.reuse_cutoff
+        ):
+            # Record the cascade for the single-flow reuse proof: final
+            # residual capacity and total member count per resource,
+            # plus the largest frozen share (every rate IS its round's
+            # share, so the max rate is the max share).
+            s_max = 0.0
+            for flow in flows:
+                if flow.rate > s_max:
+                    s_max = flow.rate
+            self._reuse = _ReuseState(
+                res={key: entry[0] for key, entry in state.items()},
+                members={
+                    key: len(entry[2]) for key, entry in state.items()
+                },
+                s_max=s_max,
+            )
 
     def _schedule_wakeup(self) -> None:
-        """(Re)start the process that fires at the next flow completion."""
-        if self._waker is not None and self._waker.is_alive:
-            self._waker.interrupt("reallocate")
-        self._waker = None
+        """(Re)arm the timer that fires at the next flow completion.
+
+        The timer is a bare :class:`Timeout` with :meth:`_on_wake` as its
+        only callback — no process, no generator.  Rearming cancels the
+        previous timer by *removing the callback*: the old timeout stays
+        scheduled but dead, which costs nothing at dispatch and is
+        exactly the shape the run loop's analytical fast-forward elides
+        when it sits at the head of a steady interval.
+        """
+        waker = self._waker
+        if waker is not None:
+            callbacks = waker.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._wake_cb)
+                except ValueError:  # pragma: no cover - already fired
+                    pass
+            self._waker = None
         if not self._flows:
             return
         next_dt = float("inf")
@@ -483,25 +774,27 @@ class Fabric:
             raise SimulationError(
                 "network fabric stalled: active flows but zero rates"
             )
-        self._waker = self.env.process(self._wake_after(max(0.0, next_dt)))
+        waker = self.env.timeout(max(0.0, next_dt))
+        waker.callbacks.append(self._wake_cb)
+        self._waker = waker
 
-    def _wake_after(self, delay: float):
-        """Sleep ``delay``; then settle and complete any finished flows."""
-        try:
-            yield self.env.timeout(delay)
-        except Interrupt:
-            return
+    def _on_wake(self, _event: Event) -> None:
+        """Timer callback: settle and complete any finished flows."""
         self._waker = None
-        self._settle()
-        finished = [
-            flow
-            for flow in self._flows.values()
-            if flow.remaining <= _BYTES_EPS
-            or (
-                flow.rate > _RATE_EPS
-                and flow.remaining / flow.rate < 1e-9
-            )
-        ]
+        finished = self._settle_and_find_due()
+        if finished is None:
+            # Zero elapsed time: the bytes were already accounted by an
+            # earlier settle at this instant, so scan the table for the
+            # completions that settle may have produced.
+            finished = [
+                flow
+                for flow in self._flows.values()
+                if flow.remaining <= _BYTES_EPS
+                or (
+                    flow.rate > _RATE_EPS
+                    and flow.remaining / flow.rate < 1e-9
+                )
+            ]
         if not finished and self._flows:
             # Floating-point dust: we woke for a completion but rounding
             # left a hair of the payload.  Force-complete the flow that was
@@ -539,4 +832,6 @@ class Fabric:
             flow.done._ok = True
             flow.done._value = duration
             self.env.schedule(flow.done, delay=self.latency)
-        self._reallocate(dirty)
+        self._reallocate(
+            dirty, removed=finished[0] if len(finished) == 1 else None
+        )

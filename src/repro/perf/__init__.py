@@ -44,6 +44,7 @@ from repro.perf.store import (
     compare_runs,
     load_store,
     render_history,
+    run_for_label,
     save_store,
     scenario_history,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "profile_scenario",
     "render_history",
     "run_benchmarks",
+    "run_for_label",
     "save_store",
     "scenario_history",
     "scenario_names",

@@ -45,6 +45,11 @@ class ScenarioRecord:
     sim_seconds_per_wall_second: float
     events_per_second: float
     peak_rss_kb: float
+    #: Events the analytical fast-forward drained without dispatching
+    #: (0 for scenarios that never enter a steady interval).  Optional
+    #: in stored payloads so pre-existing stores keep loading; the
+    #: schema version is unchanged.
+    events_elided: int = 0
 
     def to_dict(self) -> dict[str, _t.Any]:
         payload = dataclasses.asdict(self)
@@ -71,6 +76,7 @@ class ScenarioRecord:
                 ),
                 events_per_second=float(payload["events_per_second"]),
                 peak_rss_kb=float(payload["peak_rss_kb"]),
+                events_elided=int(payload.get("events_elided", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise BenchmarkError(
@@ -175,6 +181,28 @@ def append_run(
     runs.append(run)
     save_store(path, runs)
     return runs
+
+
+def run_for_label(
+    runs: _t.Sequence[BenchRun], label: str
+) -> BenchRun:
+    """The most recent run stored under ``label``.
+
+    Labels are not unique in an append-only store (every PR may append
+    another ``optimized`` run); the latest occurrence is the one a gate
+    should measure against.  Unknown labels raise
+    :class:`~repro.errors.BenchmarkError` naming the labels that exist.
+    """
+    for run in reversed(runs):
+        if run.label == label:
+            return run
+    known = ", ".join(
+        dict.fromkeys(run.label for run in runs)
+    ) or "(nothing)"
+    raise BenchmarkError(
+        f"no benchmark run labelled {label!r} in the store; "
+        f"stored labels: {known}"
+    )
 
 
 # -- history ------------------------------------------------------------------

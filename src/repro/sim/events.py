@@ -355,6 +355,21 @@ class Condition(Event):
             # ``triggered`` would wrongly include future timeouts.
             fired = [e for e in self._events if e.processed]
             self.succeed(ConditionValue(fired))
+        else:
+            return
+        # The condition just fired (or failed): unsubscribe from the
+        # sub-events still in flight.  A leftover ``any_of`` timeout with
+        # this callback removed carries no work at all, which is what lets
+        # the run loop's analytical fast-forward elide it instead of
+        # dispatching an empty pop far in the future.
+        check = self._check
+        for leftover in self._events:
+            callbacks = leftover.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
 
     @staticmethod
     def all_events(events: list[Event], count: int) -> bool:

@@ -91,3 +91,111 @@ class TestBenchCommand:
         assert main(["bench", *FAST_ARGS, "--profile", "--top", "5"]) == 0
         out = capsys.readouterr().out
         assert "hotspots for" in out
+
+
+class TestBaselineLabel:
+    """``--baseline LABEL``: gate against a named run, not just the last."""
+
+    def _record(self, label):
+        assert (
+            main(
+                [
+                    "bench",
+                    *FAST_ARGS,
+                    "--label",
+                    label,
+                    "--out",
+                    "bench.json",
+                ]
+            )
+            == 0
+        )
+
+    def test_gates_against_the_named_run(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        self._record("before")
+        capsys.readouterr()
+        # Doctor the *last* run to be absurdly fast; gating against the
+        # honest "before" label must ignore it and pass.
+        self._record("doctored")
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["runs"][-1]["label"] == "doctored"
+        payload["runs"][-1]["results"][0]["wall_seconds_median"] /= 100.0
+        (tmp_path / "bench.json").write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench",
+                    *FAST_ARGS,
+                    "--compare",
+                    "bench.json",
+                    "--baseline",
+                    "before",
+                    "--fail-on-regress",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "vs baseline 'before'" in out
+
+    def test_latest_occurrence_of_a_repeated_label_wins(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        self._record("before")
+        self._record("before")
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        # Doctor the *older* duplicate: it must not be the one compared.
+        payload["runs"][0]["results"][0]["wall_seconds_median"] /= 1e6
+        (tmp_path / "bench.json").write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench",
+                    *FAST_ARGS,
+                    "--compare",
+                    "bench.json",
+                    "--baseline",
+                    "before",
+                    "--fail-on-regress",
+                    "400",
+                ]
+            )
+            == 0
+        )
+
+    def test_unknown_label_is_a_clean_error(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        self._record("before")
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench",
+                    *FAST_ARGS,
+                    "--compare",
+                    "bench.json",
+                    "--baseline",
+                    "no-such-label",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "no benchmark run labelled 'no-such-label'" in err
+        assert "before" in err  # the stored labels are listed
+
+    def test_baseline_without_compare_is_an_error(self, capsys):
+        assert (
+            main(["bench", *FAST_ARGS, "--baseline", "before"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "--compare" in err

@@ -1,0 +1,214 @@
+"""Analytical fast-forward: elided schedules must be bit-identical.
+
+The run loop may skip *dead* events — empty callback lists, nothing to
+re-raise — when both delay-zero lanes are drained and the future-heap
+head is dead.  Skipping is pure bookkeeping elision: every test here
+drives the same workload with fast-forward on (the default) and off
+(via a horizonless monitor, the conservative kill switch) and requires
+``repr``-exact end times, identical event counts, and identical
+observable side effects.
+"""
+
+import random
+
+import pytest
+
+from repro.core import FelaConfig, FelaRuntime
+from repro.hardware import Cluster, ClusterSpec
+from repro.obs import Sampler, Tracer
+from repro.sim import Environment
+
+
+def _disable_fast_forward(env):
+    """The documented kill switch: any monitor without a horizon."""
+    env.attach_monitor(lambda now, event: None)
+
+
+def _watchdog_workload(env, seed, processes=6, rounds=40):
+    """any_of watchdogs: every round leaves one dead long-stop timeout."""
+    rng = random.Random(seed)
+    finished = []
+
+    def watchdog(pid, delays):
+        for delay in delays:
+            yield env.any_of([env.timeout(delay), env.timeout(900.0)])
+        finished.append((pid, repr(env.now)))
+
+    for pid in range(processes):
+        delays = [rng.uniform(0.001, 0.5) for _ in range(rounds)]
+        env.process(watchdog(pid, delays))
+    return finished
+
+
+def _run_watchdogs(seed, fast_forward):
+    env = Environment()
+    if not fast_forward:
+        _disable_fast_forward(env)
+    finished = _watchdog_workload(env, seed)
+    env.run()
+    return finished, repr(env.now), env.scheduled_events, env
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 20260809])
+def test_watchdogs_bit_identical_with_and_without_ff(seed):
+    on, end_on, events_on, env_on = _run_watchdogs(seed, True)
+    off, end_off, events_off, env_off = _run_watchdogs(seed, False)
+    assert on == off
+    assert end_on == end_off
+    assert events_on == events_off
+    # The elision actually happened — and only on the enabled run.
+    assert env_on.ff_elided > 0
+    assert env_on.ff_intervals > 0
+    assert env_on.ff_seconds > 0.0
+    assert (env_off.ff_elided, env_off.ff_intervals) == (0, 0)
+
+
+def test_interrupted_timeouts_are_elided():
+    """An interrupted wait leaves a dead timeout; the drain removes it
+    without moving any live completion time."""
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(500.0)
+        except Exception:
+            log.append(("interrupted", repr(env.now)))
+        yield env.timeout(1.0)
+        log.append(("done", repr(env.now)))
+
+    proc = env.process(sleeper())
+
+    def poker():
+        yield env.timeout(2.0)
+        proc.interrupt("wake")
+
+    env.process(poker())
+    env.run()
+    assert log == [("interrupted", "2.0"), ("done", "3.0")]
+    # The dead 500 s timeout was crossed analytically, not dispatched.
+    assert env.ff_elided >= 1
+    assert repr(env.now) == "500.0"
+
+
+def test_condition_unsubscribes_leftover_sub_events():
+    """Once an any_of fires, the losing timeout carries no callbacks."""
+    env = Environment()
+    short = env.timeout(1.0)
+    long = env.timeout(100.0)
+    env.any_of([short, long])
+    assert len(long.callbacks) == 1
+    env.run(until=2.0)
+    # The condition fired at t=1 and withdrew from the long timeout.
+    assert long.callbacks == []
+
+
+def test_failed_events_are_never_elided():
+    """A dead-looking but failed, undefused event must still raise."""
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1.0)
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        # Nobody waits on it and nobody defuses it.
+
+    env.process(failer())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_monitor_horizon_caps_the_drain():
+    """Dead events at or beyond a monitor's next_due are dispatched so
+    the monitor observes them; only strictly-earlier ones are elided."""
+    env = Environment()
+    seen = []
+    env.attach_monitor(
+        lambda now, event: seen.append(now), next_due=lambda: 50.0
+    )
+
+    def spawn_dead():
+        # Interrupting the sleeper leaves dead timeouts at 10 and 60.
+        def sleeper(delay):
+            try:
+                yield env.timeout(delay)
+            except Exception:
+                yield env.timeout(0.25)
+
+        for delay in (10.0, 60.0):
+            proc = env.process(sleeper(delay))
+            yield env.timeout(1.0)
+            proc.interrupt("cancel")
+        yield env.timeout(0.5)
+
+    env.process(spawn_dead())
+    env.run()
+    # The t=10 corpse (before the horizon) was elided; the t=61 corpse
+    # (the second sleeper starts at t=1, so its timeout lands at 61,
+    # beyond the horizon) was dispatched and hit the monitor.
+    assert env.ff_elided == 1
+    assert 10.0 not in seen
+    assert 61.0 in seen
+
+
+def _fela_run(fast_forward, sampler=None, tracer=None):
+    config = FelaConfig(
+        partition=_fela_run.partition,
+        total_batch=128,
+        num_workers=8,
+        weights=(1, 2, 8),
+        conditional_subset_size=2,
+        iterations=4,
+    )
+    cluster = Cluster(ClusterSpec(num_nodes=8))
+    runtime = FelaRuntime(
+        config, cluster, sampler=sampler, tracer=tracer
+    )
+    if not fast_forward:
+        _disable_fast_forward(cluster.env)
+    return runtime.run()
+
+
+@pytest.fixture(autouse=True)
+def _partition(vgg19_partition):
+    _fela_run.partition = vgg19_partition
+
+
+def _comparable_stats(result):
+    stats = dict(result.stats)
+    stats.pop("fast_forward")  # differs by construction
+    return stats
+
+
+def test_fela_run_bit_identical_with_and_without_ff():
+    on = _fela_run(True)
+    off = _fela_run(False)
+    assert repr(on.total_time) == repr(off.total_time)
+    assert _comparable_stats(on) == _comparable_stats(off)
+    assert on.stats["fast_forward"]["events_elided"] > 0
+    assert off.stats["fast_forward"]["events_elided"] == 0
+
+
+def test_fela_run_with_tracer_bit_identical():
+    tracer_on, tracer_off = Tracer(), Tracer()
+    on = _fela_run(True, tracer=tracer_on)
+    off = _fela_run(False, tracer=tracer_off)
+    assert repr(on.total_time) == repr(off.total_time)
+    assert len(tracer_on.events) == len(tracer_off.events)
+    assert [
+        (event.name, event.start, event.end)
+        for event in tracer_on.events
+    ] == [
+        (event.name, event.start, event.end)
+        for event in tracer_off.events
+    ]
+
+
+def test_fela_run_with_sampler_bit_identical():
+    sampler_on, sampler_off = Sampler(interval=0.5), Sampler(interval=0.5)
+    on = _fela_run(True, sampler=sampler_on)
+    off = _fela_run(False, sampler=sampler_off)
+    assert repr(on.total_time) == repr(off.total_time)
+    assert sampler_on.samples == sampler_off.samples
+    # The sampler's horizon keeps fast-forward alive, not disabled.
+    assert on.stats["fast_forward"]["events_elided"] > 0
